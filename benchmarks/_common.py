@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper at laptop scale,
+prints the reproduced rows, and persists them under
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference concrete
+numbers.  Experiment bodies run exactly once (``pedantic(rounds=1)``) —
+they are long-running experiments, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import format_rows
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Bench scales: large enough for the paper's shapes to be visible, small
+#: enough that the whole suite runs in minutes.  Paper scale is 30k queries
+#: over ~26-40M rows; drivers accept larger values for full-scale runs.
+BENCH_ROWS = 40_000
+BENCH_QUERIES = 2_400
+BENCH_SEGMENTS = 8
+
+
+def report(name: str, title: str, rows, drop=()) -> None:
+    """Print and persist one reproduced table."""
+    slim = [{k: v for k, v in row.items() if k not in drop} for row in rows]
+    text = format_rows(title, slim)
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def once(benchmark, fn):
+    """Run an experiment body exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+"""Theorem IV.1 in practice: empirical competitive ratios of D-UMTS.
+
+Not a table in the paper, but the claim underlying all of them: Algorithm 4
+is 2·H(|S_max|)-competitive against the exact offline optimum.  This bench
+measures realized ratios on random and adversarial instances (averaged over
+seeds, as expectations require) and reports how much headroom remains under
+the theoretical bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DynamicUMTS, solve_offline
+
+from _common import once, report
+
+
+def harmonic(n):
+    return float(sum(1.0 / k for k in range(1, n + 1)))
+
+
+def run_online(costs, alpha, states, seed):
+    algorithm = DynamicUMTS(
+        states, alpha, np.random.default_rng(seed), initial_state=states[0]
+    )
+    return sum(
+        algorithm.observe({s: row[i] for i, s in enumerate(states)}).total_cost
+        for row in costs
+    )
+
+
+def measure(kind: str, num_states: int, num_tasks: int, alpha: float, seeds=30):
+    states = [f"s{i}" for i in range(num_states)]
+    rng = np.random.default_rng(hash(kind) % 2**31)
+    if kind == "random":
+        costs = rng.uniform(0, 1, size=(num_tasks, num_states))
+    else:  # adversarial: cost 1 cycles across states
+        costs = np.zeros((num_tasks, num_states))
+        for t in range(num_tasks):
+            costs[t, t % num_states] = 1.0
+    online = float(np.mean([run_online(costs, alpha, states, s) for s in seeds_range(seeds)]))
+    opt = solve_offline(costs, alpha, initial_state=0).total_cost
+    bound = 2.0 * harmonic(num_states)
+    return {
+        "instance": kind,
+        "states": num_states,
+        "tasks": num_tasks,
+        "alpha": alpha,
+        "online_cost": online,
+        "opt_cost": opt,
+        "realized_ratio": online / opt if opt > 0 else float("inf"),
+        "theorem_bound": bound,
+    }
+
+
+def seeds_range(n):
+    return range(n)
+
+
+def test_competitive_ratio(benchmark):
+    def body():
+        rows = []
+        for kind in ("random", "adversarial"):
+            for num_states in (2, 4, 8):
+                rows.append(measure(kind, num_states, num_tasks=600, alpha=4.0))
+        return rows
+
+    rows = once(benchmark, body)
+    report(
+        "competitive_ratio",
+        "Theorem IV.1 check: realized vs bound competitive ratios",
+        rows,
+    )
+    for row in rows:
+        slack = row["theorem_bound"] * row["alpha"]  # finite-horizon additive term
+        assert row["online_cost"] <= row["theorem_bound"] * row["opt_cost"] + slack

@@ -1,0 +1,61 @@
+"""Figure 4: cumulative total cost vs oracles over the query stream.
+
+Paper result: the cumulative-cost ordering is Offline Optimal < MTS
+Optimal < OREO < Static by the end of the stream; OREO's query cost lands
+within 1.74× / 1.44× of Offline Optimal's on TPC-H / TPC-DS (far below the
+worst-case O(log k) bound), and the oracles' advantage comes from knowing
+the workload, not from more switching (20–30 layout changes for all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure4_gap_to_optimal
+
+from _common import BENCH_QUERIES, BENCH_ROWS, BENCH_SEGMENTS, once, report
+
+# Figure 4 needs the paper's slow-drift regime: segments long enough for an
+# α=80 reorganization to amortize (the paper has ~1500-query segments).
+SCALE = dict(
+    datasets=("tpch", "tpcds"),
+    num_rows=BENCH_ROWS,
+    num_queries=6_000,
+    num_segments=10,
+    seed=0,
+)
+
+
+def test_figure4_gap_to_optimal(benchmark):
+    rows = once(benchmark, lambda: figure4_gap_to_optimal(**SCALE))
+    report(
+        "fig4_gap_to_optimal",
+        "Figure 4: total cost and gap to optimal (logical costs)",
+        rows,
+        drop=("trajectory", "segment_boundaries"),
+    )
+
+    by_key = {(row["dataset"], row["method"]): row for row in rows}
+    for dataset in SCALE["datasets"]:
+        offline = by_key[(dataset, "offline-optimal")]
+        mts_opt = by_key[(dataset, "mts-optimal")]
+        oreo = by_key[(dataset, "oreo")]
+        static = by_key[(dataset, "static")]
+
+        # Offline Optimal's query cost (approximately) lower-bounds the
+        # methods restricted to precomputed pools; OREO's dynamic pool may
+        # dip slightly below it, hence the tolerance.
+        for other in (mts_opt, oreo, static):
+            assert other["query_cost"] >= 0.75 * offline["query_cost"]
+
+        # OREO ends below Static (the Figure 4 plot's final ordering).
+        assert oreo["total_cost"] < static["total_cost"]
+
+        # Trajectories are monotone non-decreasing cumulative costs.
+        for method in ("offline-optimal", "mts-optimal", "oreo", "static"):
+            trajectory = by_key[(dataset, method)]["trajectory"]
+            assert np.all(np.diff(trajectory) >= -1e-9)
+
+        # The gap is far below the worst-case bound, as in the paper
+        # (which reports 1.74x / 1.44x).
+        assert oreo["query_cost_vs_offline"] < 8.0

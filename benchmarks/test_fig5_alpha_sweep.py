@@ -1,0 +1,38 @@
+"""Figure 5: impact of the relative reorganization cost α on OREO.
+
+Paper result: total gains from dynamic reorganization decrease as α grows;
+the switch count drops from ~35 at α=10 to ~18 at α=300 (with visible
+steps around α=80 and 170), and total cost is not monotone in α because
+the algorithm adapts its strategy in discrete jumps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure5_alpha_sweep
+
+from _common import BENCH_QUERIES, BENCH_ROWS, BENCH_SEGMENTS, once, report
+
+SCALE = dict(
+    alphas=(10, 50, 100, 150, 200, 250, 300),
+    num_rows=BENCH_ROWS,
+    num_queries=BENCH_QUERIES,
+    num_segments=BENCH_SEGMENTS,
+    seed=0,
+)
+
+
+def test_figure5_alpha_sweep(benchmark):
+    rows = once(benchmark, lambda: figure5_alpha_sweep(**SCALE))
+    report("fig5_alpha_sweep", "Figure 5: reorganization cost sweep (α)", rows)
+
+    switches = [row["num_switches"] for row in rows]
+    # Switch count decreases from the α=10 end to the α=300 end.
+    assert switches[0] >= switches[-1]
+    # Broad trend, allowing the paper's non-monotone steps: the cheap-α
+    # half must switch at least as much as the expensive-α half in total.
+    assert sum(switches[:3]) >= sum(switches[-3:])
+    # Reorg cost is α × switches by the cost model.
+    for row in rows:
+        assert row["reorg_cost"] == row["alpha"] * row["num_switches"]

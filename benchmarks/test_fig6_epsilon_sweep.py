@@ -1,0 +1,39 @@
+"""Figure 6: impact of the admission distance threshold ε (Algorithm 5).
+
+Paper result: larger ε shrinks the dynamic state space and slightly raises
+query cost, but the framework's overall performance is not very sensitive
+to ε — the property that makes the default (ε=0.08) safe to ship.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure6_epsilon_sweep
+
+from _common import BENCH_QUERIES, BENCH_ROWS, BENCH_SEGMENTS, once, report
+
+SCALE = dict(
+    epsilons=(0.0, 0.02, 0.04, 0.08, 0.16, 0.24, 0.32),
+    num_rows=BENCH_ROWS,
+    num_queries=BENCH_QUERIES,
+    num_segments=BENCH_SEGMENTS,
+    seed=0,
+)
+
+
+def test_figure6_epsilon_sweep(benchmark):
+    rows = once(benchmark, lambda: figure6_epsilon_sweep(**SCALE))
+    report("fig6_epsilon_sweep", "Figure 6: admission threshold sweep (ε)", rows)
+
+    sizes = [row["avg_state_space"] for row in rows]
+    # State space shrinks (weakly) as ε grows.
+    assert sizes[0] >= sizes[-1]
+    # Every run keeps at least the initial layout.
+    assert all(size >= 1.0 for size in sizes)
+
+    # Insensitivity: total cost across the mid-range ε values stays within
+    # a modest band of the default's (the paper's "not very sensitive").
+    default_total = next(row for row in rows if row["epsilon"] == 0.08)["total_cost"]
+    mid = [row["total_cost"] for row in rows if 0.02 <= row["epsilon"] <= 0.24]
+    assert max(mid) <= 1.6 * min(default_total, min(mid)) + 1e-9

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the hot paths (true pytest-benchmark timing).
+
+These are the operations whose speed determines whether OREO's decision
+overhead is negligible next to query execution, as the paper claims: cost
+estimation touches only partition metadata, layout construction runs on a
+0.1–1% sample, and one MTS step is a handful of counter updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CostEvaluator, DynamicUMTS
+from repro.layouts import QdTreeBuilder, ZOrderLayoutBuilder
+from repro.workloads import tpch
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return tpch.load(50_000, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def workload(bundle):
+    return list(bundle.workload(200, 4, np.random.default_rng(1)))
+
+
+@pytest.fixture(scope="module")
+def sample(bundle):
+    return bundle.table.sample(0.02, np.random.default_rng(2))
+
+
+def test_qdtree_build(benchmark, sample, workload):
+    rng = np.random.default_rng(3)
+    layout = benchmark(lambda: QdTreeBuilder().build(sample, workload, 24, rng))
+    assert layout.num_partitions >= 2
+
+
+def test_zorder_build(benchmark, bundle, sample, workload):
+    rng = np.random.default_rng(3)
+    builder = ZOrderLayoutBuilder(num_columns=3, default_columns=(bundle.default_sort_column,))
+    layout = benchmark(lambda: builder.build(sample, workload, 24, rng))
+    assert layout.num_partitions >= 2
+
+
+def test_full_table_assign(benchmark, bundle, sample, workload):
+    rng = np.random.default_rng(3)
+    layout = QdTreeBuilder().build(sample, workload, 24, rng)
+    assignment = benchmark(lambda: layout.assign(bundle.table))
+    assert len(assignment) == bundle.table.num_rows
+
+
+def test_metadata_cost_estimation(benchmark, bundle, sample, workload):
+    """One c(s, q) evaluation from partition metadata (uncached)."""
+    rng = np.random.default_rng(3)
+    layout = QdTreeBuilder().build(sample, workload, 24, rng)
+    metadata = layout.metadata_for(bundle.table)
+    query = workload[0]
+
+    def estimate():
+        return metadata.accessed_fraction(query.predicate)
+
+    cost = benchmark(estimate)
+    assert 0.0 <= cost <= 1.0
+
+
+def test_mts_observe_step(benchmark):
+    """One D-UMTS decision step over a 16-state space."""
+    states = [f"s{i}" for i in range(16)]
+    algorithm = DynamicUMTS(states, 80.0, np.random.default_rng(0), initial_state="s0")
+    rng = np.random.default_rng(1)
+    costs_pool = [
+        {s: float(rng.uniform(0, 1)) for s in states} for _ in range(256)
+    ]
+    index = iter(range(10**9))
+
+    def step():
+        return algorithm.observe(costs_pool[next(index) % 256])
+
+    decision = benchmark(step)
+    assert decision.service_cost >= 0.0
+
+
+def test_cost_evaluator_cached_lookup(benchmark, bundle, sample, workload):
+    rng = np.random.default_rng(3)
+    layout = QdTreeBuilder().build(sample, workload, 24, rng)
+    evaluator = CostEvaluator(bundle.table)
+    query = workload[0]
+    evaluator.query_cost(layout, query)  # warm the cache
+
+    cost = benchmark(lambda: evaluator.query_cost(layout, query))
+    assert 0.0 <= cost <= 1.0

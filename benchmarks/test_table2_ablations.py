@@ -1,0 +1,75 @@
+"""Table II: ablations of γ (transition distribution), SW vs RS candidate
+sampling, and the background-reorganization delay Δ.
+
+Paper results:
+* γ=0 (uniform transitions) inflates reorganization cost by 21–38% versus
+  the γ=1 default, with query cost essentially flat; γ ∈ {1,2,3} performs
+  similarly.
+* Reservoir-sampled candidate workloads (RS) raise query cost by up to 22%
+  and reorg cost by up to 47% versus the sliding window (SW); the combined
+  SW+RS raises reorg cost by up to 43% with similar query cost.
+* Δ>0 leaves reorg cost untouched (charged at decision time) and raises
+  query cost by ~7–12% at Δ=α (queries ride the outdated layout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import table2_ablations
+
+from _common import BENCH_ROWS, once, report
+
+# α is scaled from the paper's 80 to 40 because the bench streams are ~15x
+# shorter than the paper's 24-30k queries: at α=80 the cheap telemetry
+# queries never fill a counter within the stream and every ablation row
+# degenerates to "no switches".  Δ values are fractions of α as in the
+# paper ({0, α/2, α}).
+SCALE = dict(
+    datasets=("tpch", "tpcds", "telemetry"),
+    gammas=(1.0, 0.0, 2.0, 3.0),
+    sampler_modes=("sw", "rs", "sw+rs"),
+    delays_as_alpha_fraction=(0.0, 0.5, 1.0),
+    num_rows=BENCH_ROWS,
+    num_queries=2_000,
+    num_segments=8,
+    seed=0,
+    num_runs=3,
+    alpha=40.0,
+)
+
+
+def test_table2_ablations(benchmark):
+    rows = once(benchmark, lambda: table2_ablations(**SCALE))
+    report("table2_ablations", "Table II: γ / SW-vs-RS / Δ ablations (logical costs)", rows)
+
+    def pick(dataset, knob, value):
+        return next(
+            row
+            for row in rows
+            if row["dataset"] == dataset and row["knob"] == knob and row["value"] == value
+        )
+
+    for dataset in SCALE["datasets"]:
+        # Δ accounting: delay must not change the reorg cost (charged at
+        # decision time) ...
+        base = pick(dataset, "delay", "0")
+        for delay_value in ("20", "40"):
+            delayed = pick(dataset, "delay", delay_value)
+            assert delayed["reorg_cost"] == base["reorg_cost"]
+        # ... and the biggest delay's query cost is at least the no-delay
+        # query cost (savings arrive late, never early).
+        assert pick(dataset, "delay", "40")["query_cost"] >= base["query_cost"] - 1e-9
+
+        # γ ablation: the paper finds γ "does not have a significant impact
+        # on the query costs" — assert that flatness per dataset.
+        gamma_queries = [pick(dataset, "gamma", g)["query_cost"] for g in ("0", "1", "2", "3")]
+        assert max(gamma_queries) <= 1.10 * min(gamma_queries) + 1e-9
+
+    # γ ablation, reorg side: the paper reports a 17-28% reorg-cost
+    # improvement for γ>0.  At bench scale the effect is noisy (a handful
+    # of switches per run), so assert only that the predictor does not
+    # substantially *increase* reorganization on average.
+    gamma1_reorg = np.mean([pick(d, "gamma", "1")["reorg_cost"] for d in SCALE["datasets"]])
+    gamma0_reorg = np.mean([pick(d, "gamma", "0")["reorg_cost"] for d in SCALE["datasets"]])
+    assert gamma1_reorg <= gamma0_reorg * 1.35 + 1e-9

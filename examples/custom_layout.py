@@ -1,0 +1,84 @@
+"""Plugging a custom layout family into OREO.
+
+The framework is agnostic to the layout generation mechanism (§III-B): any
+object implementing ``LayoutBuilder.build(sample, workload, k, rng)`` (the
+paper's ``generate_layout``) can feed the LAYOUT MANAGER.  This example
+implements a deliberately simple custom family — sort the table by the
+single most-queried column of the recent window — and shows that OREO
+still extracts most of the benefit of dynamic reorganization with it.
+
+Run:  python examples/custom_layout.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import OREO, OreoConfig
+from repro.layouts import (
+    LayoutBuilder,
+    RangeLayout,
+    RangeLayoutBuilder,
+    equal_frequency_boundaries,
+    top_queried_columns,
+)
+from repro.workloads import tpch
+
+
+class HotColumnSortBuilder(LayoutBuilder):
+    """Sort by the most-queried column in the window; range-partition it."""
+
+    name = "hot-column-sort"
+
+    def __init__(self, fallback_column: str):
+        self.fallback_column = fallback_column
+
+    def build(self, sample, workload, num_partitions, rng):
+        ranked = top_queried_columns(workload, 1, allowed=sample.schema.names())
+        column = ranked[0] if ranked else self.fallback_column
+        boundaries = equal_frequency_boundaries(sample[column], num_partitions)
+        return RangeLayout(column, boundaries)
+
+
+def run(builder, bundle, stream, rng) -> tuple[float, int]:
+    initial = RangeLayoutBuilder(bundle.default_sort_column).build(
+        bundle.table.sample(0.02, rng), [], 24, rng
+    )
+    config = OreoConfig(
+        alpha=60.0,
+        window_size=150,
+        generation_interval=150,
+        num_partitions=24,
+        data_sample_fraction=0.02,
+    )
+    oreo = OREO(bundle.table, builder, initial, config, np.random.default_rng(1))
+    summary = oreo.run(stream)
+    return summary.total_cost, summary.num_switches
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    bundle = tpch.load(num_rows=50_000, rng=rng)
+    stream = bundle.workload(num_queries=3_000, num_segments=6, rng=rng)
+
+    custom = HotColumnSortBuilder(bundle.default_sort_column)
+    custom_cost, custom_switches = run(custom, bundle, stream, rng)
+    print(f"custom hot-column-sort: total cost {custom_cost:8.1f} "
+          f"({custom_switches} switches)")
+
+    from repro.layouts import QdTreeBuilder
+
+    qd_cost, qd_switches = run(QdTreeBuilder(), bundle, stream, rng)
+    print(f"qd-tree builder:        total cost {qd_cost:8.1f} "
+          f"({qd_switches} switches)")
+
+    print(
+        "\nBoth builders plug into the same OREO instance unchanged — the\n"
+        "REORGANIZER's guarantee (Theorem IV.1) holds regardless of how the\n"
+        "candidate layouts are produced; better builders simply give the\n"
+        "state space better states to switch between."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Online index tuning with asymmetric movement costs (§VII-3 analogue).
+
+The paper contrasts layout reorganization (uniform switching cost α) with
+adaptive *index* tuning, where costs are asymmetric: building an index is
+expensive, dropping it is nearly free.  The repository's
+:class:`~repro.core.TwoStateCounterAlgorithm` covers the two-state case and
+:class:`~repro.core.WorkFunctionAlgorithm` the general one.
+
+This example models a table that alternates between scan-heavy (index
+useless, maintenance hurts) and lookup-heavy (index saves most of the
+work) episodes, and shows the counter algorithm building/dropping the index
+a bounded number of times while staying close to the hindsight-optimal
+schedule computed by the exact DP.
+
+Run:  python examples/index_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TwoStateCounterAlgorithm, solve_offline
+
+BUILD_COST = 12.0  # creating the index: scan + sort + write
+DROP_COST = 0.5    # dropping it: delete a file
+EPISODE = 120
+EPISODES = 8
+
+
+def episode_costs(rng: np.random.Generator) -> np.ndarray:
+    """Per-query (no-index, with-index) cost pairs across episodes."""
+    rows = []
+    for episode in range(EPISODES):
+        lookup_heavy = episode % 2 == 1
+        for _ in range(EPISODE):
+            if lookup_heavy:
+                rows.append((rng.uniform(0.7, 1.0), rng.uniform(0.02, 0.08)))
+            else:
+                # Scans: index doesn't help, and its maintenance adds cost.
+                rows.append((rng.uniform(0.10, 0.20), rng.uniform(0.14, 0.26)))
+    return np.array(rows)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    costs = episode_costs(rng)
+
+    algorithm = TwoStateCounterAlgorithm(
+        ["no-index", "indexed"], cost_out=BUILD_COST, cost_back=DROP_COST,
+        initial_state="no-index",
+    )
+    online_total = 0.0
+    builds = drops = 0
+    for no_index_cost, indexed_cost in costs:
+        decision = algorithm.observe(
+            {"no-index": float(no_index_cost), "indexed": float(indexed_cost)}
+        )
+        online_total += decision.total_cost
+        if decision.switched_to == "indexed":
+            builds += 1
+        elif decision.switched_to == "no-index":
+            drops += 1
+
+    # Hindsight optimum via the exact DP (using the dearer direction as the
+    # uniform movement cost makes the DP an upper bound on true OPT).
+    opt = solve_offline(costs, alpha=BUILD_COST + DROP_COST, initial_state=0)
+
+    print(f"online (counter algorithm): {online_total:8.1f} "
+          f"({builds} index builds, {drops} drops)")
+    print(f"hindsight optimum (DP):     {opt.total_cost:8.1f} "
+          f"({opt.num_switches} switches)")
+    print(f"realized competitive ratio: {online_total / opt.total_cost:.2f} "
+          f"(two-state asymmetric algorithms are constant-competitive)")
+    print("\nNote the asymmetry at work: the algorithm drops the index quickly"
+          "\nonce scans dominate (regret threshold ≈ build+drop ≈ 12.5) but the"
+          "\ncheap drop direction means flapping stays bounded.")
+
+
+if __name__ == "__main__":
+    main()

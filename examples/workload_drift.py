@@ -1,0 +1,105 @@
+"""Workload drift: why a single optimized layout is not enough.
+
+Reproduces the motivating example from the paper's technical-report
+Appendix A: a workload that rotates through columns, issuing range queries
+on one column at a time.  A static layout — even one optimized with full
+knowledge of the whole workload — cannot serve all regimes at once, while
+OREO switches to per-regime layouts as the drift unfolds.
+
+The script prints a per-segment cost breakdown showing exactly where the
+static layout bleeds and where OREO recovers after each switch.
+
+Run:  python examples/workload_drift.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ExperimentHarness, HarnessConfig
+from repro.layouts import QdTreeBuilder
+from repro.queries import between
+from repro.storage import ColumnSpec, Schema, Table
+from repro.workloads import generate_stream
+from repro.workloads.dataset import DatasetBundle
+from repro.workloads.templates import QueryTemplate
+
+NUM_COLUMNS = 4
+NUM_ROWS = 40_000
+NUM_QUERIES = 3_000
+
+
+def build_rotating_bundle(rng: np.random.Generator) -> DatasetBundle:
+    """One numeric column per query regime; queries are narrow ranges."""
+    schema = Schema(
+        columns=tuple(ColumnSpec(f"c{i}", "numeric") for i in range(NUM_COLUMNS))
+    )
+    table = Table(
+        schema,
+        {f"c{i}": rng.uniform(0, 100, size=NUM_ROWS) for i in range(NUM_COLUMNS)},
+    )
+
+    def template(i: int) -> QueryTemplate:
+        def sample(rng: np.random.Generator):
+            start = float(rng.uniform(0, 95))
+            return between(f"c{i}", start, start + 5.0)
+
+        return QueryTemplate(f"col-{i}", sample)
+
+    return DatasetBundle(
+        name="rotating",
+        table=table,
+        templates=tuple(template(i) for i in range(NUM_COLUMNS)),
+        default_sort_column="c0",
+    )
+
+
+def per_segment_costs(stream, ledger):
+    """Average per-query cost inside each template segment."""
+    costs = np.asarray(ledger.service_costs)
+    boundaries = [start for start, _ in stream.segments] + [len(stream)]
+    rows = []
+    for (start, name), end in zip(stream.segments, boundaries[1:]):
+        rows.append((name, start, end, float(costs[start:end].mean())))
+    return rows
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    bundle = build_rotating_bundle(rng)
+    stream = generate_stream(
+        bundle.templates, NUM_QUERIES, 5, rng, min_segment_length=400
+    )
+    config = HarnessConfig(
+        alpha=25.0,
+        window_size=75,
+        generation_interval=75,
+        num_partitions=16,
+        data_sample_fraction=0.05,
+    )
+    harness = ExperimentHarness(bundle, stream, QdTreeBuilder(), config)
+
+    static = harness.run_static()
+    oreo = harness.run_oreo()
+
+    print("Per-segment mean query cost (fraction of table accessed):\n")
+    print(f"{'segment':12s} {'queries':>12s} {'static':>8s} {'oreo':>8s}")
+    static_rows = per_segment_costs(stream, static.ledger)
+    oreo_rows = per_segment_costs(stream, oreo.ledger)
+    for (name, start, end, s_cost), (_, _, _, o_cost) in zip(static_rows, oreo_rows):
+        print(f"{name:12s} {f'{start}-{end}':>12s} {s_cost:8.3f} {o_cost:8.3f}")
+
+    print(f"\nstatic total: {static.summary.total_cost:9.1f} (0 switches)")
+    print(
+        f"oreo   total: {oreo.summary.total_cost:9.1f} "
+        f"({oreo.summary.num_switches} switches, "
+        f"reorg cost {oreo.summary.total_reorg_cost:.0f})"
+    )
+    improvement = 1.0 - oreo.summary.total_cost / static.summary.total_cost
+    print(f"\nOREO beats the workload-optimized static layout by {improvement:.1%}.")
+    print("Note how OREO's per-segment cost drops shortly after each segment")
+    print("begins — that's a reorganization paying for itself.")
+
+
+if __name__ == "__main__":
+    main()

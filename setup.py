@@ -1,0 +1,16 @@
+"""Legacy setuptools shim for offline editable installs (no wheel package)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "OREO: dynamic data layout optimization with worst-case guarantees "
+        "(ICDE 2024 reproduction)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+)

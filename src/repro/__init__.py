@@ -1,0 +1,68 @@
+"""OREO reproduction: dynamic data layout optimization with worst-case guarantees.
+
+A from-scratch Python implementation of the OREO framework (Rong, Liu,
+Sonje, Charikar — ICDE 2024): online data-layout reorganization decisions
+with a provably tight competitive ratio, built on a dynamic-state-space
+variant of uniform metrical task systems, together with every substrate the
+paper's evaluation relies on — workload-aware layouts (Qd-tree, Z-order), a
+partitioned columnar storage engine with metadata-based data skipping,
+synthetic TPC-H/TPC-DS/telemetry workloads, and the full baseline and
+experiment suite.
+
+Typical usage::
+
+    import numpy as np
+    from repro import OREO, OreoConfig
+    from repro.layouts import QdTreeBuilder, RangeLayoutBuilder
+    from repro.workloads import tpch
+
+    rng = np.random.default_rng(0)
+    bundle = tpch.load(num_rows=100_000, rng=rng)
+    stream = bundle.workload(num_queries=5_000, num_segments=10, rng=rng)
+
+    initial = RangeLayoutBuilder(bundle.default_sort_column).build(
+        bundle.table.sample(0.01, rng), [], 32, rng)
+    oreo = OREO(bundle.table, QdTreeBuilder(), initial,
+                OreoConfig(alpha=80.0), rng)
+    summary = oreo.run(stream)
+    print(summary.total_cost, summary.num_switches)
+"""
+
+from .core import (
+    OREO,
+    BLSAlgorithm,
+    CostEvaluator,
+    CostModel,
+    DynamicUMTS,
+    MultiCopyUMTS,
+    OreoConfig,
+    Reorganizer,
+    ReorganizerConfig,
+    RunLedger,
+    RunSummary,
+    StepResult,
+    TwoStateCounterAlgorithm,
+    WorkFunctionAlgorithm,
+    solve_offline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BLSAlgorithm",
+    "CostEvaluator",
+    "CostModel",
+    "DynamicUMTS",
+    "MultiCopyUMTS",
+    "OREO",
+    "OreoConfig",
+    "Reorganizer",
+    "ReorganizerConfig",
+    "RunLedger",
+    "RunSummary",
+    "StepResult",
+    "TwoStateCounterAlgorithm",
+    "WorkFunctionAlgorithm",
+    "__version__",
+    "solve_offline",
+]

@@ -1,0 +1,23 @@
+"""Reorganization strategies the paper compares OREO against."""
+
+from .base import CandidateGenerator, OnlineStrategy
+from .greedy import GreedyStrategy
+from .oracles import (
+    MTSOptimalStrategy,
+    OfflineOptimalStrategy,
+    precompute_template_layouts,
+)
+from .regret import RegretStrategy
+from .static import StaticStrategy, build_static_layout
+
+__all__ = [
+    "CandidateGenerator",
+    "GreedyStrategy",
+    "MTSOptimalStrategy",
+    "OfflineOptimalStrategy",
+    "OnlineStrategy",
+    "RegretStrategy",
+    "StaticStrategy",
+    "build_static_layout",
+    "precompute_template_layouts",
+]

@@ -1,0 +1,91 @@
+"""Shared infrastructure for the reorganization strategies under comparison.
+
+The paper compares OREO against one offline baseline (Static) and two online
+baselines (Greedy, Regret), plus two oracles (MTS Optimal, Offline Optimal).
+Every method here consumes the same ingredients — a table, a layout builder,
+a cost evaluator and a query stream — and produces a
+:class:`~repro.core.ledger.RunLedger`, so experiment drivers treat them
+uniformly.
+
+Importantly, the three online approaches share the *same* candidate
+generation mechanism (§VI-A3): a new layout is computed every
+``generation_interval`` queries from a sliding window of recent queries.
+:class:`CandidateGenerator` encapsulates that mechanism so Greedy, Regret
+and OREO cannot accidentally diverge in what candidates they see.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..core.cost_model import CostEvaluator
+from ..core.ledger import RunLedger, RunSummary
+from ..layouts.base import DataLayout, LayoutBuilder
+from ..queries.query import Query
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from ..storage.table import Table
+from ..workloads.sampling import SlidingWindow
+
+__all__ = ["CandidateGenerator", "OnlineStrategy"]
+
+
+class CandidateGenerator:
+    """Periodic layout candidates from a sliding window of recent queries."""
+
+    def __init__(
+        self,
+        table: Table,
+        builder: LayoutBuilder,
+        window_size: int,
+        generation_interval: int,
+        num_partitions: int,
+        data_sample_fraction: float,
+        rng: np.random.Generator,
+    ):
+        if generation_interval < 1:
+            raise ValueError("generation_interval must be positive")
+        self.builder = builder
+        self.window: SlidingWindow[Query] = SlidingWindow(window_size)
+        self.generation_interval = generation_interval
+        self.num_partitions = num_partitions
+        self.rng = rng
+        self.data_sample = table.sample(data_sample_fraction, rng)
+        self._queries_seen = 0
+
+    def observe(self, query: Query) -> DataLayout | None:
+        """Feed one query; returns a freshly built candidate when due."""
+        self._queries_seen += 1
+        self.window.add(query)
+        if self._queries_seen % self.generation_interval != 0:
+            return None
+        workload = self.window.snapshot()
+        if not workload:
+            return None
+        return self.builder.build(self.data_sample, workload, self.num_partitions, self.rng)
+
+
+class OnlineStrategy(ABC):
+    """A reorganization strategy processing queries one at a time."""
+
+    #: strategy name used in experiment reports
+    name: str = "strategy"
+
+    def __init__(self, evaluator: CostEvaluator, initial_layout: DataLayout):
+        self.evaluator = evaluator
+        self.current = initial_layout
+        self.ledger = RunLedger()
+
+    @abstractmethod
+    def process(self, query: Query) -> None:
+        """Service one query, recording costs into the ledger."""
+
+    def run(self, stream: Iterable[Query]) -> RunSummary:
+        """Process an entire stream and return the summary."""
+        for query in stream:
+            self.process(query)
+        return self.ledger.summary()

@@ -1,0 +1,55 @@
+"""Greedy baseline: always chase the better layout, ignore the α cost.
+
+§VI-A3: *"The method compares the performance of the current data layout
+with a new data layout computed based on a sliding window of recent
+queries, and greedily switches to the new layout if it has a smaller query
+cost than the current one, without considering the reorganization cost."*
+
+Greedy therefore attains the smallest query cost achievable with the shared
+candidate stream — it is the paper's lower envelope on query cost among the
+online methods — but pays for it with the largest reorganization bill,
+especially at large α (Figure 3's hatched bars).
+"""
+
+from __future__ import annotations
+
+from ..core.cost_model import CostEvaluator
+from ..layouts.base import DataLayout
+from ..queries.query import Query
+from .base import CandidateGenerator, OnlineStrategy
+
+__all__ = ["GreedyStrategy"]
+
+
+class GreedyStrategy(OnlineStrategy):
+    """Switch whenever a candidate beats the current layout on the window."""
+
+    name = "greedy"
+
+    def __init__(
+        self,
+        evaluator: CostEvaluator,
+        initial_layout: DataLayout,
+        candidates: CandidateGenerator,
+        alpha: float,
+    ):
+        super().__init__(evaluator, initial_layout)
+        self.candidates = candidates
+        self.alpha = alpha
+
+    def process(self, query: Query) -> None:
+        """Service one query; switch if a fresh candidate beats the current layout."""
+        service_cost = self.evaluator.query_cost(self.current, query)
+        movement_cost = 0.0
+        switched = False
+        candidate = self.candidates.observe(query)
+        if candidate is not None:
+            window = self.candidates.window.snapshot()
+            candidate_cost = self.evaluator.average_cost(candidate, window)
+            current_cost = self.evaluator.average_cost(self.current, window)
+            if candidate_cost < current_cost:
+                self.evaluator.forget(self.current.layout_id)
+                self.current = candidate
+                movement_cost = self.alpha
+                switched = True
+        self.ledger.record(service_cost, movement_cost, self.current.layout_id, switched)

@@ -1,0 +1,105 @@
+"""Regret baseline: switch only once cumulative savings cover the α cost.
+
+§VI-A3: *"This method is similar to the Greedy strategy but considers the
+reorganization cost, inspired by work on storage management in video
+analytics [TASM]. The method keeps track of the cumulative difference in
+query costs between the current data layout and alternative layouts over
+the query history. For each new layout, the method retroactively computes
+performance improvement compared to the current layout, using all queries
+that have been serviced on the current layout. The method switches to a new
+layout when the cumulative saving in query cost exceeds the reorganization
+cost."*
+
+Regret is the most conservative online method: it rarely reorganizes (small
+reorg bars in Figure 3) but consequently rides degraded layouts for a long
+time (large query bars).
+"""
+
+from __future__ import annotations
+
+from ..core.cost_model import CostEvaluator
+from ..layouts.base import DataLayout
+from ..queries.query import Query
+from .base import CandidateGenerator, OnlineStrategy
+
+__all__ = ["RegretStrategy"]
+
+
+class RegretStrategy(OnlineStrategy):
+    """Track per-alternative cumulative savings; switch when one exceeds α."""
+
+    name = "regret"
+
+    def __init__(
+        self,
+        evaluator: CostEvaluator,
+        initial_layout: DataLayout,
+        candidates: CandidateGenerator,
+        alpha: float,
+        max_alternatives: int = 8,
+        history_cap: int | None = None,
+    ):
+        super().__init__(evaluator, initial_layout)
+        self.candidates = candidates
+        self.alpha = alpha
+        self.max_alternatives = max_alternatives
+        self.history_cap = history_cap
+        # Queries serviced on the current layout, for retroactive evaluation
+        # of newly generated alternatives.
+        self._history: list[Query] = []
+        self._alternatives: dict[str, DataLayout] = {}
+        self._savings: dict[str, float] = {}
+
+    def process(self, query: Query) -> None:
+        """Service one query; switch once an alternative's savings exceed α."""
+        service_cost = self.evaluator.query_cost(self.current, query)
+        self._history.append(query)
+        if self.history_cap is not None and len(self._history) > self.history_cap:
+            # Optional memory bound: retroactive credit then covers only the
+            # most recent window instead of the full residency of the layout.
+            del self._history[0]
+        for layout_id, layout in self._alternatives.items():
+            alternative_cost = self.evaluator.query_cost(layout, query)
+            self._savings[layout_id] += service_cost - alternative_cost
+
+        candidate = self.candidates.observe(query)
+        if candidate is not None:
+            self._admit_alternative(candidate)
+
+        movement_cost = 0.0
+        switched = False
+        best = self._best_alternative()
+        if best is not None and self._savings[best] > self.alpha:
+            self._switch_to(best)
+            movement_cost = self.alpha
+            switched = True
+        self.ledger.record(service_cost, movement_cost, self.current.layout_id, switched)
+
+    # ----------------------------------------------------------------- internal
+    def _admit_alternative(self, candidate: DataLayout) -> None:
+        # Retroactive evaluation over every query serviced on the current
+        # layout so a late-arriving good layout gets full credit.
+        current_costs = self.evaluator.cost_vector(self.current, self._history)
+        candidate_costs = self.evaluator.cost_vector(candidate, self._history)
+        self._alternatives[candidate.layout_id] = candidate
+        self._savings[candidate.layout_id] = float((current_costs - candidate_costs).sum())
+        if len(self._alternatives) > self.max_alternatives:
+            worst = min(self._savings, key=self._savings.get)
+            del self._alternatives[worst]
+            del self._savings[worst]
+            self.evaluator.forget(worst)
+
+    def _best_alternative(self) -> str | None:
+        if not self._savings:
+            return None
+        return max(self._savings, key=self._savings.get)
+
+    def _switch_to(self, layout_id: str) -> None:
+        self.evaluator.forget(self.current.layout_id)
+        self.current = self._alternatives.pop(layout_id)
+        del self._savings[layout_id]
+        # Savings were measured against the *old* current layout; restart
+        # tracking against the new one.
+        self._history.clear()
+        self._alternatives.clear()
+        self._savings.clear()

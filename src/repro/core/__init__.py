@@ -1,0 +1,56 @@
+"""OREO core: MTS algorithms, layout manager, reorganizer and controller."""
+
+from .asymmetric import TwoStateCounterAlgorithm, WorkFunctionAlgorithm
+from .cost_model import CostEvaluator, CostModel
+from .dumts import DynamicUMTS, StateChange
+from .ledger import RunLedger, RunSummary
+from .layout_manager import LayoutManager, LayoutManagerConfig, LayoutManagerEvents
+from .mts import BLSAlgorithm, MTSDecision
+from .multicopy import MultiCopyDecision, MultiCopyUMTS
+from .multitable import MultiTableOREO, MultiTableQuery, split_conjunction
+from .nonuniform import (
+    NonUniformReorganizer,
+    layout_transport_fraction,
+    movement_cost_matrix,
+    repair_triangle,
+)
+from .offline import OfflineSolution, solve_offline
+from .oreo import OREO, OreoConfig, StepResult
+from .reorganizer import Reorganizer, ReorganizerConfig, ReorgStep
+from .transition import GammaWeightedChooser, TransitionChooser, UniformChooser
+
+__all__ = [
+    "BLSAlgorithm",
+    "CostEvaluator",
+    "CostModel",
+    "DynamicUMTS",
+    "GammaWeightedChooser",
+    "LayoutManager",
+    "LayoutManagerConfig",
+    "LayoutManagerEvents",
+    "MTSDecision",
+    "MultiCopyDecision",
+    "MultiCopyUMTS",
+    "MultiTableOREO",
+    "MultiTableQuery",
+    "NonUniformReorganizer",
+    "OREO",
+    "OfflineSolution",
+    "OreoConfig",
+    "Reorganizer",
+    "ReorganizerConfig",
+    "ReorgStep",
+    "RunLedger",
+    "RunSummary",
+    "StateChange",
+    "StepResult",
+    "TransitionChooser",
+    "TwoStateCounterAlgorithm",
+    "UniformChooser",
+    "WorkFunctionAlgorithm",
+    "layout_transport_fraction",
+    "movement_cost_matrix",
+    "repair_triangle",
+    "solve_offline",
+    "split_conjunction",
+]

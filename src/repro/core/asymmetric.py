@@ -1,0 +1,164 @@
+"""MTS with asymmetric movement costs (technical-report Appendix C).
+
+Index tuning and friends (§VII-3) have *asymmetric* movement costs: creating
+an index is expensive but dropping it is nearly free.  The paper notes that
+MTS still applies — Borodin et al. give an O(|S|²)-competitive algorithm for
+general metrics, and the two-state asymmetric special case admits a small
+constant ratio (3-competitive in [Bruno & Chaudhuri 2007]; the tech report's
+Appendix C sharpens the classic algorithm's ratio for this case).
+
+We provide two algorithms:
+
+* :class:`WorkFunctionAlgorithm` — the classic work-function algorithm for
+  arbitrary (triangle-inequality) movement cost matrices.  It maintains the
+  offline DP ("work function") online and moves to the state minimizing
+  ``w_t(s) + d(current, s)``.  (2n−1)-competitive in general, 3-competitive
+  for two states.
+* :class:`TwoStateCounterAlgorithm` — the counter-based algorithm
+  specialized to two states with asymmetric costs: switch away from the
+  current state once the *regret* (extra service cost paid relative to the
+  other state since arrival) exceeds the round-trip movement cost, a direct
+  generalization of the BLS counter rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .mts import MTSDecision
+
+__all__ = ["WorkFunctionAlgorithm", "TwoStateCounterAlgorithm"]
+
+
+def _validate_distance_matrix(distances: np.ndarray) -> np.ndarray:
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError("distance matrix must be square")
+    if np.any(np.diag(distances) != 0.0):
+        raise ValueError("self-distances must be zero")
+    if np.any(distances < 0.0):
+        raise ValueError("distances must be non-negative")
+    n = distances.shape[0]
+    for k in range(n):
+        via_k = distances[:, [k]] + distances[[k], :]
+        if np.any(distances > via_k + 1e-9):
+            raise ValueError("distance matrix violates the triangle inequality")
+    return distances
+
+
+class WorkFunctionAlgorithm:
+    """Work-function algorithm for MTS under an arbitrary cost metric."""
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        distances: np.ndarray,
+        initial_state: str | None = None,
+    ):
+        self.states = list(dict.fromkeys(states))
+        if len(self.states) < 2:
+            raise ValueError("work function algorithm needs at least two states")
+        self.distances = _validate_distance_matrix(distances)
+        if self.distances.shape[0] != len(self.states):
+            raise ValueError("distance matrix size must match number of states")
+        self._index = {s: i for i, s in enumerate(self.states)}
+        start = initial_state if initial_state is not None else self.states[0]
+        if start not in self._index:
+            raise ValueError(f"initial state {start!r} not in state set")
+        self.current = start
+        # Work function: optimal offline cost of serving the history so far
+        # and ending in each state, starting from `start`.
+        self.work = self.distances[self._index[start]].copy()
+
+    def observe(self, costs: Mapping[str, float]) -> MTSDecision:
+        """Process one task's cost vector and maybe move."""
+        cost_vec = np.array([float(costs[s]) for s in self.states])
+        if np.any(cost_vec < 0):
+            raise ValueError("service costs must be non-negative")
+        serviced_in = self.current
+        service_cost = float(costs[self.current])
+
+        # Update the work function: serve the task, then allow a final move.
+        served = self.work + cost_vec
+        self.work = np.minimum(served, (served[:, None] + self.distances).min(axis=0))
+
+        # Move to the state minimizing w(s) + d(current, s).  Ties must break
+        # toward the state with the *smaller work value*: breaking toward
+        # "stay" lets an adversary pin the algorithm on a state whose service
+        # cost ratchets the work function against its cap forever (paying 1
+        # per task while OPT pays one move), destroying competitiveness.
+        here = self._index[self.current]
+        objective = self.work + self.distances[here]
+        best = objective.min()
+        tied = np.flatnonzero(objective <= best + 1e-12)
+        target = int(tied[np.argmin(self.work[tied])])
+        movement_cost = 0.0
+        switched_to = None
+        if target != here:
+            movement_cost = float(self.distances[here, target])
+            switched_to = self.states[target]
+            self.current = self.states[target]
+        return MTSDecision(
+            serviced_in=serviced_in,
+            service_cost=service_cost,
+            switched_to=switched_to,
+            movement_cost=movement_cost,
+        )
+
+
+class TwoStateCounterAlgorithm:
+    """Counter (regret) algorithm for two states with asymmetric move costs.
+
+    While in state ``u``, accumulate ``max(c(u, q) - c(v, q), 0)`` — the
+    regret versus the alternative ``v``.  Switch once the regret reaches the
+    round-trip cost ``d(u, v) + d(v, u)``; this is the natural asymmetric
+    generalization of filling a BLS counter to α and is constant-competitive.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[str],
+        cost_out: float,
+        cost_back: float,
+        initial_state: str | None = None,
+    ):
+        states = list(dict.fromkeys(states))
+        if len(states) != 2:
+            raise ValueError("this algorithm is specialized to exactly two states")
+        if cost_out < 0 or cost_back < 0:
+            raise ValueError("movement costs must be non-negative")
+        self.states = states
+        self.move_cost = {
+            (states[0], states[1]): float(cost_out),
+            (states[1], states[0]): float(cost_back),
+        }
+        self.current = initial_state if initial_state is not None else states[0]
+        if self.current not in states:
+            raise ValueError(f"initial state {self.current!r} not in state set")
+        self.regret = 0.0
+
+    def _other(self) -> str:
+        return self.states[1] if self.current == self.states[0] else self.states[0]
+
+    def observe(self, costs: Mapping[str, float]) -> MTSDecision:
+        """Process one task's cost vector and maybe switch sides."""
+        serviced_in = self.current
+        service_cost = float(costs[self.current])
+        other = self._other()
+        self.regret += max(service_cost - float(costs[other]), 0.0)
+        threshold = self.move_cost[(self.current, other)] + self.move_cost[(other, self.current)]
+        switched_to = None
+        movement_cost = 0.0
+        if self.regret >= threshold:
+            movement_cost = self.move_cost[(self.current, other)]
+            switched_to = other
+            self.current = other
+            self.regret = 0.0
+        return MTSDecision(
+            serviced_in=serviced_in,
+            service_cost=service_cost,
+            switched_to=switched_to,
+            movement_cost=movement_cost,
+        )

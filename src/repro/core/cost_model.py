@@ -1,0 +1,98 @@
+"""Cost model and the logical cost oracle.
+
+The paper's cost model (§III-A): servicing query ``q`` in state (layout)
+``s`` costs ``c(s, q) ∈ [0, 1]`` — the fraction of the dataset accessed —
+and switching between any two states costs ``α > 1``, the measured ratio of
+reorganization time to a full-table scan (60×–100× in the paper's setup,
+default 80).
+
+:class:`CostEvaluator` is the oracle every decision component consults.  It
+estimates ``c(s, q)`` purely from partition-level metadata (never touching
+row data at decision time, matching §VI-A1) and memoizes aggressively: layout
+metadata by ``layout_id`` and per-query costs by ``(layout_id, predicate)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..layouts.base import DataLayout
+from ..layouts.metadata import LayoutMetadata
+from ..queries.query import Query
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from ..storage.table import Table
+
+__all__ = ["CostModel", "CostEvaluator"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Scalar parameters of the online problem."""
+
+    alpha: float = 80.0
+
+    def __post_init__(self):
+        if self.alpha <= 1.0:
+            raise ValueError(f"alpha must exceed 1 (reorg dearer than a scan), got {self.alpha}")
+
+    def movement_cost(self, source: str | None, target: str) -> float:
+        """Cost of switching layouts; staying put is free."""
+        if source == target:
+            return 0.0
+        return self.alpha
+
+
+class CostEvaluator:
+    """Metadata-backed, memoizing implementation of ``c(s, q)``."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._metadata: dict[str, LayoutMetadata] = {}
+        self._query_costs: dict[tuple[str, tuple], float] = {}
+
+    def metadata(self, layout: DataLayout) -> LayoutMetadata:
+        """Layout's partition metadata on the evaluator's table (cached)."""
+        cached = self._metadata.get(layout.layout_id)
+        if cached is None:
+            cached = layout.metadata_for(self.table)
+            self._metadata[layout.layout_id] = cached
+        return cached
+
+    def query_cost(self, layout: DataLayout, query: Query) -> float:
+        """Fraction of rows accessed by ``query`` under ``layout``; in [0, 1]."""
+        key = (layout.layout_id, query.cache_key())
+        cached = self._query_costs.get(key)
+        if cached is None:
+            cached = self.metadata(layout).accessed_fraction(query.predicate)
+            self._query_costs[key] = cached
+        return cached
+
+    def cost_vector(self, layout: DataLayout, queries: Sequence[Query]) -> np.ndarray:
+        """Vector of query costs for a layout over a query sample.
+
+        This is the representation Algorithm 5 (layout admission) compares
+        with normalized L1 distance.
+        """
+        return np.array([self.query_cost(layout, q) for q in queries], dtype=np.float64)
+
+    def average_cost(self, layout: DataLayout, queries: Sequence[Query]) -> float:
+        """Mean query cost over ``queries`` (0.0 for an empty sample)."""
+        if not queries:
+            return 0.0
+        return float(self.cost_vector(layout, queries).mean())
+
+    def forget(self, layout_id: str) -> None:
+        """Drop cached state for a retired layout to bound memory."""
+        self._metadata.pop(layout_id, None)
+        stale = [key for key in self._query_costs if key[0] == layout_id]
+        for key in stale:
+            del self._query_costs[key]
+
+    def cache_sizes(self) -> tuple[int, int]:
+        """(#layout metadata entries, #query-cost entries) — for tests."""
+        return len(self._metadata), len(self._query_costs)

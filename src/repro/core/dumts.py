@@ -1,0 +1,227 @@
+"""D-UMTS: uniform metrical task systems with a dynamic state space.
+
+This is the paper's central algorithmic contribution (§IV-B, Algorithm 4,
+Theorem IV.1).  The state space may be modified *during* query processing by
+state-management operations:
+
+* **Add** (``add_state``): by default the new state is deferred to the next
+  phase — the algorithm behaves as if no addition happened until the next
+  reset re-seeds the active set from the full state set.  Two alternative
+  admission policies from §IV-C are also provided: initialize the newcomer's
+  counter to the **median** of the live counters, or **replay** the phase's
+  queries against it (the caller supplies the replay costs).
+* **Remove** (``remove_state``): the state's counter is forced to ``alpha``
+  so it can never be switched to this phase; if that empties the active set,
+  a new phase begins over the surviving states; if the *current* state was
+  removed, the algorithm jumps to a random live state, exactly as when a
+  counter fills.
+
+Theorem IV.1: the competitive ratio is ``2·H(|S_max|) ≤ 2(1 + ln|S_max|)``
+where ``S_max`` is the largest state set over the stream — asymptotically
+optimal, matching the classic lower bound.  The ``smax`` property tracks this
+quantity so experiments and tests can check the bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from statistics import median
+
+import numpy as np
+
+from .mts import MTSDecision, PhaseStats
+from .transition import TransitionChooser, UniformChooser
+
+__all__ = ["DynamicUMTS", "StateChange"]
+
+
+class StateChange:
+    """Record of a state-management operation, for audit and tests."""
+
+    __slots__ = ("kind", "state", "step")
+
+    def __init__(self, kind: str, state: str, step: int):
+        self.kind = kind  # "add" | "remove"
+        self.state = state
+        self.step = step
+
+    def __repr__(self) -> str:
+        return f"StateChange({self.kind} {self.state!r} @ {self.step})"
+
+
+class DynamicUMTS:
+    """Algorithm 4: BLS with arbitrary mid-stream state addition/removal."""
+
+    #: supported admission policies for mid-phase additions
+    ADD_POLICIES = ("defer", "median", "zero", "replay")
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        alpha: float,
+        rng: np.random.Generator,
+        initial_state: str | None = None,
+        stay_on_reset: bool = True,
+        chooser: TransitionChooser | None = None,
+        add_policy: str = "defer",
+    ):
+        if add_policy not in self.ADD_POLICIES:
+            raise ValueError(f"unknown add_policy {add_policy!r}; use one of {self.ADD_POLICIES}")
+        self.states: dict[str, None] = dict.fromkeys(states)  # insertion-ordered set
+        if not self.states:
+            raise ValueError("need at least one state")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.rng = rng
+        self.stay_on_reset = stay_on_reset
+        self.chooser = chooser or UniformChooser()
+        self.add_policy = add_policy
+
+        self.counters: dict[str, float] = {}
+        self.active: set[str] = set()
+        self.phase_index = 0
+        self.current_phase = PhaseStats()
+        self.last_phase_weights: dict[str, float] = {}
+        self.step = 0
+        self.smax = len(self.states)
+        self.changes: list[StateChange] = []
+        self._reset_states()
+
+        if initial_state is not None:
+            if initial_state not in self.states:
+                raise ValueError(f"initial state {initial_state!r} not in state set")
+            self.current = initial_state
+        else:
+            names = list(self.states)
+            self.current = names[int(rng.integers(len(names)))]
+
+    # ------------------------------------------------------------------ phases
+    def _reset_states(self) -> None:
+        self.last_phase_weights = self.current_phase.skip_weights()
+        self.current_phase = PhaseStats()
+        self.active = set(self.states)
+        self.counters = {s: 0.0 for s in self.states}
+        self.phase_index += 1
+        self.smax = max(self.smax, len(self.states))
+
+    def _choose(self) -> str:
+        candidates = sorted(self.active)
+        return self.chooser.choose(candidates, self.last_phase_weights, self.rng)
+
+    # --------------------------------------------------------- state management
+    def add_state(self, state: str, replay_costs: Sequence[float] | None = None) -> None:
+        """Add ``state`` to the state space (Algorithm 4, lines 12–13).
+
+        With the default ``defer`` policy the state only becomes active at
+        the next phase reset.  ``median``/``zero`` activate it immediately
+        with the respective counter initialization; ``replay`` activates it
+        with the summed ``replay_costs`` (the costs it would have incurred on
+        the phase's queries so far).
+        """
+        if state in self.states:
+            return
+        self.states[state] = None
+        self.smax = max(self.smax, len(self.states))
+        self.changes.append(StateChange("add", state, self.step))
+        if self.add_policy == "defer":
+            return
+        if self.add_policy == "median":
+            live = [self.counters[s] for s in self.active]
+            seed = float(median(live)) if live else 0.0
+        elif self.add_policy == "zero":
+            seed = 0.0
+        else:  # replay
+            if replay_costs is None:
+                raise ValueError("add_policy='replay' requires replay_costs")
+            seed = float(sum(replay_costs))
+        self.counters[state] = seed
+        if seed < self.alpha:
+            self.active.add(state)
+
+    def remove_state(self, state: str) -> str | None:
+        """Remove ``state`` from the state space (Algorithm 4, lines 5–11).
+
+        Returns the new current state if the removal evicted the algorithm
+        from its current state (a forced transition that costs ``alpha``),
+        else ``None``.
+        """
+        if state not in self.states:
+            raise KeyError(f"cannot remove unknown state {state!r}")
+        if len(self.states) == 1:
+            raise ValueError("cannot remove the last remaining state")
+        del self.states[state]
+        self.active.discard(state)
+        self.counters[state] = self.alpha
+        self.changes.append(StateChange("remove", state, self.step))
+        if not self.active:
+            self._reset_states()
+        if state == self.current:
+            self.current = self._choose()
+            return self.current
+        return None
+
+    # ------------------------------------------------------------------ queries
+    def observe(self, costs: Mapping[str, float]) -> MTSDecision:
+        """Process one service query (Algorithm 4, line 15 → Algorithm 3).
+
+        ``costs`` must cover every state currently in the state space; costs
+        must lie in [0, 1] per the problem formulation (§III-A).
+        """
+        missing = [s for s in self.states if s not in costs]
+        if missing:
+            raise KeyError(f"costs missing for states: {missing}")
+        for state in self.states:
+            cost = costs[state]
+            if not 0.0 <= cost <= 1.0:
+                raise ValueError(f"cost for state {state!r} out of [0, 1]: {cost}")
+        self.step += 1
+
+        serviced_in = self.current
+        service_cost = float(costs[self.current])
+        self.current_phase.record({s: float(costs[s]) for s in self.states})
+
+        for state in list(self.active):
+            self.counters[state] += float(costs[state])
+        self.active = {s for s in self.active if self.counters[s] < self.alpha}
+
+        switched_to: str | None = None
+        movement_cost = 0.0
+        phase_reset = False
+        if self.current not in self.active:
+            if not self.active:
+                self._reset_states()
+                phase_reset = True
+                if not self.stay_on_reset:
+                    new_state = self._choose()
+                    if new_state != self.current:
+                        switched_to = new_state
+                        movement_cost = self.alpha
+                        self.current = new_state
+            else:
+                new_state = self._choose()
+                switched_to = new_state
+                movement_cost = self.alpha
+                self.current = new_state
+        return MTSDecision(
+            serviced_in=serviced_in,
+            service_cost=service_cost,
+            switched_to=switched_to,
+            movement_cost=movement_cost,
+            phase_reset=phase_reset,
+        )
+
+    # ------------------------------------------------------------------- views
+    @property
+    def state_names(self) -> list[str]:
+        """States currently in the state space, in insertion order."""
+        return list(self.states)
+
+    @property
+    def num_states(self) -> int:
+        """Current size of the state space."""
+        return len(self.states)
+
+    def competitive_bound(self) -> float:
+        """Theorem IV.1 upper bound ``2(1 + ln|S_max|)`` for this run."""
+        return 2.0 * (1.0 + float(np.log(max(self.smax, 1))))

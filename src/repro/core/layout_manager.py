@@ -1,0 +1,231 @@
+"""The LAYOUT MANAGER: on-the-fly layout generation and state-space curation.
+
+The LAYOUT MANAGER (§V) is the *producer* of the dynamic state space.  It:
+
+1. maintains workload samples — a sliding window of recent queries for
+   candidate generation (the paper's best-performing choice, Table II) and a
+   time-biased reservoir (R-TBS style) as the representative sample on which
+   layout similarity is judged;
+2. periodically calls the configured ``generate_layout`` builder on a small
+   data sample plus the recent-query sample to produce candidate layouts;
+3. admits a candidate into the state space only if its query-cost vector on
+   the representative sample is at least ``epsilon`` (normalized L1) away
+   from every existing state — Algorithm 5;
+4. optionally prunes the state space, removing layouts that have become
+   redundant under the current query sample or exceed a state cap.
+
+The manager is deliberately decoupled from the REORGANIZER: it emits
+:class:`LayoutManagerEvents` describing additions/removals, and the OREO
+controller forwards them as D-UMTS state-management operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..layouts.base import DataLayout, LayoutBuilder
+from ..queries.query import Query
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from ..storage.table import Table
+from ..workloads.sampling import ReservoirSample, SlidingWindow, TimeBiasedReservoir
+from .cost_model import CostEvaluator
+
+__all__ = ["LayoutManagerConfig", "LayoutManagerEvents", "LayoutManager"]
+
+
+@dataclass(frozen=True)
+class LayoutManagerConfig:
+    """Tunables of the LAYOUT MANAGER, with the paper's defaults."""
+
+    epsilon: float = 0.08
+    window_size: int = 200
+    generation_interval: int = 200
+    admission_sample_size: int = 64
+    num_partitions: int = 32
+    data_sample_fraction: float = 0.01
+    sampler_mode: str = "sw"  # "sw" | "rs" | "sw+rs"
+    max_states: int | None = None
+    time_constant: float = 2000.0
+    prune_interval: int | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        if self.sampler_mode not in ("sw", "rs", "sw+rs"):
+            raise ValueError(f"unknown sampler_mode {self.sampler_mode!r}")
+        if self.max_states is not None and self.max_states < 2:
+            raise ValueError("max_states must be at least 2")
+
+
+@dataclass
+class LayoutManagerEvents:
+    """State-management operations emitted while observing one query."""
+
+    added: list[DataLayout] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    candidates_considered: int = 0
+    candidates_rejected: int = 0
+
+
+class LayoutManager:
+    """Produces and curates the dynamic state space of data layouts."""
+
+    def __init__(
+        self,
+        table: Table,
+        builder: LayoutBuilder,
+        evaluator: CostEvaluator,
+        config: LayoutManagerConfig,
+        rng: np.random.Generator,
+    ):
+        self.table = table
+        self.builder = builder
+        self.evaluator = evaluator
+        self.config = config
+        self.rng = rng
+        self.window: SlidingWindow[Query] = SlidingWindow(config.window_size)
+        self.reservoir: ReservoirSample[Query] = ReservoirSample(config.window_size, rng)
+        self.admission_sample: TimeBiasedReservoir[Query] = TimeBiasedReservoir(
+            config.admission_sample_size, rng, config.time_constant
+        )
+        # The dataset is static (§III-C), so one small sample suffices for
+        # every generate_layout call, exactly as a real system would cache it.
+        self.data_sample = table.sample(config.data_sample_fraction, rng)
+        self.layouts: dict[str, DataLayout] = {}
+        self._queries_seen = 0
+
+    # ------------------------------------------------------------------ registry
+    def register(self, layout: DataLayout) -> None:
+        """Add a layout to the registry without the admission test.
+
+        Used for the initial default layout, which by definition is the only
+        state and needs no similarity check.
+        """
+        self.layouts[layout.layout_id] = layout
+
+    def get(self, layout_id: str) -> DataLayout:
+        """Look up a registered layout by id."""
+        return self.layouts[layout_id]
+
+    @property
+    def num_states(self) -> int:
+        """Current size of the managed state space."""
+        return len(self.layouts)
+
+    # ------------------------------------------------------------------- stream
+    def observe(self, query: Query, protected: Sequence[str] = ()) -> LayoutManagerEvents:
+        """Feed one query; possibly generate/admit/prune layouts.
+
+        ``protected`` names layouts that must not be removed (the current
+        logical/effective layouts and any in-flight reorganization target).
+        """
+        self._queries_seen += 1
+        self.window.add(query)
+        self.reservoir.add(query)
+        self.admission_sample.add(query, timestamp=self._queries_seen)
+
+        events = LayoutManagerEvents()
+        if self._queries_seen % self.config.generation_interval == 0:
+            for candidate in self._generate_candidates():
+                events.candidates_considered += 1
+                if self.admit_state(candidate):
+                    self.layouts[candidate.layout_id] = candidate
+                    events.added.append(candidate)
+                else:
+                    events.candidates_rejected += 1
+            self._maybe_prune(events, protected)
+        prune_every = self.config.prune_interval
+        if prune_every and self._queries_seen % prune_every == 0:
+            self._prune_similar(events, protected)
+        return events
+
+    # -------------------------------------------------------------- generation
+    def _generate_candidates(self) -> list[DataLayout]:
+        candidates: list[DataLayout] = []
+        mode = self.config.sampler_mode
+        if mode in ("sw", "sw+rs"):
+            workload = self.window.snapshot()
+            if workload:
+                candidates.append(self._build(workload))
+        if mode in ("rs", "sw+rs"):
+            workload = self.reservoir.snapshot()
+            if workload:
+                candidates.append(self._build(workload))
+        return candidates
+
+    def _build(self, workload: Sequence[Query]) -> DataLayout:
+        return self.builder.build(
+            self.data_sample, workload, self.config.num_partitions, self.rng
+        )
+
+    # --------------------------------------------------------------- admission
+    def admit_state(self, candidate: DataLayout) -> bool:
+        """Algorithm 5: admit iff min distance to every state exceeds ε."""
+        sample = self.admission_sample.snapshot()
+        if not sample:
+            return False
+        candidate_costs = self.evaluator.cost_vector(candidate, sample)
+        distances = [
+            self._distance(candidate_costs, self.evaluator.cost_vector(existing, sample))
+            for existing in self.layouts.values()
+        ]
+        if not distances:
+            return True
+        return min(distances) > self.config.epsilon
+
+    @staticmethod
+    def _distance(costs_a: np.ndarray, costs_b: np.ndarray) -> float:
+        """Normalized L1 distance between two query-cost vectors."""
+        return float(np.abs(costs_a - costs_b).sum() / len(costs_a))
+
+    # ----------------------------------------------------------------- pruning
+    def _maybe_prune(self, events: LayoutManagerEvents, protected: Sequence[str]) -> None:
+        cap = self.config.max_states
+        if cap is None or len(self.layouts) <= cap:
+            return
+        sample = self.admission_sample.snapshot()
+        if not sample:
+            return
+        protected_set = set(protected)
+        removable = [lid for lid in self.layouts if lid not in protected_set]
+        # Evict the worst performers on the recent sample until within cap.
+        removable.sort(
+            key=lambda lid: self.evaluator.average_cost(self.layouts[lid], sample),
+            reverse=True,
+        )
+        while len(self.layouts) > cap and removable:
+            victim = removable.pop(0)
+            del self.layouts[victim]
+            events.removed.append(victim)
+
+    def _prune_similar(self, events: LayoutManagerEvents, protected: Sequence[str]) -> None:
+        """Remove states that have become ε-similar to a better peer (§V-B)."""
+        sample = self.admission_sample.snapshot()
+        if not sample or len(self.layouts) < 2:
+            return
+        protected_set = set(protected)
+        ids = list(self.layouts)
+        vectors = {lid: self.evaluator.cost_vector(self.layouts[lid], sample) for lid in ids}
+        means = {lid: float(vectors[lid].mean()) for lid in ids}
+        victims: set[str] = set()
+        for i, first in enumerate(ids):
+            for second in ids[i + 1 :]:
+                if first in victims or second in victims:
+                    continue
+                if self._distance(vectors[first], vectors[second]) > self.config.epsilon:
+                    continue
+                # Keep the better performer; never evict protected layouts.
+                worse = first if means[first] >= means[second] else second
+                if worse in protected_set:
+                    worse = second if worse == first else first
+                if worse in protected_set:
+                    continue
+                victims.add(worse)
+        for victim in victims:
+            del self.layouts[victim]
+            events.removed.append(victim)

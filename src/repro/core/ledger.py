@@ -1,0 +1,97 @@
+"""Run ledger: per-step cost accounting shared by OREO and every baseline.
+
+The paper reports total query cost, total reorganization cost, number of
+layout switches, and (for Figure 4) the cumulative cost trajectory over the
+query stream.  :class:`RunLedger` accumulates all four so experiment drivers
+never re-derive them differently per method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RunLedger", "RunSummary"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Final aggregates of one run, as reported in the paper's tables."""
+
+    total_query_cost: float
+    total_reorg_cost: float
+    num_switches: int
+    num_queries: int
+
+    @property
+    def total_cost(self) -> float:
+        """Combined query + reorganization cost (the headline metric)."""
+        return self.total_query_cost + self.total_reorg_cost
+
+
+@dataclass
+class RunLedger:
+    """Append-only per-step cost log."""
+
+    service_costs: list[float] = field(default_factory=list)
+    movement_costs: list[float] = field(default_factory=list)
+    switch_steps: list[int] = field(default_factory=list)
+    layout_history: list[str] = field(default_factory=list)
+
+    def record(
+        self,
+        service_cost: float,
+        movement_cost: float,
+        layout_id: str,
+        switched: bool,
+    ) -> None:
+        """Log one processed query."""
+        step = len(self.service_costs)
+        self.service_costs.append(float(service_cost))
+        self.movement_costs.append(float(movement_cost))
+        self.layout_history.append(layout_id)
+        if switched:
+            self.switch_steps.append(step)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries recorded so far."""
+        return len(self.service_costs)
+
+    @property
+    def total_query_cost(self) -> float:
+        """Sum of service costs."""
+        return float(np.sum(self.service_costs)) if self.service_costs else 0.0
+
+    @property
+    def total_reorg_cost(self) -> float:
+        """Sum of movement costs."""
+        return float(np.sum(self.movement_costs)) if self.movement_costs else 0.0
+
+    @property
+    def total_cost(self) -> float:
+        """Combined query + reorganization cost."""
+        return self.total_query_cost + self.total_reorg_cost
+
+    @property
+    def num_switches(self) -> int:
+        """Number of layout changes performed."""
+        return len(self.switch_steps)
+
+    def cumulative_costs(self) -> np.ndarray:
+        """Running total of (service + movement) cost, one entry per query.
+
+        This is the y-axis of the paper's Figure 4.
+        """
+        per_step = np.asarray(self.service_costs) + np.asarray(self.movement_costs)
+        return np.cumsum(per_step)
+
+    def summary(self) -> RunSummary:
+        """Freeze the ledger into a :class:`RunSummary`."""
+        return RunSummary(
+            total_query_cost=self.total_query_cost,
+            total_reorg_cost=self.total_reorg_cost,
+            num_switches=self.num_switches,
+            num_queries=self.num_queries,
+        )

@@ -1,0 +1,176 @@
+"""The classic uniform-MTS algorithm of Borodin, Linial and Saks.
+
+This is the paper's Algorithms 1–3 (§IV-A), implemented as an incremental
+state machine: callers feed one query's cost vector at a time via
+:meth:`BLSAlgorithm.observe` and receive a :class:`MTSDecision` describing
+what the algorithm did.
+
+Mechanics: every state carries a counter that accumulates the cost the state
+*would* have incurred servicing the phase's queries.  A counter is full at
+``alpha``.  When the current state's counter fills, the algorithm switches to
+a random non-full state (paying ``alpha``); when all counters are full, the
+phase ends and every counter resets.  BLS is O(log n)-competitive, which is
+optimal for uniform MTS.
+
+The ``stay_on_reset`` flag implements the paper's §IV-A optimization: begin a
+new phase in the current state rather than a random one, saving the initial
+movement cost without affecting the asymptotic ratio (phases are
+independent).  OREO enables it by default.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .transition import TransitionChooser, UniformChooser
+
+__all__ = ["MTSDecision", "BLSAlgorithm"]
+
+
+@dataclass(frozen=True)
+class MTSDecision:
+    """What happened while processing one query."""
+
+    serviced_in: str
+    service_cost: float
+    switched_to: str | None = None
+    movement_cost: float = 0.0
+    phase_reset: bool = False
+
+    @property
+    def total_cost(self) -> float:
+        """Service plus movement cost for this step."""
+        return self.service_cost + self.movement_cost
+
+    @property
+    def switched(self) -> bool:
+        """Whether the system moved to a different state this step."""
+        return self.switched_to is not None
+
+
+@dataclass
+class PhaseStats:
+    """Cumulative per-state cost over the current/last phase.
+
+    Feeds the §IV-C predictor: the weight of a state is the average fraction
+    of data it *skipped* over the previous phase, i.e. ``1 - mean cost``.
+    """
+
+    costs: dict[str, float] = field(default_factory=dict)
+    length: int = 0
+
+    def record(self, costs: Mapping[str, float]) -> None:
+        """Accumulate one query's per-state costs into the phase totals."""
+        for state, cost in costs.items():
+            self.costs[state] = self.costs.get(state, 0.0) + cost
+        self.length += 1
+
+    def skip_weights(self) -> dict[str, float]:
+        """Per-state average skipped fraction (empty if no queries yet)."""
+        if self.length == 0:
+            return {}
+        return {s: 1.0 - total / self.length for s, total in self.costs.items()}
+
+
+class BLSAlgorithm:
+    """Incremental implementation of Algorithms 1–3."""
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        alpha: float,
+        rng: np.random.Generator,
+        initial_state: str | None = None,
+        stay_on_reset: bool = False,
+        chooser: TransitionChooser | None = None,
+    ):
+        self.states: list[str] = list(dict.fromkeys(states))
+        if not self.states:
+            raise ValueError("need at least one state")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.rng = rng
+        self.stay_on_reset = stay_on_reset
+        self.chooser = chooser or UniformChooser()
+        self.counters: dict[str, float] = {}
+        self.active: set[str] = set()
+        self.phase_index = 0
+        self.current_phase = PhaseStats()
+        self.last_phase_weights: dict[str, float] = {}
+        self._reset_states()
+        if initial_state is not None:
+            if initial_state not in self.counters:
+                raise ValueError(f"initial state {initial_state!r} not in state set")
+            self.current = initial_state
+        else:
+            self.current = self.states[int(rng.integers(len(self.states)))]
+
+    # -- Algorithm 2: ResetStates -------------------------------------------------
+    def _reset_states(self) -> None:
+        self.last_phase_weights = self.current_phase.skip_weights()
+        self.current_phase = PhaseStats()
+        self.active = set(self.states)
+        self.counters = {s: 0.0 for s in self.states}
+        self.phase_index += 1
+
+    def _choose(self) -> str:
+        candidates = sorted(self.active)
+        return self.chooser.choose(candidates, self.last_phase_weights, self.rng)
+
+    # -- Algorithm 3: UpdateCounters ----------------------------------------------
+    def observe(self, costs: Mapping[str, float]) -> MTSDecision:
+        """Process one query given its per-state cost vector.
+
+        ``costs`` must provide a cost in [0, 1] for every state in the state
+        set.  Returns the decision: the query is serviced in the pre-switch
+        state; any movement happens after servicing.
+        """
+        missing = [s for s in self.states if s not in costs]
+        if missing:
+            raise KeyError(f"costs missing for states: {missing}")
+        for state in self.states:
+            cost = costs[state]
+            if not 0.0 <= cost <= 1.0:
+                raise ValueError(f"cost for state {state!r} out of [0, 1]: {cost}")
+
+        serviced_in = self.current
+        service_cost = float(costs[self.current])
+        self.current_phase.record({s: float(costs[s]) for s in self.states})
+
+        for state in list(self.active):
+            self.counters[state] += float(costs[state])
+        self.active = {s for s in self.active if self.counters[s] < self.alpha}
+
+        switched_to: str | None = None
+        movement_cost = 0.0
+        phase_reset = False
+        if self.current not in self.active:
+            if not self.active:
+                self._reset_states()
+                phase_reset = True
+                if not self.stay_on_reset:
+                    new_state = self._choose()
+                    if new_state != self.current:
+                        switched_to = new_state
+                        movement_cost = self.alpha
+                        self.current = new_state
+            else:
+                new_state = self._choose()
+                switched_to = new_state
+                movement_cost = self.alpha
+                self.current = new_state
+        return MTSDecision(
+            serviced_in=serviced_in,
+            service_cost=service_cost,
+            switched_to=switched_to,
+            movement_cost=movement_cost,
+            phase_reset=phase_reset,
+        )
+
+    def run(self, cost_rows: Iterable[Mapping[str, float]]) -> list[MTSDecision]:
+        """Process a whole stream of cost vectors (Algorithm 1's loop)."""
+        return [self.observe(row) for row in cost_rows]

@@ -1,0 +1,137 @@
+"""Multi-copy D-UMTS: a storage budget for several concurrent layouts.
+
+The paper's Discussion (§VIII, third direction; technical-report Appendix D)
+sketches a variant where the system may keep up to ``budget`` materialized
+layouts simultaneously.  A query is then serviced by the *cheapest* held
+layout, and "moving" means materializing a layout not currently held (cost
+``alpha``), evicting one if the budget is exhausted.
+
+Our adaptation of Algorithm 4 (documented here because Appendix D is not in
+the provided paper text): counters fill exactly as in BLS, but the system
+holds a *set* ``H`` of layouts.  The effective service cost is
+``min_{s∈H} c(s, q)``.  When every held layout's counter is full, the
+algorithm materializes a random non-full state (evicting the longest-full
+held state); when all counters are full, the phase resets.  With
+``budget=1`` this degenerates to :class:`~repro.core.dumts.DynamicUMTS` with
+``stay_on_reset=True``, which the test suite checks differentially.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from .transition import TransitionChooser, UniformChooser
+
+__all__ = ["MultiCopyDecision", "MultiCopyUMTS"]
+
+
+@dataclass(frozen=True)
+class MultiCopyDecision:
+    """Outcome of processing one query under a multi-copy policy."""
+
+    serviced_in: str
+    service_cost: float
+    held: tuple[str, ...]
+    materialized: str | None = None
+    evicted: str | None = None
+    movement_cost: float = 0.0
+    phase_reset: bool = False
+
+    @property
+    def total_cost(self) -> float:
+        """Service plus materialization cost for this step."""
+        return self.service_cost + self.movement_cost
+
+
+class MultiCopyUMTS:
+    """BLS-style counters with a budget of simultaneously held layouts."""
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        alpha: float,
+        budget: int,
+        rng: np.random.Generator,
+        initial_states: Iterable[str] | None = None,
+        chooser: TransitionChooser | None = None,
+    ):
+        self.states: dict[str, None] = dict.fromkeys(states)
+        if not self.states:
+            raise ValueError("need at least one state")
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.budget = budget
+        self.rng = rng
+        self.chooser = chooser or UniformChooser()
+        self.counters: dict[str, float] = {}
+        self.active: set[str] = set()
+        self.phase_index = 0
+        self._reset_states()
+        if initial_states is not None:
+            held = list(dict.fromkeys(initial_states))
+            unknown = [s for s in held if s not in self.states]
+            if unknown:
+                raise ValueError(f"initial states not in state set: {unknown}")
+            if len(held) > budget:
+                raise ValueError("more initial states than the budget allows")
+            self.held: list[str] = held
+        else:
+            names = list(self.states)
+            self.held = [names[int(rng.integers(len(names)))]]
+
+    def _reset_states(self) -> None:
+        self.active = set(self.states)
+        self.counters = {s: 0.0 for s in self.states}
+        self.phase_index += 1
+
+    def add_state(self, state: str) -> None:
+        """Add a state, deferred to the next phase (Algorithm 4 semantics)."""
+        self.states.setdefault(state, None)
+
+    def observe(self, costs: Mapping[str, float]) -> MultiCopyDecision:
+        """Service one query on the cheapest held layout; maybe materialize."""
+        missing = [s for s in self.states if s not in costs]
+        if missing:
+            raise KeyError(f"costs missing for states: {missing}")
+
+        serviced_in = min(self.held, key=lambda s: float(costs[s]))
+        service_cost = float(costs[serviced_in])
+
+        for state in list(self.active):
+            self.counters[state] += float(costs[state])
+        self.active = {s for s in self.active if self.counters[s] < self.alpha}
+
+        materialized = None
+        evicted = None
+        movement_cost = 0.0
+        phase_reset = False
+        every_held_full = all(s not in self.active for s in self.held)
+        if every_held_full:
+            if not self.active:
+                self._reset_states()
+                phase_reset = True
+            else:
+                candidates = sorted(self.active - set(self.held))
+                if candidates:
+                    new_state = self.chooser.choose(candidates, {}, self.rng)
+                    materialized = new_state
+                    movement_cost = self.alpha
+                    if len(self.held) >= self.budget:
+                        evicted = max(self.held, key=lambda s: self.counters[s])
+                        self.held.remove(evicted)
+                    self.held.append(new_state)
+        return MultiCopyDecision(
+            serviced_in=serviced_in,
+            service_cost=service_cost,
+            held=tuple(self.held),
+            materialized=materialized,
+            evicted=evicted,
+            movement_cost=movement_cost,
+            phase_reset=phase_reset,
+        )

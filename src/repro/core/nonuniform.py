@@ -1,0 +1,164 @@
+"""Non-uniform movement costs between layouts (§VIII, second direction).
+
+The paper's framework assumes a *uniform* metric: switching between any two
+layouts costs the same α, because reorganization rewrites the whole table.
+Its discussion notes that supporting non-uniform metrics "would increase
+the possible state space of data layouts".  This module provides that
+extension end to end:
+
+* :func:`layout_transport_fraction` measures how much of the table actually
+  has to move between two layouts: ``1 - Σ_t max_s |t ∩ s| / N``, where
+  ``t`` ranges over target partitions and ``s`` over source partitions.
+  Identical layouts (up to partition relabeling) cost 0; a full reshuffle
+  into ``k`` balanced partitions approaches ``1 - 1/k``.  An engine that
+  rewrites only the partitions whose contents change pays proportionally.
+* :func:`movement_cost_matrix` turns pairwise fractions into a cost matrix
+  (scaled by α, zero diagonal) and :func:`repair_triangle` enforces the
+  triangle inequality by shortest-path closure — moving via an intermediate
+  layout can never be dearer than the direct rewrite it subsumes.
+* :class:`NonUniformReorganizer` runs the work-function algorithm
+  (:class:`~repro.core.asymmetric.WorkFunctionAlgorithm`) over a fixed pool
+  of layouts under that metric, exposing the same ``observe(query)``
+  interface as the uniform reorganizer.
+
+As the paper warns, dynamic state spaces under non-uniform metrics are an
+open problem, so this reorganizer works with a fixed pool (e.g. the
+MTS-Optimal oracle's per-template layouts).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..layouts.base import DataLayout
+from ..queries.query import Query
+from .asymmetric import WorkFunctionAlgorithm
+from .cost_model import CostEvaluator
+from .ledger import RunLedger, RunSummary
+from .mts import MTSDecision
+
+__all__ = [
+    "layout_transport_fraction",
+    "movement_cost_matrix",
+    "repair_triangle",
+    "NonUniformReorganizer",
+]
+
+
+def layout_transport_fraction(source: DataLayout, target: DataLayout, table) -> float:
+    """Fraction of rows that must move to turn ``source`` into ``target``.
+
+    For every target partition, the rows already co-located in its largest
+    contributing source partition can stay; everything else moves.  The
+    result is in [0, 1), equals 0 iff the two layouts induce the same
+    partitioning of ``table`` (up to partition ids).
+    """
+    if table.num_rows == 0:
+        return 0.0
+    source_ids = source.assign(table)
+    target_ids = target.assign(table)
+    # Count co-occurrences |s ∩ t| via a joint key, then take per-target max.
+    joint = np.stack([target_ids, source_ids], axis=1)
+    pairs, counts = np.unique(joint, axis=0, return_counts=True)
+    stay = 0
+    current_target = None
+    best = 0
+    for (t, _), count in sorted(
+        zip(map(tuple, pairs), counts), key=lambda item: item[0][0]
+    ):
+        if t != current_target:
+            stay += best
+            current_target = t
+            best = 0
+        best = max(best, int(count))
+    stay += best
+    return 1.0 - stay / table.num_rows
+
+
+def movement_cost_matrix(
+    layouts: Sequence[DataLayout], table, alpha: float
+) -> np.ndarray:
+    """Pairwise reorganization costs ``alpha * transport_fraction``.
+
+    The matrix is generally asymmetric only through estimation noise; the
+    transport fraction itself is symmetric in source/target for balanced
+    layouts, so we compute the upper triangle and mirror it.
+    """
+    n = len(layouts)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            fraction = layout_transport_fraction(layouts[i], layouts[j], table)
+            cost = alpha * fraction
+            matrix[i, j] = cost
+            matrix[j, i] = cost
+    return matrix
+
+
+def repair_triangle(matrix: np.ndarray) -> np.ndarray:
+    """Shortest-path closure: enforce the triangle inequality.
+
+    Physically justified: if rewriting A→C via B is cheaper than the direct
+    rewrite, the system would take the two-step route, so the *effective*
+    metric is the shortest path.
+    """
+    repaired = np.asarray(matrix, dtype=np.float64).copy()
+    n = repaired.shape[0]
+    for k in range(n):
+        via = repaired[:, [k]] + repaired[[k], :]
+        np.minimum(repaired, via, out=repaired)
+    np.fill_diagonal(repaired, 0.0)
+    return repaired
+
+
+class NonUniformReorganizer:
+    """Work-function reorganization over a fixed pool with measured costs."""
+
+    def __init__(
+        self,
+        layouts: Mapping[str, DataLayout],
+        evaluator: CostEvaluator,
+        alpha: float,
+        initial_layout: str | None = None,
+    ):
+        if len(layouts) < 2:
+            raise ValueError("need at least two layouts in the pool")
+        self.layouts = dict(layouts)
+        self.evaluator = evaluator
+        names = list(self.layouts)
+        raw = movement_cost_matrix(
+            [self.layouts[name] for name in names], evaluator.table, alpha
+        )
+        self.distances = repair_triangle(raw)
+        self.algorithm = WorkFunctionAlgorithm(
+            names, self.distances, initial_state=initial_layout
+        )
+        self.ledger = RunLedger()
+
+    @property
+    def current(self) -> str:
+        """The layout currently holding the data."""
+        return self.algorithm.current
+
+    def observe(self, query: Query) -> MTSDecision:
+        """Service one query and possibly reorganize (work-function rule)."""
+        costs = {
+            name: self.evaluator.query_cost(layout, query)
+            for name, layout in self.layouts.items()
+        }
+        decision = self.algorithm.observe(costs)
+        self.ledger.record(
+            decision.service_cost,
+            decision.movement_cost,
+            decision.serviced_in,
+            decision.switched,
+        )
+        return decision
+
+    def run(self, stream) -> RunSummary:
+        """Process a whole stream; returns the summary."""
+        for query in stream:
+            self.observe(query)
+        return self.ledger.summary()

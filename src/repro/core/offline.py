@@ -1,0 +1,117 @@
+"""Exact offline-optimal solver for (dynamic) uniform metrical task systems.
+
+The competitive ratio compares the online algorithm against the optimal
+offline schedule — an algorithm shown the entire task sequence in advance
+and free to switch states at any time (§II-B).  For uniform movement costs
+the optimum is a simple dynamic program over states × time:
+
+    opt[t][s] = c[t][s] + min(opt[t-1][s], min_s' opt[t-1][s'] + alpha)
+
+The oblivious-adversary model for D-UMTS requires the offline player to use
+the same state set available to the online player at each instant (§III-A);
+the ``availability`` mask encodes exactly that, making this solver the
+ground-truth OPT for both UMTS and D-UMTS instances.  It runs in O(T·n) and
+backtracks a witness schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OfflineSolution", "solve_offline"]
+
+
+@dataclass(frozen=True)
+class OfflineSolution:
+    """Optimal offline cost and a witness schedule attaining it."""
+
+    total_cost: float
+    schedule: tuple[int, ...]
+    service_cost: float
+    movement_cost: float
+    num_switches: int
+
+
+def solve_offline(
+    costs: np.ndarray,
+    alpha: float,
+    availability: np.ndarray | None = None,
+    initial_state: int | None = None,
+) -> OfflineSolution:
+    """Solve the offline UMTS instance exactly.
+
+    Parameters
+    ----------
+    costs:
+        ``(T, n)`` array; ``costs[t, s]`` is the cost of servicing task ``t``
+        in state ``s``.
+    alpha:
+        Uniform movement cost between distinct states.
+    availability:
+        Optional ``(T, n)`` boolean mask; ``False`` means state ``s`` does
+        not exist at time ``t`` (D-UMTS).  Every row must have at least one
+        available state.
+    initial_state:
+        If given, the schedule must start there (moving away before the first
+        task costs ``alpha``); otherwise the initial state is free.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.ndim != 2:
+        raise ValueError(f"costs must be 2-D (T, n), got shape {costs.shape}")
+    num_tasks, num_states = costs.shape
+    if num_tasks == 0:
+        return OfflineSolution(0.0, (), 0.0, 0.0, 0)
+    if availability is None:
+        availability = np.ones_like(costs, dtype=bool)
+    else:
+        availability = np.asarray(availability, dtype=bool)
+        if availability.shape != costs.shape:
+            raise ValueError("availability must match costs shape")
+        if not availability.any(axis=1).all():
+            raise ValueError("every task needs at least one available state")
+
+    infinity = np.inf
+    # moved_from[t, s] == -1 means "stayed"; otherwise the predecessor state.
+    moved_from = np.full((num_tasks, num_states), -1, dtype=np.int64)
+
+    opt = np.where(availability[0], costs[0], infinity)
+    if initial_state is not None:
+        if not 0 <= initial_state < num_states:
+            raise ValueError(f"initial_state {initial_state} out of range")
+        penalty = np.full(num_states, alpha)
+        penalty[initial_state] = 0.0
+        opt = opt + penalty
+
+    for t in range(1, num_tasks):
+        best_prev = int(np.argmin(opt))
+        move_in = opt[best_prev] + alpha
+        stay = opt
+        new_opt = np.where(stay <= move_in, stay, move_in)
+        moved_from[t] = np.where(stay <= move_in, -1, best_prev)
+        new_opt = np.where(availability[t], new_opt + costs[t], infinity)
+        opt = new_opt
+
+    final_state = int(np.argmin(opt))
+    total = float(opt[final_state])
+
+    # Backtrack the witness schedule.
+    schedule = np.empty(num_tasks, dtype=np.int64)
+    state = final_state
+    for t in range(num_tasks - 1, -1, -1):
+        schedule[t] = state
+        predecessor = moved_from[t, state]
+        if t > 0 and predecessor != -1:
+            state = int(predecessor)
+
+    service = float(costs[np.arange(num_tasks), schedule].sum())
+    switches = int(np.count_nonzero(np.diff(schedule)))
+    movement = total - service
+    return OfflineSolution(
+        total_cost=total,
+        schedule=tuple(int(s) for s in schedule),
+        service_cost=service,
+        movement_cost=movement,
+        num_switches=switches,
+    )

@@ -1,0 +1,204 @@
+"""OREO: the Online Re-organization Optimizer (the paper's Figure 1).
+
+:class:`OREO` glues the two framework components together:
+
+* the :class:`~repro.core.layout_manager.LayoutManager` produces the dynamic
+  state space — generating candidate layouts from recent queries and issuing
+  state add/remove operations;
+* the :class:`~repro.core.reorganizer.Reorganizer` consumes it — running
+  D-UMTS to decide, query by query, whether to keep the current layout or
+  reorganize, with the worst-case guarantee of Theorem IV.1.
+
+Per query, OREO (1) estimates ``c(s, q)`` for every layout in the state
+space from partition metadata, (2) lets the reorganizer decide, (3) charges
+the user the cost of servicing on the *effective* layout (which lags the
+decision by the background-reorg delay Δ), and (4) forwards any layout
+additions/removals from the manager into the reorganizer's state space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..layouts.base import DataLayout, LayoutBuilder
+from ..queries.query import Query
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from ..storage.table import Table
+from .cost_model import CostEvaluator, CostModel
+from .ledger import RunLedger, RunSummary
+from .layout_manager import LayoutManager, LayoutManagerConfig
+from .reorganizer import Reorganizer, ReorganizerConfig
+
+__all__ = ["OreoConfig", "StepResult", "OREO"]
+
+
+@dataclass(frozen=True)
+class OreoConfig:
+    """All OREO tunables in one place; defaults follow the paper (§VI-A3)."""
+
+    alpha: float = 80.0
+    epsilon: float = 0.08
+    gamma: float = 1.0
+    window_size: int = 200
+    generation_interval: int = 200
+    admission_sample_size: int = 64
+    num_partitions: int = 32
+    data_sample_fraction: float = 0.01
+    sampler_mode: str = "sw"
+    delay: int = 0
+    stay_on_reset: bool = True
+    add_policy: str = "defer"
+    max_states: int | None = None
+    prune_interval: int | None = None
+    time_constant: float = 2000.0
+
+    def manager_config(self) -> LayoutManagerConfig:
+        """Project the LAYOUT MANAGER's slice of the configuration."""
+        return LayoutManagerConfig(
+            epsilon=self.epsilon,
+            window_size=self.window_size,
+            generation_interval=self.generation_interval,
+            admission_sample_size=self.admission_sample_size,
+            num_partitions=self.num_partitions,
+            data_sample_fraction=self.data_sample_fraction,
+            sampler_mode=self.sampler_mode,
+            max_states=self.max_states,
+            time_constant=self.time_constant,
+            prune_interval=self.prune_interval,
+        )
+
+    def reorganizer_config(self) -> ReorganizerConfig:
+        """Project the REORGANIZER's slice of the configuration."""
+        return ReorganizerConfig(
+            alpha=self.alpha,
+            gamma=self.gamma,
+            delay=self.delay,
+            stay_on_reset=self.stay_on_reset,
+            add_policy=self.add_policy,
+        )
+
+    def cost_model(self) -> CostModel:
+        """The scalar cost model (α)."""
+        return CostModel(alpha=self.alpha)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Everything that happened while OREO processed one query."""
+
+    query: Query
+    effective_layout: str
+    logical_layout: str
+    service_cost: float
+    movement_cost: float
+    switched: bool
+    phase_reset: bool
+    admitted: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+
+    @property
+    def total_cost(self) -> float:
+        """Service plus movement cost for this step."""
+        return self.service_cost + self.movement_cost
+
+
+class OREO:
+    """Online reorganization controller with worst-case guarantees."""
+
+    def __init__(
+        self,
+        table: Table,
+        builder: LayoutBuilder,
+        initial_layout: DataLayout,
+        config: OreoConfig | None = None,
+        rng: np.random.Generator | None = None,
+        evaluator: CostEvaluator | None = None,
+    ):
+        self.config = config or OreoConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.evaluator = evaluator or CostEvaluator(table)
+        self.manager = LayoutManager(
+            table, builder, self.evaluator, self.config.manager_config(), self.rng
+        )
+        self.manager.register(initial_layout)
+        self.reorganizer = Reorganizer(
+            initial_layout.layout_id, self.config.reorganizer_config(), self.rng
+        )
+        self.ledger = RunLedger()
+        self.state_space_sizes: list[int] = []
+        self._phase_queries: list[Query] = []
+
+    # ------------------------------------------------------------------ stream
+    def process(self, query: Query) -> StepResult:
+        """Process one query; returns the step's full accounting."""
+        costs = {
+            layout_id: self.evaluator.query_cost(self.manager.get(layout_id), query)
+            for layout_id in self.reorganizer.layout_ids()
+        }
+        step = self.reorganizer.observe(costs)
+        if step.decision.phase_reset:
+            self._phase_queries.clear()
+        self._phase_queries.append(query)
+
+        effective = step.effective_layout
+        service_cost = self.evaluator.query_cost(self.manager.get(effective), query)
+        movement_cost = step.decision.movement_cost
+
+        protected = {
+            self.reorganizer.logical,
+            self.reorganizer.effective,
+        }
+        if self.reorganizer.pending_target is not None:
+            protected.add(self.reorganizer.pending_target)
+        events = self.manager.observe(query, protected=sorted(protected))
+        for layout in events.added:
+            self.reorganizer.add_layout(
+                layout.layout_id, replay_costs=self._replay_costs(layout)
+            )
+        for layout_id in events.removed:
+            movement_cost += self.reorganizer.remove_layout(layout_id)
+            self.evaluator.forget(layout_id)
+
+        switched = step.reorg_started is not None
+        self.ledger.record(service_cost, movement_cost, effective, switched)
+        self.state_space_sizes.append(self.manager.num_states)
+        return StepResult(
+            query=query,
+            effective_layout=effective,
+            logical_layout=step.logical_layout,
+            service_cost=service_cost,
+            movement_cost=movement_cost,
+            switched=switched,
+            phase_reset=step.decision.phase_reset,
+            admitted=tuple(layout.layout_id for layout in events.added),
+            removed=tuple(events.removed),
+        )
+
+    def run(self, stream: Iterable[Query]) -> RunSummary:
+        """Process an entire query stream and return the final summary."""
+        for query in stream:
+            self.process(query)
+        return self.ledger.summary()
+
+    # ---------------------------------------------------------------- internals
+    def _replay_costs(self, layout: DataLayout) -> list[float] | None:
+        if self.config.add_policy != "replay":
+            return None
+        return [self.evaluator.query_cost(layout, q) for q in self._phase_queries]
+
+    # ------------------------------------------------------------------- views
+    @property
+    def current_layout(self) -> DataLayout:
+        """The layout queries are currently serviced on."""
+        return self.manager.get(self.reorganizer.effective)
+
+    def average_state_space_size(self) -> float:
+        """Mean state-space size over the processed stream (Figure 6 metric)."""
+        if not self.state_space_sizes:
+            return float(self.manager.num_states)
+        return float(np.mean(self.state_space_sizes))

@@ -1,0 +1,168 @@
+"""The REORGANIZER: D-UMTS decisions plus background-reorganization delay.
+
+The REORGANIZER (§III-B, §IV) consumes the dynamic state space: it watches
+each query's per-layout cost vector and decides — via
+:class:`~repro.core.dumts.DynamicUMTS` — whether to keep the current layout
+or reorganize into another.
+
+Reorganization runs in the background on a copy of the data (§III-B), so
+after a switch *decision* the system keeps servicing queries on the old
+layout for ``delay`` more queries (§VI-D.5's Δ parameter).  Matching the
+paper's accounting: the reorganization cost α is charged the moment the
+decision is made, while the query-cost savings only materialize once the
+swap completes.  The MTS's *logical* state advances immediately (counters
+are about decisions); the *effective* layout — the one queries actually
+run on — lags behind.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dumts import DynamicUMTS
+from .mts import MTSDecision
+from .transition import GammaWeightedChooser, TransitionChooser
+
+__all__ = ["ReorganizerConfig", "ReorgStep", "Reorganizer"]
+
+
+@dataclass(frozen=True)
+class ReorganizerConfig:
+    """Tunables of the REORGANIZER, with the paper's defaults."""
+
+    alpha: float = 80.0
+    gamma: float = 1.0
+    delay: int = 0
+    stay_on_reset: bool = True
+    add_policy: str = "defer"
+
+    def __post_init__(self):
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReorgStep:
+    """Outcome of one query at the reorganizer level."""
+
+    decision: MTSDecision
+    effective_layout: str
+    logical_layout: str
+    reorg_started: str | None = None
+    reorg_completed: str | None = None
+
+    @property
+    def movement_cost(self) -> float:
+        """Reorganization cost charged at this step."""
+        return self.decision.movement_cost
+
+
+class Reorganizer:
+    """Wraps :class:`DynamicUMTS` with delayed layout swaps."""
+
+    def __init__(
+        self,
+        initial_layout: str,
+        config: ReorganizerConfig,
+        rng: np.random.Generator,
+        chooser: TransitionChooser | None = None,
+    ):
+        self.config = config
+        self.algorithm = DynamicUMTS(
+            states=[initial_layout],
+            alpha=config.alpha,
+            rng=rng,
+            initial_state=initial_layout,
+            stay_on_reset=config.stay_on_reset,
+            chooser=chooser or GammaWeightedChooser(config.gamma),
+            add_policy=config.add_policy,
+        )
+        self.effective = initial_layout
+        self._pending_target: str | None = None
+        self._pending_remaining = 0
+        self.forced_switches = 0
+
+    # --------------------------------------------------------- state management
+    def add_layout(self, layout_id: str, replay_costs=None) -> None:
+        """Admit a new layout into the dynamic state space."""
+        self.algorithm.add_state(layout_id, replay_costs=replay_costs)
+
+    def remove_layout(self, layout_id: str) -> float:
+        """Remove a layout; returns any forced-transition cost incurred.
+
+        If the algorithm was *in* the removed state, Algorithm 4 jumps to a
+        random live state — that forced transition is a real reorganization
+        and costs α.
+        """
+        forced_target = self.algorithm.remove_state(layout_id)
+        if forced_target is None:
+            return 0.0
+        self.forced_switches += 1
+        self._start_pending(forced_target)
+        if self.config.delay == 0:
+            self._tick_pending()
+        return self.config.alpha
+
+    def layout_ids(self) -> list[str]:
+        """Layouts currently in the state space."""
+        return self.algorithm.state_names
+
+    @property
+    def logical(self) -> str:
+        """The MTS's current state (decision-level layout)."""
+        return self.algorithm.current
+
+    @property
+    def pending_target(self) -> str | None:
+        """Target layout of an in-flight background reorganization, if any."""
+        return self._pending_target
+
+    # ------------------------------------------------------------------ queries
+    def observe(self, costs: Mapping[str, float]) -> ReorgStep:
+        """Process one query's per-layout cost vector.
+
+        The query is serviced on the effective layout as of its arrival:
+        queries are serviced *before* any switch they trigger (service-then-
+        move MTS semantics), so even with ``delay=0`` the triggering query
+        still runs on the old layout and the first post-decision query runs
+        on the new one.
+        """
+        completed = self._tick_pending()
+        serviced_on = self.effective
+        decision = self.algorithm.observe(costs)
+        started = None
+        if decision.switched:
+            self._start_pending(decision.switched_to)
+            started = decision.switched_to
+            if self.config.delay == 0:
+                completed = self._tick_pending() or completed
+        return ReorgStep(
+            decision=decision,
+            effective_layout=serviced_on,
+            logical_layout=self.algorithm.current,
+            reorg_started=started,
+            reorg_completed=completed,
+        )
+
+    # ----------------------------------------------------------------- internal
+    def _start_pending(self, target: str) -> None:
+        self._pending_target = target
+        # The pending swap is examined at the start of each subsequent
+        # observe(): `delay` queries decrement the countdown (servicing on
+        # the outdated layout), and the swap lands before query delay+1.
+        self._pending_remaining = self.config.delay
+
+    def _tick_pending(self) -> str | None:
+        """Advance any in-flight reorganization; return target if it completed."""
+        if self._pending_target is None:
+            return None
+        if self._pending_remaining > 0:
+            self._pending_remaining -= 1
+            return None
+        target = self._pending_target
+        self.effective = target
+        self._pending_target = None
+        return target

@@ -1,0 +1,86 @@
+"""Transition choosers: how the MTS algorithms pick the next state.
+
+The classic algorithm of Borodin, Linial and Saks switches to a uniformly
+random non-full state.  §IV-C of the paper generalizes this with a predictor
+``p(s, S_A)`` that induces a transition distribution; Theorem IV.2 shows the
+competitive ratio improves when the distribution is biased toward the states
+that will prove most efficient in the phase.
+
+The concrete predictor used in the paper weights each state by the average
+fraction of data it skipped during the *previous* phase and samples
+proportionally to ``w ** gamma`` (γ=0 recovers the uniform rule; the paper's
+default is γ=1; Table II sweeps γ ∈ {0, 1, 2, 3}).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["TransitionChooser", "UniformChooser", "GammaWeightedChooser"]
+
+#: Floor applied to weights so that no state ever becomes unreachable, which
+#: would break the randomized analysis (the adversary could then force a
+#: deterministic trajectory).
+_WEIGHT_FLOOR = 1e-6
+
+
+class TransitionChooser(ABC):
+    """Strategy for picking the next state among non-full candidates."""
+
+    @abstractmethod
+    def choose(
+        self,
+        candidates: Sequence[str],
+        weights: Mapping[str, float],
+        rng: np.random.Generator,
+    ) -> str:
+        """Pick one of ``candidates``.
+
+        ``weights`` maps a (possibly strict) subset of the candidates to
+        their performance score from the previous phase, where higher means
+        a better-performing (more data-skipping) state.  Implementations must
+        handle candidates without a weight entry.
+        """
+
+
+class UniformChooser(TransitionChooser):
+    """The original BLS rule: uniform over non-full states."""
+
+    def choose(self, candidates, weights, rng):
+        """Pick uniformly at random, ignoring any performance weights."""
+        if not candidates:
+            raise ValueError("no candidate states to choose from")
+        return candidates[int(rng.integers(len(candidates)))]
+
+
+class GammaWeightedChooser(TransitionChooser):
+    """Sample state ``s`` with probability proportional to ``w_s ** gamma``.
+
+    States missing from ``weights`` (e.g. freshly admitted layouts with no
+    phase history) receive the median weight of the known candidates, per
+    §IV-C's guidance for states added mid-stream.
+    """
+
+    def __init__(self, gamma: float = 1.0):
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        self.gamma = gamma
+
+    def choose(self, candidates, weights, rng):
+        """Sample proportionally to ``weight ** gamma`` (median for unknowns)."""
+        if not candidates:
+            raise ValueError("no candidate states to choose from")
+        if self.gamma == 0.0:
+            return candidates[int(rng.integers(len(candidates)))]
+        known = [weights[s] for s in candidates if s in weights]
+        fallback = float(np.median(known)) if known else 1.0
+        raw = np.array(
+            [max(weights.get(s, fallback), _WEIGHT_FLOOR) for s in candidates],
+            dtype=np.float64,
+        )
+        scores = raw**self.gamma
+        probabilities = scores / scores.sum()
+        return candidates[int(rng.choice(len(candidates), p=probabilities))]

@@ -1,0 +1,34 @@
+"""Experiment harness, physical replay and per-figure drivers."""
+
+from .figures import (
+    figure3_end_to_end,
+    figure4_gap_to_optimal,
+    figure5_alpha_sweep,
+    figure6_epsilon_sweep,
+    load_bundle,
+    measure_alpha,
+    table1_alpha_measurement,
+    table2_ablations,
+)
+from .harness import ExperimentHarness, HarnessConfig, MethodResult, make_builder
+from .physical import PhysicalRunResult, replay_physical
+from .reporting import format_rows, format_table
+
+__all__ = [
+    "ExperimentHarness",
+    "HarnessConfig",
+    "MethodResult",
+    "PhysicalRunResult",
+    "figure3_end_to_end",
+    "figure4_gap_to_optimal",
+    "figure5_alpha_sweep",
+    "figure6_epsilon_sweep",
+    "format_rows",
+    "format_table",
+    "load_bundle",
+    "make_builder",
+    "measure_alpha",
+    "replay_physical",
+    "table1_alpha_measurement",
+    "table2_ablations",
+]

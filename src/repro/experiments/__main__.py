@@ -1,0 +1,121 @@
+"""Command-line driver: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments fig5                 # bench-scale defaults
+    python -m repro.experiments fig4 --num-queries 12000 --num-rows 200000
+    python -m repro.experiments table1 --sizes 16 64 256
+    python -m repro.experiments all --out results/
+
+Every experiment prints the reproduced rows as an aligned table; ``--out``
+additionally writes one ``<experiment>.txt`` per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .figures import (
+    figure3_end_to_end,
+    figure4_gap_to_optimal,
+    figure5_alpha_sweep,
+    figure6_epsilon_sweep,
+    table1_alpha_measurement,
+    table2_ablations,
+)
+from .reporting import format_rows
+
+EXPERIMENTS = ("fig3", "fig4", "fig5", "fig6", "table1", "table2")
+
+TITLES = {
+    "fig3": "Figure 3: end-to-end query + reorg time (seconds, this engine)",
+    "fig4": "Figure 4: total cost and gap to optimal (logical costs)",
+    "fig5": "Figure 5: reorganization cost sweep (α)",
+    "fig6": "Figure 6: admission threshold sweep (ε)",
+    "table1": "Table I: relative cost of reorganization over query (α)",
+    "table2": "Table II: γ / SW-vs-RS / Δ ablations (logical costs)",
+}
+
+#: Columns too bulky for terminal output.
+DROP = {"fig4": ("trajectory", "segment_boundaries")}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the OREO paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--num-rows", type=int, default=60_000, help="table rows")
+    parser.add_argument("--num-queries", type=int, default=3_000, help="stream length")
+    parser.add_argument(
+        "--num-segments", type=int, default=12, help="template segments in the stream"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master random seed")
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="table1 only: target file sizes in MB",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory to write <experiment>.txt files"
+    )
+    return parser
+
+
+def run_experiment(name: str, args: argparse.Namespace) -> list[dict]:
+    """Dispatch one experiment name to its driver with CLI-provided scales."""
+    scale = dict(
+        num_rows=args.num_rows,
+        num_queries=args.num_queries,
+        num_segments=args.num_segments,
+        seed=args.seed,
+    )
+    if name == "fig3":
+        return figure3_end_to_end(
+            num_rows=args.num_rows,
+            num_queries=min(args.num_queries, 2_000),
+            num_segments=args.num_segments,
+            seed=args.seed,
+        )
+    if name == "fig4":
+        return figure4_gap_to_optimal(**scale)
+    if name == "fig5":
+        return figure5_alpha_sweep(**scale)
+    if name == "fig6":
+        return figure6_epsilon_sweep(**scale)
+    if name == "table1":
+        sizes = tuple(args.sizes) if args.sizes else (4, 16, 64)
+        return table1_alpha_measurement(target_megabytes=sizes, seed=args.seed)
+    if name == "table2":
+        return table2_ablations(**scale)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run the requested experiment(s), print/save the tables."""
+    args = build_parser().parse_args(argv)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        rows = run_experiment(name, args)
+        drop = DROP.get(name, ())
+        slim = [{k: v for k, v in row.items() if k not in drop} for row in rows]
+        text = format_rows(TITLES[name], slim)
+        print(text)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

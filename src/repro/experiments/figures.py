@@ -1,0 +1,416 @@
+"""Per-figure/per-table experiment drivers.
+
+One function per table/figure of the paper's evaluation section.  Each
+driver returns plain rows (lists of dicts) so benchmarks, tests, examples
+and EXPERIMENTS.md generation all consume the same data.
+
+Scales default to laptop-friendly values (rows ~10⁴–10⁵, queries ~10³) —
+the paper runs SF100 TPC-H and 30 000 queries on a 64 GB VM.  Every driver
+takes explicit size parameters, so paper-scale runs are a matter of passing
+bigger numbers; the *shape* of each result (who wins, by what factor, where
+crossovers fall) is what these drivers reproduce.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..layouts.range_layout import RangeLayoutBuilder
+from ..layouts.zorder import ZOrderLayoutBuilder
+from ..storage.executor import QueryExecutor
+from ..storage.partition_store import PartitionStore
+from ..storage.reorg import reorganize
+from ..workloads import telemetry, tpcds, tpch
+from ..workloads.dataset import DatasetBundle
+from .harness import ExperimentHarness, HarnessConfig, MethodResult, make_builder
+from .physical import replay_physical
+
+__all__ = [
+    "load_bundle",
+    "measure_alpha",
+    "figure3_end_to_end",
+    "figure4_gap_to_optimal",
+    "figure5_alpha_sweep",
+    "figure6_epsilon_sweep",
+    "table1_alpha_measurement",
+    "table2_ablations",
+]
+
+_DATASETS = {"tpch": tpch, "tpcds": tpcds, "telemetry": telemetry}
+
+
+def load_bundle(name: str, num_rows: int, seed: int = 0) -> DatasetBundle:
+    """Load one of the three evaluation datasets at the given scale."""
+    if name not in _DATASETS:
+        raise ValueError(f"unknown dataset {name!r}; choose from {sorted(_DATASETS)}")
+    rng = np.random.default_rng(seed)
+    return _DATASETS[name].load(num_rows, rng)
+
+
+def _bench_config(num_queries: int, **overrides: Any) -> HarnessConfig:
+    """Paper parameters, rescaled to the experiment's query volume.
+
+    The paper uses window=200 over 30 000 queries; smaller streams scale the
+    window/interval proportionally so the layout manager still generates a
+    comparable number of candidates per template segment.
+    """
+    window = max(50, min(200, num_queries // 15))
+    defaults = {
+        "alpha": 80.0,
+        "window_size": window,
+        "generation_interval": window,
+        "num_partitions": 24,
+        "data_sample_fraction": 0.02,
+    }
+    defaults.update(overrides)
+    return HarnessConfig(**defaults)
+
+
+# --------------------------------------------------------------------- Figure 3
+def measure_alpha(
+    dataset: str = "tpch",
+    target_megabytes: int = 4,
+    seed: int = 0,
+) -> float:
+    """Measure α = reorg/scan on *this* storage engine (paper methodology).
+
+    §VI-A3: "the relative reorganization cost α is set to 80 based on
+    measurements obtained on our system setup."  Our setup is numpy+zlib
+    rather than Spark+Parquet, so the measured ratio differs (≈10× instead
+    of 60–100×); what matters for Figure 3's shape is that the *decision*
+    α matches the engine the schedule is replayed on.
+    """
+    rows = table1_alpha_measurement(
+        target_megabytes=(target_megabytes,), dataset=dataset, repeats=1, seed=seed
+    )
+    return float(rows[0]["alpha"])
+
+
+def figure3_end_to_end(
+    datasets: Sequence[str] = ("tpch", "tpcds", "telemetry"),
+    builders: Sequence[str] = ("qdtree", "zorder"),
+    methods: Sequence[str] = ("static", "oreo", "greedy", "regret"),
+    num_rows: int = 60_000,
+    num_queries: int = 1_200,
+    num_segments: int = 8,
+    sample_stride: int = 8,
+    store_root: Path | str | None = None,
+    seed: int = 0,
+    alpha: float | None = None,
+    **config_overrides: Any,
+) -> list[dict[str, Any]]:
+    """Figure 3: end-to-end query + reorganization wall-clock per method.
+
+    Returns one row per (dataset, builder, method) with physical
+    ``query_seconds`` / ``reorg_seconds`` / ``total_seconds`` measured on
+    the on-disk storage engine, plus the logical costs for reference.
+
+    ``alpha=None`` measures the engine's actual reorg/scan ratio first and
+    uses it for the online methods' decisions, mirroring how the paper
+    calibrated α=80 to its own Spark setup.
+    """
+    if alpha is None:
+        alpha = measure_alpha(datasets[0] if datasets else "tpch", seed=seed)
+    rows: list[dict[str, Any]] = []
+    config = _bench_config(num_queries, alpha=float(alpha), **config_overrides)
+    with tempfile.TemporaryDirectory() as fallback_root:
+        root = Path(store_root) if store_root is not None else Path(fallback_root)
+        for dataset_name in datasets:
+            bundle = load_bundle(dataset_name, num_rows, seed)
+            stream = bundle.workload(
+                num_queries, num_segments, np.random.default_rng(seed + 17)
+            )
+            for builder_name in builders:
+                harness = ExperimentHarness(
+                    bundle, stream, make_builder(builder_name, bundle), config
+                )
+                for method in methods:
+                    result = harness.run(method)
+                    physical = replay_physical(
+                        bundle.table,
+                        stream,
+                        result,
+                        root / f"{dataset_name}-{builder_name}-{method}",
+                        sample_stride=sample_stride,
+                    )
+                    rows.append(
+                        {
+                            "dataset": dataset_name,
+                            "builder": builder_name,
+                            "method": method,
+                            "alpha": float(alpha),
+                            "query_seconds": physical.query_seconds,
+                            "reorg_seconds": physical.reorg_seconds,
+                            "total_seconds": physical.total_seconds,
+                            "num_switches": physical.num_switches,
+                            "logical_query_cost": result.summary.total_query_cost,
+                            "logical_reorg_cost": result.summary.total_reorg_cost,
+                        }
+                    )
+    return rows
+
+
+# --------------------------------------------------------------------- Figure 4
+def figure4_gap_to_optimal(
+    datasets: Sequence[str] = ("tpch", "tpcds"),
+    num_rows: int = 60_000,
+    num_queries: int = 3_000,
+    num_segments: int = 12,
+    seed: int = 0,
+    **config_overrides: Any,
+) -> list[dict[str, Any]]:
+    """Figure 4: cumulative total cost of OREO vs oracles vs Static.
+
+    Returns one row per (dataset, method) with the final total cost, the
+    switch count, the cumulative-cost trajectory (for plotting) and the
+    ratio to Offline Optimal — the paper reports OREO at 1.74×/1.44× the
+    offline optimal's query cost on TPC-H/TPC-DS.
+    """
+    methods = ("offline-optimal", "mts-optimal", "oreo", "static")
+    rows: list[dict[str, Any]] = []
+    config = _bench_config(num_queries, **config_overrides)
+    for dataset_name in datasets:
+        bundle = load_bundle(dataset_name, num_rows, seed)
+        stream = bundle.workload(
+            num_queries, num_segments, np.random.default_rng(seed + 17)
+        )
+        harness = ExperimentHarness(bundle, stream, make_builder("qdtree", bundle), config)
+        results = {method: harness.run(method) for method in methods}
+        offline_query_cost = results["offline-optimal"].summary.total_query_cost
+        for method, result in results.items():
+            summary = result.summary
+            rows.append(
+                {
+                    "dataset": dataset_name,
+                    "method": method,
+                    "total_cost": summary.total_cost,
+                    "query_cost": summary.total_query_cost,
+                    "reorg_cost": summary.total_reorg_cost,
+                    "num_switches": summary.num_switches,
+                    "query_cost_vs_offline": (
+                        summary.total_query_cost / offline_query_cost
+                        if offline_query_cost > 0
+                        else float("inf")
+                    ),
+                    "trajectory": result.ledger.cumulative_costs(),
+                    "segment_boundaries": stream.segment_boundaries(),
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------- Figure 5
+def figure5_alpha_sweep(
+    alphas: Sequence[float] = (10, 50, 100, 150, 200, 250, 300),
+    dataset: str = "tpch",
+    num_rows: int = 60_000,
+    num_queries: int = 3_000,
+    num_segments: int = 12,
+    seed: int = 0,
+    **config_overrides: Any,
+) -> list[dict[str, Any]]:
+    """Figure 5: effect of the relative reorganization cost α on OREO.
+
+    One row per α with query cost, reorg cost and the number of layout
+    switches; the paper observes switches falling from ~35 (α=10) to ~18
+    (α=300) with non-monotone total-cost steps.
+    """
+    bundle = load_bundle(dataset, num_rows, seed)
+    stream = bundle.workload(num_queries, num_segments, np.random.default_rng(seed + 17))
+    rows: list[dict[str, Any]] = []
+    for alpha in alphas:
+        config = _bench_config(num_queries, alpha=float(alpha), **config_overrides)
+        harness = ExperimentHarness(bundle, stream, make_builder("qdtree", bundle), config)
+        result = harness.run_oreo()
+        rows.append(
+            {
+                "alpha": float(alpha),
+                "query_cost": result.summary.total_query_cost,
+                "reorg_cost": result.summary.total_reorg_cost,
+                "total_cost": result.summary.total_cost,
+                "num_switches": result.summary.num_switches,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- Figure 6
+def figure6_epsilon_sweep(
+    epsilons: Sequence[float] = (0.0, 0.02, 0.04, 0.08, 0.16, 0.24, 0.32),
+    dataset: str = "tpch",
+    num_rows: int = 60_000,
+    num_queries: int = 3_000,
+    num_segments: int = 12,
+    seed: int = 0,
+    **config_overrides: Any,
+) -> list[dict[str, Any]]:
+    """Figure 6: effect of the admission distance threshold ε.
+
+    One row per ε with the average dynamic-state-space size and the run's
+    costs; the paper finds the state space shrinking with ε, query cost
+    rising slightly, and overall performance insensitive to ε.
+    """
+    bundle = load_bundle(dataset, num_rows, seed)
+    stream = bundle.workload(num_queries, num_segments, np.random.default_rng(seed + 17))
+    rows: list[dict[str, Any]] = []
+    for epsilon in epsilons:
+        config = _bench_config(num_queries, epsilon=float(epsilon), **config_overrides)
+        harness = ExperimentHarness(bundle, stream, make_builder("qdtree", bundle), config)
+        result = harness.run_oreo()
+        rows.append(
+            {
+                "epsilon": float(epsilon),
+                "avg_state_space": result.extras["avg_state_space"],
+                "final_state_space": result.extras["final_state_space"],
+                "query_cost": result.summary.total_query_cost,
+                "reorg_cost": result.summary.total_reorg_cost,
+                "total_cost": result.summary.total_cost,
+                "num_switches": result.summary.num_switches,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- Table I
+def table1_alpha_measurement(
+    target_megabytes: Sequence[int] = (4, 16, 64),
+    dataset: str = "tpch",
+    num_partitions: int = 8,
+    repeats: int = 2,
+    store_root: Path | str | None = None,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Table I: measure α = reorg time / full-scan time across file sizes.
+
+    The paper measures 16 MB–4 GB files and finds α in the 60×–100× band on
+    Spark+Parquet.  Our engine is numpy+zlib, so absolute ratios differ, but
+    the structural result — reorganization costs one to two orders of
+    magnitude more than a scan, roughly stable across file sizes — is what
+    this driver demonstrates.  ``target_megabytes`` refers to the
+    *uncompressed* in-memory table size.
+    """
+    rows: list[dict[str, Any]] = []
+    module = _DATASETS[dataset]
+    with tempfile.TemporaryDirectory() as fallback_root:
+        root = Path(store_root) if store_root is not None else Path(fallback_root)
+        for target_mb in target_megabytes:
+            rng = np.random.default_rng(seed)
+            probe = module.make_table(1024, rng)
+            bytes_per_row = probe.memory_bytes() / probe.num_rows
+            num_rows = max(1024, int(target_mb * 2**20 / bytes_per_row))
+            table = module.make_table(num_rows, np.random.default_rng(seed + 1))
+            bundle_sort = module.load(1024, np.random.default_rng(seed)).default_sort_column
+
+            store = PartitionStore(root / f"table1-{target_mb}mb")
+            executor = QueryExecutor(store)
+            build_rng = np.random.default_rng(seed + 2)
+            sample = table.sample(min(1.0, 20_000 / num_rows), build_rng)
+            source_layout = RangeLayoutBuilder(bundle_sort).build(
+                sample, [], num_partitions, build_rng
+            )
+            numeric = table.schema.numeric_names()[:3]
+            target_layout_builder = ZOrderLayoutBuilder(columns=numeric)
+
+            stored = store.materialize(table, source_layout)
+            scan_seconds: list[float] = []
+            reorg_seconds: list[float] = []
+            for repeat in range(repeats):
+                scan_seconds.append(executor.full_scan(stored).elapsed_seconds)
+                target_layout = target_layout_builder.build(
+                    sample, [], num_partitions, build_rng
+                )
+                stored, reorg_result = reorganize(
+                    store, stored, target_layout, table.schema
+                )
+                reorg_seconds.append(reorg_result.elapsed_seconds)
+            store.delete_layout(stored)
+
+            query_s = float(np.mean(scan_seconds))
+            reorg_s = float(np.mean(reorg_seconds))
+            rows.append(
+                {
+                    "file_mb": target_mb,
+                    "num_rows": num_rows,
+                    "query_seconds": query_s,
+                    "query_std": float(np.std(scan_seconds)),
+                    "reorg_seconds": reorg_s,
+                    "reorg_std": float(np.std(reorg_seconds)),
+                    "alpha": reorg_s / query_s if query_s > 0 else float("inf"),
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------- Table II
+def table2_ablations(
+    datasets: Sequence[str] = ("tpch", "tpcds", "telemetry"),
+    gammas: Sequence[float] = (1.0, 0.0, 2.0, 3.0),
+    sampler_modes: Sequence[str] = ("sw", "rs", "sw+rs"),
+    delays_as_alpha_fraction: Sequence[float] = (0.0, 0.5, 1.0),
+    num_rows: int = 60_000,
+    num_queries: int = 3_000,
+    num_segments: int = 12,
+    seed: int = 0,
+    num_runs: int = 3,
+    **config_overrides: Any,
+) -> list[dict[str, Any]]:
+    """Table II: γ, sliding-window-vs-reservoir, and delay Δ ablations.
+
+    One row per (dataset, knob, value) with query and reorg logical costs,
+    averaged over ``num_runs`` seeds — the paper reports three-run averages
+    for all randomized-MTS variants (§VI-A1).  The paper's Δ values
+    {0, 40, 80} correspond to {0, α/2, α} with α=80, hence
+    ``delays_as_alpha_fraction``.
+    """
+    rows: list[dict[str, Any]] = []
+    for dataset_name in datasets:
+        bundle = load_bundle(dataset_name, num_rows, seed)
+        stream = bundle.workload(
+            num_queries, num_segments, np.random.default_rng(seed + 17)
+        )
+        builder = make_builder("qdtree", bundle)
+
+        def run_averaged(**overrides: Any) -> dict[str, float]:
+            merged = dict(config_overrides)
+            merged.update(overrides)
+            summaries = []
+            for run in range(num_runs):
+                config = _bench_config(num_queries, seed=seed + 1000 * run, **merged)
+                harness = ExperimentHarness(bundle, stream, builder, config)
+                summaries.append(harness.run_oreo().summary)
+            return {
+                "query_cost": float(np.mean([s.total_query_cost for s in summaries])),
+                "reorg_cost": float(np.mean([s.total_reorg_cost for s in summaries])),
+                "num_switches": float(np.mean([s.num_switches for s in summaries])),
+            }
+
+        for gamma in gammas:
+            averages = run_averaged(gamma=float(gamma))
+            rows.append(_table2_row(dataset_name, "gamma", f"{gamma:g}", averages))
+        for mode in sampler_modes:
+            averages = run_averaged(sampler_mode=mode)
+            rows.append(_table2_row(dataset_name, "sampler", mode, averages))
+        for fraction in delays_as_alpha_fraction:
+            config = _bench_config(num_queries, **config_overrides)
+            delay = int(round(fraction * config.alpha))
+            averages = run_averaged(delay=delay)
+            rows.append(_table2_row(dataset_name, "delay", str(delay), averages))
+    return rows
+
+
+def _table2_row(
+    dataset: str, knob: str, value: str, averages: dict[str, float]
+) -> dict[str, Any]:
+    return {
+        "dataset": dataset,
+        "knob": knob,
+        "value": value,
+        "query_cost": averages["query_cost"],
+        "reorg_cost": averages["reorg_cost"],
+        "num_switches": averages["num_switches"],
+    }

@@ -1,0 +1,306 @@
+"""Experiment harness: one code path to run any method on any workload.
+
+The harness wires together a :class:`~repro.workloads.dataset.DatasetBundle`,
+a query stream, a layout builder and a reorganization strategy, runs the
+stream in the logical cost model (c(s,q) = fraction of rows accessed,
+movement = α), and returns a :class:`MethodResult` carrying the ledger plus
+everything physical replay needs (the layout object used at every step).
+
+Figures 4–6 and Table II consume these logical results directly; Figure 3
+feeds them into :mod:`repro.experiments.physical` to obtain wall-clock
+measurements on the on-disk storage engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from ..baselines.base import CandidateGenerator
+from ..baselines.greedy import GreedyStrategy
+from ..baselines.oracles import (
+    MTSOptimalStrategy,
+    OfflineOptimalStrategy,
+    precompute_template_layouts,
+)
+from ..baselines.regret import RegretStrategy
+from ..baselines.static import StaticStrategy, build_static_layout
+from ..core.cost_model import CostEvaluator
+from ..core.ledger import RunLedger, RunSummary
+from ..core.oreo import OREO, OreoConfig
+from ..layouts.base import DataLayout, LayoutBuilder
+from ..layouts.qdtree import QdTreeBuilder
+from ..layouts.range_layout import RangeLayoutBuilder
+from ..layouts.zorder import ZOrderLayoutBuilder
+from ..queries.query import QueryStream
+from ..workloads.dataset import DatasetBundle
+
+__all__ = ["HarnessConfig", "MethodResult", "ExperimentHarness", "make_builder"]
+
+#: Methods the harness knows how to run.
+METHODS = ("static", "oreo", "greedy", "regret", "mts-optimal", "offline-optimal")
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Experiment knobs; defaults are the paper's (§VI-A3)."""
+
+    alpha: float = 80.0
+    epsilon: float = 0.08
+    gamma: float = 1.0
+    window_size: int = 200
+    generation_interval: int = 200
+    admission_sample_size: int = 64
+    num_partitions: int = 32
+    data_sample_fraction: float = 0.01
+    sampler_mode: str = "sw"
+    delay: int = 0
+    stay_on_reset: bool = True
+    add_policy: str = "defer"
+    max_states: int | None = None
+    seed: int = 0
+
+    def oreo_config(self) -> OreoConfig:
+        """Project an :class:`OreoConfig` from the harness configuration."""
+        return OreoConfig(
+            alpha=self.alpha,
+            epsilon=self.epsilon,
+            gamma=self.gamma,
+            window_size=self.window_size,
+            generation_interval=self.generation_interval,
+            admission_sample_size=self.admission_sample_size,
+            num_partitions=self.num_partitions,
+            data_sample_fraction=self.data_sample_fraction,
+            sampler_mode=self.sampler_mode,
+            delay=self.delay,
+            stay_on_reset=self.stay_on_reset,
+            add_policy=self.add_policy,
+            max_states=self.max_states,
+        )
+
+    def with_overrides(self, **overrides: Any) -> "HarnessConfig":
+        """A copy of the config with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class MethodResult:
+    """Outcome of running one method over one stream."""
+
+    method: str
+    summary: RunSummary
+    ledger: RunLedger
+    #: every layout the method serviced queries on, keyed by layout id —
+    #: exactly what physical replay needs to materialize the run.
+    layouts: dict[str, DataLayout] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def make_builder(kind: str, bundle: DatasetBundle) -> LayoutBuilder:
+    """Builder factory: the paper's two layout families plus the default.
+
+    ``qdtree`` and ``zorder`` are the two techniques evaluated in §VI;
+    ``range`` is the workload-oblivious arrival-order default.
+    """
+    if kind == "qdtree":
+        return QdTreeBuilder()
+    if kind == "zorder":
+        return ZOrderLayoutBuilder(
+            num_columns=3, default_columns=(bundle.default_sort_column,)
+        )
+    if kind == "range":
+        return RangeLayoutBuilder(bundle.default_sort_column)
+    raise ValueError(f"unknown builder kind {kind!r}")
+
+
+class ExperimentHarness:
+    """Runs paper methods over one dataset bundle and query stream."""
+
+    def __init__(
+        self,
+        bundle: DatasetBundle,
+        stream: QueryStream,
+        builder: LayoutBuilder,
+        config: HarnessConfig | None = None,
+    ):
+        self.bundle = bundle
+        self.stream = stream
+        self.builder = builder
+        self.config = config or HarnessConfig()
+
+    # ------------------------------------------------------------------- setup
+    def _rng(self, salt: int = 0) -> np.random.Generator:
+        return np.random.default_rng(self.config.seed + salt)
+
+    def _evaluator(self) -> CostEvaluator:
+        return CostEvaluator(self.bundle.table)
+
+    def initial_layout(self, rng: np.random.Generator) -> DataLayout:
+        """The workload-oblivious default layout every online method starts on."""
+        sample = self.bundle.table.sample(self.config.data_sample_fraction, rng)
+        return RangeLayoutBuilder(self.bundle.default_sort_column).build(
+            sample, [], self.config.num_partitions, rng
+        )
+
+    def _candidates(self, rng: np.random.Generator) -> CandidateGenerator:
+        return CandidateGenerator(
+            table=self.bundle.table,
+            builder=self.builder,
+            window_size=self.config.window_size,
+            generation_interval=self.config.generation_interval,
+            num_partitions=self.config.num_partitions,
+            data_sample_fraction=self.config.data_sample_fraction,
+            rng=rng,
+        )
+
+    # ----------------------------------------------------------------- methods
+    def run(self, method: str) -> MethodResult:
+        """Run one method by name (see ``METHODS``)."""
+        runners = {
+            "static": self.run_static,
+            "oreo": self.run_oreo,
+            "greedy": self.run_greedy,
+            "regret": self.run_regret,
+            "mts-optimal": self.run_mts_optimal,
+            "offline-optimal": self.run_offline_optimal,
+        }
+        if method not in runners:
+            raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+        return runners[method]()
+
+    def run_static(self) -> MethodResult:
+        """Single layout optimized offline for the whole workload."""
+        rng = self._rng(1)
+        layout = build_static_layout(
+            self.bundle.table,
+            self.builder,
+            list(self.stream),
+            self.config.num_partitions,
+            self.config.data_sample_fraction,
+            rng,
+        )
+        strategy = StaticStrategy(self._evaluator(), layout)
+        summary = strategy.run(self.stream)
+        return MethodResult(
+            method="static",
+            summary=summary,
+            ledger=strategy.ledger,
+            layouts={layout.layout_id: layout},
+        )
+
+    def run_oreo(self) -> MethodResult:
+        """The paper's framework with its dynamic state space."""
+        rng = self._rng(2)
+        initial = self.initial_layout(rng)
+        oreo = OREO(
+            self.bundle.table,
+            self.builder,
+            initial,
+            self.config.oreo_config(),
+            rng,
+            self._evaluator(),
+        )
+        layouts: dict[str, DataLayout] = {initial.layout_id: initial}
+        for query in self.stream:
+            result = oreo.process(query)
+            if result.effective_layout not in layouts:
+                layouts[result.effective_layout] = oreo.manager.get(result.effective_layout)
+        return MethodResult(
+            method="oreo",
+            summary=oreo.ledger.summary(),
+            ledger=oreo.ledger,
+            layouts=layouts,
+            extras={
+                "avg_state_space": oreo.average_state_space_size(),
+                "final_state_space": oreo.manager.num_states,
+                "smax": oreo.reorganizer.algorithm.smax,
+                "phases": oreo.reorganizer.algorithm.phase_index,
+            },
+        )
+
+    def run_greedy(self) -> MethodResult:
+        """Greedy switching without regard for reorganization cost."""
+        rng = self._rng(3)
+        initial = self.initial_layout(rng)
+        strategy = GreedyStrategy(
+            self._evaluator(), initial, self._candidates(rng), self.config.alpha
+        )
+        layouts = {initial.layout_id: initial}
+        for query in self.stream:
+            strategy.process(query)
+            layouts.setdefault(strategy.current.layout_id, strategy.current)
+        return MethodResult(
+            method="greedy",
+            summary=strategy.ledger.summary(),
+            ledger=strategy.ledger,
+            layouts=layouts,
+        )
+
+    def run_regret(self) -> MethodResult:
+        """Cumulative-savings switching (TASM-style)."""
+        rng = self._rng(4)
+        initial = self.initial_layout(rng)
+        strategy = RegretStrategy(
+            self._evaluator(), initial, self._candidates(rng), self.config.alpha
+        )
+        layouts = {initial.layout_id: initial}
+        for query in self.stream:
+            strategy.process(query)
+            layouts.setdefault(strategy.current.layout_id, strategy.current)
+        return MethodResult(
+            method="regret",
+            summary=strategy.ledger.summary(),
+            ledger=strategy.ledger,
+            layouts=layouts,
+        )
+
+    def _template_layouts(self, rng: np.random.Generator) -> dict[str, DataLayout]:
+        return precompute_template_layouts(
+            self.bundle.table,
+            self.builder,
+            self.stream,
+            self.config.num_partitions,
+            self.config.data_sample_fraction,
+            rng,
+        )
+
+    def run_mts_optimal(self) -> MethodResult:
+        """OREO's MTS over an oracle-precomputed fixed state space."""
+        rng = self._rng(5)
+        template_layouts = self._template_layouts(rng)
+        initial = self.initial_layout(rng)
+        strategy = MTSOptimalStrategy(
+            self._evaluator(),
+            template_layouts,
+            self.config.alpha,
+            rng,
+            gamma=self.config.gamma,
+            stay_on_reset=self.config.stay_on_reset,
+            initial_layout=initial,
+        )
+        summary = strategy.run(self.stream)
+        layouts = dict(strategy.layouts)
+        return MethodResult(
+            method="mts-optimal", summary=summary, ledger=strategy.ledger, layouts=layouts
+        )
+
+    def run_offline_optimal(self) -> MethodResult:
+        """Template-boundary oracle (query-cost lower bound)."""
+        rng = self._rng(6)
+        template_layouts = self._template_layouts(rng)
+        strategy = OfflineOptimalStrategy(
+            self._evaluator(), template_layouts, self.config.alpha
+        )
+        summary = strategy.run(self.stream)
+        layouts = {
+            layout.layout_id: layout for layout in template_layouts.values()
+        }
+        return MethodResult(
+            method="offline-optimal", summary=summary, ledger=strategy.ledger, layouts=layouts
+        )
+
+    def run_all(self, methods: tuple[str, ...] = METHODS) -> dict[str, MethodResult]:
+        """Run several methods and key the results by method name."""
+        return {method: self.run(method) for method in methods}

@@ -1,0 +1,41 @@
+"""Plain-text reporting of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["format_table", "format_rows"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None
+) -> str:
+    """Render dict-rows as an aligned monospace table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0])
+    rendered = [[_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+def format_rows(title: str, rows: Sequence[Mapping[str, Any]]) -> str:
+    """A titled table block, ready for printing from a benchmark."""
+    return f"\n=== {title} ===\n{format_table(rows)}\n"

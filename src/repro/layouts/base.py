@@ -1,0 +1,123 @@
+"""Layout abstractions: the states of the metrical task system.
+
+A :class:`DataLayout` is a deterministic mapping from records to partition
+ids — the paper's notion of a data layout / MTS state.  Layouts are built
+once (typically from a small data sample plus a recent query workload, per
+§III-B) and can then assign *any* table with the same schema, which is what
+lets the system route the full dataset after deciding on a sample.
+
+A :class:`LayoutBuilder` is the paper's ``generate_layout(D, Q, k)``
+procedure: given a dataset sample ``D``, a query workload ``Q`` and a target
+partition count ``k``, produce a new layout.  The framework is agnostic to
+the builder used (§III-B), which is why everything downstream — the layout
+manager, the reorganizer, the baselines — works against these two interfaces
+only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..queries.query import Query
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from ..storage.table import Table
+from .metadata import LayoutMetadata, build_layout_metadata
+
+__all__ = ["DataLayout", "LayoutBuilder", "eval_skipped", "top_queried_columns"]
+
+_LAYOUT_COUNTER = itertools.count()
+
+
+def next_layout_id(prefix: str) -> str:
+    """Generate a unique layout id with a human-readable prefix."""
+    return f"{prefix}-{next(_LAYOUT_COUNTER)}"
+
+
+class DataLayout(ABC):
+    """A mapping from records to partitions; one MTS state."""
+
+    def __init__(self, layout_id: str, num_partitions: int):
+        if num_partitions < 1:
+            raise ValueError("a layout needs at least one partition")
+        self.layout_id = layout_id
+        self.num_partitions = num_partitions
+
+    @abstractmethod
+    def assign(self, table: Table) -> np.ndarray:
+        """Map each row of ``table`` to a partition id in [0, num_partitions)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description of the layout."""
+
+    def metadata_for(self, table: Table) -> LayoutMetadata:
+        """Partition-level metadata this layout induces on ``table``."""
+        return build_layout_metadata(table, self.assign(table))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.layout_id}: {self.describe()}>"
+
+    def __hash__(self) -> int:
+        return hash(self.layout_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataLayout):
+            return NotImplemented
+        return self.layout_id == other.layout_id
+
+
+class LayoutBuilder(ABC):
+    """The paper's ``generate_layout(D, Q, k)`` procedure."""
+
+    #: short name used in layout ids and experiment reports
+    name: str = "layout"
+
+    @abstractmethod
+    def build(
+        self,
+        sample: Table,
+        workload: Sequence[Query],
+        num_partitions: int,
+        rng: np.random.Generator,
+    ) -> DataLayout:
+        """Build a layout from a data sample and a recent query workload."""
+
+
+def eval_skipped(metadata: LayoutMetadata, workload: Sequence[Query]) -> float:
+    """Average fraction of rows skipped over ``workload`` on a layout.
+
+    This is the paper's ``eval_skipped(s, Q)`` procedure (§III-B): it touches
+    only partition-level metadata, never the data.  Returns a value in
+    [0, 1]; higher is better.
+    """
+    if not workload:
+        return 0.0
+    total = sum(metadata.skipped_fraction(query.predicate) for query in workload)
+    return total / len(workload)
+
+
+def top_queried_columns(
+    workload: Sequence[Query], k: int, allowed: Sequence[str] | None = None
+) -> list[str]:
+    """The ``k`` most frequently referenced columns in ``workload``.
+
+    Used by the workload-aware Z-order builder (§VI-A1: "the top three most
+    queried columns in the sliding window").  Ties break by first appearance
+    so results are deterministic.
+    """
+    counts: dict[str, int] = {}
+    order: dict[str, int] = {}
+    for query in workload:
+        for column in sorted(query.columns()):
+            if allowed is not None and column not in allowed:
+                continue
+            counts[column] = counts.get(column, 0) + 1
+            order.setdefault(column, len(order))
+    ranked = sorted(counts, key=lambda c: (-counts[c], order[c]))
+    return ranked[:k]

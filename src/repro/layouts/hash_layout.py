@@ -1,0 +1,90 @@
+"""Hash and round-robin partitioning: classic workload-oblivious baselines.
+
+These are the traditional layout designs the paper contrasts with (§VII-1):
+their mapping functions are independent of both the data distribution and
+the query workload, so they provide essentially no data skipping — which
+makes them useful worst-case reference points in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..queries.query import Query
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from ..storage.table import Table
+from .base import DataLayout, LayoutBuilder, next_layout_id
+
+__all__ = ["HashLayout", "HashLayoutBuilder", "RoundRobinLayout", "RoundRobinLayoutBuilder"]
+
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)  # Fibonacci hashing constant
+
+
+class HashLayout(DataLayout):
+    """Partition rows by a multiplicative hash of one column."""
+
+    def __init__(self, column: str, num_partitions: int, layout_id: str | None = None):
+        super().__init__(layout_id or next_layout_id("hash"), num_partitions)
+        self.column = column
+
+    def assign(self, table: Table) -> np.ndarray:
+        values = table[self.column]
+        # Hash the bit pattern, not the float value, so equal values collide
+        # and nothing else systematically does.
+        as_int = np.ascontiguousarray(values).view(np.uint64) if values.dtype == np.float64 \
+            else values.astype(np.uint64)
+        hashed = (as_int * _HASH_MULTIPLIER) >> np.uint64(40)
+        return (hashed % np.uint64(self.num_partitions)).astype(np.int64)
+
+    def describe(self) -> str:
+        return f"hash partition on {self.column!r} into {self.num_partitions} parts"
+
+
+class HashLayoutBuilder(LayoutBuilder):
+    """Builds :class:`HashLayout` on a fixed column."""
+
+    name = "hash"
+
+    def __init__(self, column: str):
+        self.column = column
+
+    def build(
+        self,
+        sample: Table,
+        workload: Sequence[Query],
+        num_partitions: int,
+        rng: np.random.Generator,
+    ) -> HashLayout:
+        return HashLayout(self.column, num_partitions)
+
+
+class RoundRobinLayout(DataLayout):
+    """Assign row ``i`` to partition ``i mod k`` (arrival order striping)."""
+
+    def __init__(self, num_partitions: int, layout_id: str | None = None):
+        super().__init__(layout_id or next_layout_id("roundrobin"), num_partitions)
+
+    def assign(self, table: Table) -> np.ndarray:
+        return np.arange(table.num_rows, dtype=np.int64) % self.num_partitions
+
+    def describe(self) -> str:
+        return f"round-robin into {self.num_partitions} parts"
+
+
+class RoundRobinLayoutBuilder(LayoutBuilder):
+    """Builds :class:`RoundRobinLayout`."""
+
+    name = "roundrobin"
+
+    def build(
+        self,
+        sample: Table,
+        workload: Sequence[Query],
+        num_partitions: int,
+        rng: np.random.Generator,
+    ) -> RoundRobinLayout:
+        return RoundRobinLayout(num_partitions)

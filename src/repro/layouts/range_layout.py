@@ -1,0 +1,83 @@
+"""Range (sort-based) partitioning: the default, workload-oblivious layout.
+
+This models the common industry default the paper starts from (§I, §IV-A):
+partitioning the dataset by one predefined sort column, typically the arrival
+time of records.  Partition boundaries are equal-frequency quantiles learned
+from a sample, so partitions stay balanced even on skewed columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..queries.query import Query
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from ..storage.table import Table
+from .base import DataLayout, LayoutBuilder, next_layout_id
+
+__all__ = ["RangeLayout", "RangeLayoutBuilder", "equal_frequency_boundaries"]
+
+
+def equal_frequency_boundaries(values: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Interior cut points that split ``values`` into equal-frequency buckets.
+
+    Returns an ascending array of at most ``num_partitions - 1`` boundaries;
+    duplicates (from heavy hitters) are dropped, so fewer partitions than
+    requested may result on low-cardinality columns.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    if num_partitions == 1 or len(values) == 0:
+        return np.empty(0, dtype=np.float64)
+    quantiles = np.linspace(0.0, 1.0, num_partitions + 1)[1:-1]
+    boundaries = np.quantile(values, quantiles, method="higher")
+    return np.unique(np.asarray(boundaries, dtype=np.float64))
+
+
+class RangeLayout(DataLayout):
+    """Partition rows by which boundary interval a sort column falls into."""
+
+    def __init__(self, column: str, boundaries: np.ndarray, layout_id: str | None = None):
+        boundaries = np.asarray(boundaries, dtype=np.float64)
+        if np.any(np.diff(boundaries) <= 0):
+            raise ValueError("boundaries must be strictly increasing")
+        super().__init__(
+            layout_id or next_layout_id("range"),
+            num_partitions=len(boundaries) + 1,
+        )
+        self.column = column
+        self.boundaries = boundaries
+
+    def assign(self, table: Table) -> np.ndarray:
+        values = table[self.column]
+        return np.searchsorted(self.boundaries, values, side="left").astype(np.int64)
+
+    def describe(self) -> str:
+        return f"range partition on {self.column!r} into {self.num_partitions} parts"
+
+
+class RangeLayoutBuilder(LayoutBuilder):
+    """Builds :class:`RangeLayout` on a fixed sort column.
+
+    Workload-oblivious: the workload argument is accepted (to satisfy the
+    ``generate_layout`` interface) but ignored.
+    """
+
+    name = "range"
+
+    def __init__(self, column: str):
+        self.column = column
+
+    def build(
+        self,
+        sample: Table,
+        workload: Sequence[Query],
+        num_partitions: int,
+        rng: np.random.Generator,
+    ) -> RangeLayout:
+        boundaries = equal_frequency_boundaries(sample[self.column], num_partitions)
+        return RangeLayout(self.column, boundaries)

@@ -1,0 +1,496 @@
+"""Predicate AST with vectorized row evaluation and metadata-level pruning.
+
+Predicates are the common currency of the whole library:
+
+* Workload templates instantiate them to form queries.
+* The query executor evaluates them against column arrays to find rows.
+* Partition pruning asks a predicate whether it *may* match any row of a
+  partition, given only partition-level metadata (min/max, distinct sets).
+* Qd-tree construction reuses atomic predicates from the workload as
+  candidate cut predicates.
+
+Two evaluation modes are provided on every node:
+
+``evaluate(columns)``
+    Exact, vectorized evaluation against a mapping of column name to
+    ``numpy`` array.  Returns a boolean mask.
+
+``may_match(metadata)`` / ``matches_all(metadata)``
+    Sound approximations against :class:`~repro.layouts.metadata.PartitionMetadata`.
+    ``may_match`` may only return ``False`` when *no* row of the partition can
+    satisfy the predicate (skipping soundness).  ``matches_all`` may only
+    return ``True`` when *every* row satisfies it.  The pair lets ``Not``
+    prune soundly.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "Between",
+    "In",
+    "And",
+    "Or",
+    "Not",
+    "AlwaysTrue",
+    "AlwaysFalse",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "between",
+    "isin",
+    "conjunction",
+]
+
+_OPERATORS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+_NEGATED_OP = {
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+    "==": "!=",
+    "!=": "==",
+}
+
+
+class Predicate(ABC):
+    """Base class for all predicate nodes."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Return a boolean mask of rows satisfying the predicate."""
+
+    @abstractmethod
+    def may_match(self, metadata: "PartitionMetadata") -> bool:
+        """Return False only if provably no row in the partition matches."""
+
+    @abstractmethod
+    def matches_all(self, metadata: "PartitionMetadata") -> bool:
+        """Return True only if provably every row in the partition matches."""
+
+    @abstractmethod
+    def columns(self) -> frozenset[str]:
+        """The set of column names referenced by this predicate."""
+
+    @abstractmethod
+    def negate(self) -> "Predicate":
+        """Return a predicate equivalent to the logical negation of this one."""
+
+    @abstractmethod
+    def cache_key(self) -> tuple:
+        """A hashable, structural identity used for caching and dedup."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return self.negate()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return self.cache_key() == other.cache_key()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+
+def _column_values(columns: Mapping[str, np.ndarray], name: str) -> np.ndarray:
+    try:
+        return columns[name]
+    except KeyError:
+        raise KeyError(f"predicate references unknown column {name!r}") from None
+
+
+class Comparison(Predicate):
+    """Atomic comparison ``column <op> value`` for scalar ``value``."""
+
+    __slots__ = ("column", "op", "value", "_fn")
+
+    def __init__(self, column: str, op: str, value: Any):
+        if op not in _OPERATORS:
+            raise ValueError(f"unsupported comparison operator {op!r}")
+        self.column = column
+        self.op = op
+        self.value = value
+        self._fn = _OPERATORS[op]
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self._fn(_column_values(columns, self.column), self.value)
+
+    def may_match(self, metadata) -> bool:
+        stats = metadata.stats.get(self.column)
+        if stats is None:
+            return True
+        lo, hi, distinct = stats.min, stats.max, stats.distinct
+        value = self.value
+        if self.op == "==":
+            if distinct is not None:
+                return value in distinct
+            return lo <= value <= hi
+        if self.op == "!=":
+            # Skippable only if every row equals ``value``.
+            return not (lo == hi == value)
+        if self.op == "<":
+            return lo < value
+        if self.op == "<=":
+            return lo <= value
+        if self.op == ">":
+            return hi > value
+        return hi >= value  # ">="
+
+    def matches_all(self, metadata) -> bool:
+        stats = metadata.stats.get(self.column)
+        if stats is None:
+            return False
+        lo, hi, distinct = stats.min, stats.max, stats.distinct
+        value = self.value
+        if self.op == "==":
+            return lo == hi == value
+        if self.op == "!=":
+            if distinct is not None:
+                return value not in distinct
+            return value < lo or value > hi
+        if self.op == "<":
+            return hi < value
+        if self.op == "<=":
+            return hi <= value
+        if self.op == ">":
+            return lo > value
+        return lo >= value  # ">="
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def negate(self) -> "Predicate":
+        return Comparison(self.column, _NEGATED_OP[self.op], self.value)
+
+    def cache_key(self) -> tuple:
+        return ("cmp", self.column, self.op, self.value)
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op} {self.value!r})"
+
+
+class Between(Predicate):
+    """Inclusive range predicate ``low <= column <= high``."""
+
+    __slots__ = ("column", "low", "high")
+
+    def __init__(self, column: str, low: Any, high: Any):
+        if low > high:
+            raise ValueError(f"Between requires low <= high, got [{low!r}, {high!r}]")
+        self.column = column
+        self.low = low
+        self.high = high
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        values = _column_values(columns, self.column)
+        return (values >= self.low) & (values <= self.high)
+
+    def may_match(self, metadata) -> bool:
+        stats = metadata.stats.get(self.column)
+        if stats is None:
+            return True
+        return stats.max >= self.low and stats.min <= self.high
+
+    def matches_all(self, metadata) -> bool:
+        stats = metadata.stats.get(self.column)
+        if stats is None:
+            return False
+        return stats.min >= self.low and stats.max <= self.high
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def negate(self) -> "Predicate":
+        return Or(
+            (
+                Comparison(self.column, "<", self.low),
+                Comparison(self.column, ">", self.high),
+            )
+        )
+
+    def cache_key(self) -> tuple:
+        return ("between", self.column, self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"({self.column} BETWEEN {self.low!r} AND {self.high!r})"
+
+
+class In(Predicate):
+    """Membership predicate ``column IN values``."""
+
+    __slots__ = ("column", "values")
+
+    def __init__(self, column: str, values: Iterable[Any]):
+        self.column = column
+        self.values = frozenset(values)
+        if not self.values:
+            raise ValueError("In predicate requires at least one value")
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        values = _column_values(columns, self.column)
+        return np.isin(values, np.array(sorted(self.values)))
+
+    def may_match(self, metadata) -> bool:
+        stats = metadata.stats.get(self.column)
+        if stats is None:
+            return True
+        if stats.distinct is not None:
+            return not self.values.isdisjoint(stats.distinct)
+        return any(stats.min <= v <= stats.max for v in self.values)
+
+    def matches_all(self, metadata) -> bool:
+        stats = metadata.stats.get(self.column)
+        if stats is None:
+            return False
+        if stats.distinct is not None:
+            return stats.distinct <= self.values
+        return stats.min == stats.max and stats.min in self.values
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def negate(self) -> "Predicate":
+        return Not(self)
+
+    def cache_key(self) -> tuple:
+        return ("in", self.column, tuple(sorted(self.values)))
+
+    def __repr__(self) -> str:
+        shown = sorted(self.values)
+        return f"({self.column} IN {shown!r})"
+
+
+class And(Predicate):
+    """Conjunction of child predicates."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Predicate]):
+        self.children = tuple(children)
+        if not self.children:
+            raise ValueError("And requires at least one child")
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        mask = self.children[0].evaluate(columns)
+        for child in self.children[1:]:
+            mask = mask & child.evaluate(columns)
+        return mask
+
+    def may_match(self, metadata) -> bool:
+        return all(child.may_match(metadata) for child in self.children)
+
+    def matches_all(self, metadata) -> bool:
+        return all(child.matches_all(metadata) for child in self.children)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(child.columns() for child in self.children))
+
+    def negate(self) -> "Predicate":
+        return Or(tuple(child.negate() for child in self.children))
+
+    def cache_key(self) -> tuple:
+        return ("and", tuple(sorted(child.cache_key() for child in self.children)))
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.children)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of child predicates."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Predicate]):
+        self.children = tuple(children)
+        if not self.children:
+            raise ValueError("Or requires at least one child")
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        mask = self.children[0].evaluate(columns)
+        for child in self.children[1:]:
+            mask = mask | child.evaluate(columns)
+        return mask
+
+    def may_match(self, metadata) -> bool:
+        return any(child.may_match(metadata) for child in self.children)
+
+    def matches_all(self, metadata) -> bool:
+        # Sound but incomplete: a disjunction can cover a partition even if no
+        # single child does; we only claim full coverage when one child does.
+        return any(child.matches_all(metadata) for child in self.children)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(child.columns() for child in self.children))
+
+    def negate(self) -> "Predicate":
+        return And(tuple(child.negate() for child in self.children))
+
+    def cache_key(self) -> tuple:
+        return ("or", tuple(sorted(child.cache_key() for child in self.children)))
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.children)) + ")"
+
+
+class Not(Predicate):
+    """Logical negation of a child predicate."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Predicate):
+        self.child = child
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        return ~self.child.evaluate(columns)
+
+    def may_match(self, metadata) -> bool:
+        # NOT p is unsatisfiable on a partition only if p holds for all rows.
+        return not self.child.matches_all(metadata)
+
+    def matches_all(self, metadata) -> bool:
+        return not self.child.may_match(metadata)
+
+    def columns(self) -> frozenset[str]:
+        return self.child.columns()
+
+    def negate(self) -> "Predicate":
+        return self.child
+
+    def cache_key(self) -> tuple:
+        return ("not", self.child.cache_key())
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+class AlwaysTrue(Predicate):
+    """Predicate satisfied by every row (a full scan)."""
+
+    __slots__ = ()
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        n_rows = len(next(iter(columns.values()))) if columns else 0
+        return np.ones(n_rows, dtype=bool)
+
+    def may_match(self, metadata) -> bool:
+        return True
+
+    def matches_all(self, metadata) -> bool:
+        return True
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def negate(self) -> "Predicate":
+        return AlwaysFalse()
+
+    def cache_key(self) -> tuple:
+        return ("true",)
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class AlwaysFalse(Predicate):
+    """Predicate satisfied by no row."""
+
+    __slots__ = ()
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        n_rows = len(next(iter(columns.values()))) if columns else 0
+        return np.zeros(n_rows, dtype=bool)
+
+    def may_match(self, metadata) -> bool:
+        return False
+
+    def matches_all(self, metadata) -> bool:
+        return False
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def negate(self) -> "Predicate":
+        return AlwaysTrue()
+
+    def cache_key(self) -> tuple:
+        return ("false",)
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+def eq(column: str, value: Any) -> Comparison:
+    """Shorthand for ``column == value``."""
+    return Comparison(column, "==", value)
+
+
+def ne(column: str, value: Any) -> Comparison:
+    """Shorthand for ``column != value``."""
+    return Comparison(column, "!=", value)
+
+
+def lt(column: str, value: Any) -> Comparison:
+    """Shorthand for ``column < value``."""
+    return Comparison(column, "<", value)
+
+
+def le(column: str, value: Any) -> Comparison:
+    """Shorthand for ``column <= value``."""
+    return Comparison(column, "<=", value)
+
+
+def gt(column: str, value: Any) -> Comparison:
+    """Shorthand for ``column > value``."""
+    return Comparison(column, ">", value)
+
+
+def ge(column: str, value: Any) -> Comparison:
+    """Shorthand for ``column >= value``."""
+    return Comparison(column, ">=", value)
+
+
+def between(column: str, low: Any, high: Any) -> Between:
+    """Shorthand for ``low <= column <= high``."""
+    return Between(column, low, high)
+
+
+def isin(column: str, values: Iterable[Any]) -> In:
+    """Shorthand for ``column IN values``."""
+    return In(column, values)
+
+
+def conjunction(predicates: Iterable[Predicate]) -> Predicate:
+    """Combine predicates with AND, simplifying the 0- and 1-child cases."""
+    children = tuple(predicates)
+    if not children:
+        return AlwaysTrue()
+    if len(children) == 1:
+        return children[0]
+    return And(children)

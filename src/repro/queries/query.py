@@ -1,0 +1,96 @@
+"""Query objects: a predicate plus identity and provenance.
+
+A :class:`Query` wraps a :class:`~repro.queries.predicates.Predicate` with a
+stable ``qid`` (used by cost caches), the name of the template that produced
+it (used by the workload generator and oracle baselines), and a logical
+timestamp.  Queries model the *filter* part of analytical SQL — the part that
+determines which partitions must be read — exactly as in the paper's cost
+model, where query cost is the fraction of the dataset accessed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .predicates import Predicate
+
+__all__ = ["Query", "QueryStream"]
+
+_QUERY_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single analytical query, identified by its filter predicate."""
+
+    predicate: Predicate
+    template: str = "adhoc"
+    timestamp: float = 0.0
+    qid: int = field(default_factory=lambda: next(_QUERY_COUNTER))
+
+    def evaluate(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Boolean mask of matching rows in ``columns``."""
+        return self.predicate.evaluate(columns)
+
+    def columns(self) -> frozenset[str]:
+        """Columns referenced by the query's predicate."""
+        return self.predicate.columns()
+
+    def cache_key(self) -> tuple:
+        """Structural identity of the query (shared by identical predicates)."""
+        return self.predicate.cache_key()
+
+    def __repr__(self) -> str:
+        return f"Query(qid={self.qid}, template={self.template!r}, where={self.predicate!r})"
+
+
+@dataclass(frozen=True)
+class QueryStream:
+    """An ordered stream of queries with segment annotations.
+
+    ``segments`` records ``(start_index, template_name)`` for each contiguous
+    run of queries drawn from the same template.  The oracle baselines
+    (Offline Optimal, MTS Optimal) consume this ground truth; online methods
+    must not look at it.
+    """
+
+    queries: tuple[Query, ...]
+    segments: tuple[tuple[int, str], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index):
+        return self.queries[index]
+
+    def segment_boundaries(self) -> list[int]:
+        """Indices at which a new template segment begins (excluding 0)."""
+        return [start for start, _ in self.segments if start != 0]
+
+    def segment_of(self, index: int) -> str:
+        """Template name owning query ``index``."""
+        if not self.segments:
+            return self.queries[index].template
+        owner = self.segments[0][1]
+        for start, name in self.segments:
+            if start > index:
+                break
+            owner = name
+        return owner
+
+    def templates(self) -> list[str]:
+        """Distinct template names in stream order of first appearance."""
+        seen: dict[str, None] = {}
+        for _, name in self.segments:
+            seen.setdefault(name)
+        if not self.segments:
+            for query in self.queries:
+                seen.setdefault(query.template)
+        return list(seen)

@@ -1,0 +1,136 @@
+"""Incremental ingestion: batch-wise appends under the current layout.
+
+§III-C: *"For streaming data that is ingested continuously, reorganizing
+the entire dataset with each new data point arrival is not practical.
+Instead, we could batch newly arrived data and reorganize them separately
+from the already ingested data."* — the approach behind incremental
+clustering features like Databricks liquid clustering.
+
+:class:`IncrementalStore` implements it: each ingested batch is routed
+through the *current* layout's assignment function and written as fresh
+partition files (with globally unique partition ids) next to the existing
+ones; previously written partitions are never touched.  Data skipping keeps
+working because each appended partition carries its own metadata.  Over
+time the per-batch partitioning fragments the layout (many small
+partitions, weaker clustering across batches), which is exactly what
+:meth:`IncrementalStore.consolidate` — a full reorganization into a new
+layout — repairs; OREO decides *when* that is worth α.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..layouts.base import DataLayout
+from ..layouts.metadata import (
+    LayoutMetadata,
+    PartitionMetadata,
+    build_partition_metadata,
+    partition_row_indices,
+)
+from .partition import StoredLayout, StoredPartition
+from .partition_store import PartitionStore
+from .reorg import ReorgResult, reorganize
+from .table import Schema, Table
+
+__all__ = ["IncrementalStore"]
+
+
+class IncrementalStore:
+    """Append-only materialization with batch-local partitioning."""
+
+    def __init__(self, store: PartitionStore, schema: Schema, layout: DataLayout):
+        self.store = store
+        self.schema = schema
+        self.layout = layout
+        self._partitions: list[StoredPartition] = []
+        self._metadata: list[PartitionMetadata] = []
+        self._next_partition_id = 0
+        self._batches_ingested = 0
+
+    # ----------------------------------------------------------------- ingest
+    def ingest(self, batch: Table) -> int:
+        """Route a batch through the current layout; append its partitions.
+
+        Returns the number of partition files written.  Existing partitions
+        are untouched (§III-C's incremental-clustering behaviour).
+        """
+        if batch.schema != self.schema:
+            raise ValueError("batch schema does not match the store's schema")
+        if batch.num_rows == 0:
+            return 0
+        assignment = self.layout.assign(batch)
+        directory = self.store.root / f"incremental-{self.layout.layout_id}"
+        written = 0
+        for _, rows in sorted(partition_row_indices(assignment).items()):
+            partition_id = self._next_partition_id
+            self._next_partition_id += 1
+            stored = self.store.write_partition_file(batch, rows, partition_id, directory)
+            self._partitions.append(stored)
+            self._metadata.append(build_partition_metadata(batch, rows, partition_id))
+            written += 1
+        self._batches_ingested += 1
+        return written
+
+    # ------------------------------------------------------------------ views
+    def stored(self) -> StoredLayout:
+        """Snapshot of the current materialization (queryable as-is)."""
+        return StoredLayout(
+            layout=self.layout,
+            metadata=LayoutMetadata(partitions=tuple(self._metadata)),
+            partitions=tuple(self._partitions),
+        )
+
+    @property
+    def total_rows(self) -> int:
+        """Rows ingested so far."""
+        return sum(p.row_count for p in self._partitions)
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition files currently on disk."""
+        return len(self._partitions)
+
+    @property
+    def batches_ingested(self) -> int:
+        """Number of ingest() calls that wrote data."""
+        return self._batches_ingested
+
+    def fragmentation(self, target_partition_rows: int) -> float:
+        """How fragmented the store is versus an ideal consolidation.
+
+        Ratio of actual partition count to the minimum count needed at
+        ``target_partition_rows`` rows per partition; 1.0 means perfectly
+        consolidated, large values mean many undersized batch partitions.
+        """
+        if self.total_rows == 0:
+            return 1.0
+        ideal = max(1, int(np.ceil(self.total_rows / target_partition_rows)))
+        return self.num_partitions / ideal
+
+    # ------------------------------------------------------------- consolidate
+    def consolidate(self, new_layout: DataLayout) -> ReorgResult:
+        """Full reorganization of everything ingested into ``new_layout``.
+
+        This is the reorganization OREO charges α for; afterwards the store
+        continues ingesting under the new layout.
+        """
+        snapshot = self.stored()
+        new_stored, result = reorganize(
+            self.store, snapshot, new_layout, self.schema, keep_old=False
+        )
+        # The incremental directory holds the old batch files; drop them.
+        incremental_dir = self.store.root / f"incremental-{self.layout.layout_id}"
+        if incremental_dir.exists():
+            for file in incremental_dir.glob("*.npz"):
+                file.unlink()
+            incremental_dir.rmdir()
+        self.layout = new_layout
+        self._partitions = list(new_stored.partitions)
+        self._metadata = list(new_stored.metadata.partitions)
+        self._next_partition_id = (
+            max((p.partition_id for p in self._partitions), default=-1) + 1
+        )
+        return result

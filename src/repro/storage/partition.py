@@ -1,0 +1,54 @@
+"""On-disk partition descriptors.
+
+A materialized layout is a set of partition files plus partition-level
+metadata.  :class:`StoredPartition` records where one partition lives and
+how big it is; :class:`StoredLayout` groups the partitions of one layout
+together with the :class:`~repro.layouts.metadata.LayoutMetadata` the query
+optimizer prunes with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..layouts.base import DataLayout
+from ..layouts.metadata import LayoutMetadata
+
+__all__ = ["StoredPartition", "StoredLayout"]
+
+
+@dataclass(frozen=True)
+class StoredPartition:
+    """One partition file on disk."""
+
+    partition_id: int
+    path: Path
+    row_count: int
+    byte_size: int
+
+
+@dataclass(frozen=True)
+class StoredLayout:
+    """A fully materialized layout: files + skipping metadata."""
+
+    layout: DataLayout
+    metadata: LayoutMetadata
+    partitions: tuple[StoredPartition, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total on-disk footprint of the layout."""
+        return sum(p.byte_size for p in self.partitions)
+
+    @property
+    def total_rows(self) -> int:
+        """Total rows across partitions."""
+        return sum(p.row_count for p in self.partitions)
+
+    def partition_by_id(self, partition_id: int) -> StoredPartition:
+        """Look up a stored partition by its id."""
+        for partition in self.partitions:
+            if partition.partition_id == partition_id:
+                return partition
+        raise KeyError(f"no stored partition with id {partition_id}")

@@ -1,0 +1,183 @@
+"""In-memory columnar tables with typed schemas.
+
+The paper's datasets (denormalized TPC-H lineitem, TPC-DS store_sales, a
+telemetry ingestion log) are all wide, flat fact tables.  We model them as a
+:class:`Table`: a mapping from column name to a 1-D ``numpy`` array, plus a
+:class:`Schema` that records whether each column is numeric or categorical.
+
+Categorical columns are dictionary-encoded: the stored array holds ``int32``
+codes and the :class:`ColumnSpec` carries the vocabulary.  Predicates operate
+directly in code space (the workload generators translate values to codes),
+mirroring how columnar engines evaluate dictionary-encoded filters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ColumnSpec", "Schema", "Table"]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Static description of a single column."""
+
+    name: str
+    kind: str  # "numeric" or "categorical"
+    vocabulary: tuple[str, ...] | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("numeric", "categorical"):
+            raise ValueError(f"unknown column kind {self.kind!r}")
+        if self.kind == "categorical" and self.vocabulary is None:
+            raise ValueError(f"categorical column {self.name!r} requires a vocabulary")
+        if self.kind == "numeric" and self.vocabulary is not None:
+            raise ValueError(f"numeric column {self.name!r} must not carry a vocabulary")
+
+    @property
+    def cardinality(self) -> int | None:
+        """Number of distinct values for categorical columns, else None."""
+        if self.vocabulary is None:
+            return None
+        return len(self.vocabulary)
+
+    def encode(self, value: str) -> int:
+        """Translate a categorical value to its dictionary code."""
+        if self.vocabulary is None:
+            raise TypeError(f"column {self.name!r} is numeric, nothing to encode")
+        try:
+            return self.vocabulary.index(value)
+        except ValueError:
+            raise KeyError(f"value {value!r} not in vocabulary of column {self.name!r}") from None
+
+    def decode(self, code: int) -> str:
+        """Translate a dictionary code back to its categorical value."""
+        if self.vocabulary is None:
+            raise TypeError(f"column {self.name!r} is numeric, nothing to decode")
+        return self.vocabulary[code]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered collection of :class:`ColumnSpec` objects."""
+
+    columns: tuple[ColumnSpec, ...]
+    _by_name: dict = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self):
+        names = [spec.name for spec in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names in schema")
+        object.__setattr__(self, "_by_name", {spec.name: spec for spec in self.columns})
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r} in schema") from None
+
+    def names(self) -> list[str]:
+        """Column names in schema order."""
+        return [spec.name for spec in self.columns]
+
+    def categorical_names(self) -> list[str]:
+        """Names of the categorical columns, in schema order."""
+        return [spec.name for spec in self.columns if spec.kind == "categorical"]
+
+    def numeric_names(self) -> list[str]:
+        """Names of the numeric columns, in schema order."""
+        return [spec.name for spec in self.columns if spec.kind == "numeric"]
+
+
+class Table:
+    """A columnar table: equal-length numpy arrays keyed by column name."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        missing = [name for name in schema.names() if name not in columns]
+        if missing:
+            raise ValueError(f"columns missing from data: {missing}")
+        extra = [name for name in columns if name not in schema]
+        if extra:
+            raise ValueError(f"data contains columns not in schema: {extra}")
+        lengths = {name: len(array) for name, array in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"columns have unequal lengths: {lengths}")
+        self.schema = schema
+        self.columns: dict[str, np.ndarray] = {
+            name: np.asarray(columns[name]) for name in schema.names()
+        }
+        self._num_rows = next(iter(lengths.values())) if lengths else 0
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the table."""
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"no column named {name!r}") from None
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Materialize a new table containing the given row indices."""
+        return Table(
+            self.schema,
+            {name: array[indices] for name, array in self.columns.items()},
+        )
+
+    def sample(self, fraction: float, rng: np.random.Generator) -> "Table":
+        """Uniform random sample of rows (without replacement).
+
+        Layout builders operate on a 0.1%–1% sample per the paper (§III-B);
+        at least one row is always retained so builders never see an empty
+        input.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"sample fraction must be in (0, 1], got {fraction}")
+        size = max(1, int(round(self._num_rows * fraction)))
+        indices = rng.choice(self._num_rows, size=size, replace=False)
+        indices.sort()
+        return self.take(indices)
+
+    def head(self, n: int) -> "Table":
+        """First ``n`` rows as a new table."""
+        return self.take(np.arange(min(n, self._num_rows)))
+
+    def memory_bytes(self) -> int:
+        """Total bytes held by the column arrays."""
+        return sum(array.nbytes for array in self.columns.values())
+
+    def select(self, names: Sequence[str]) -> dict[str, np.ndarray]:
+        """View of a subset of columns, keyed by name."""
+        return {name: self[name] for name in names}
+
+    @classmethod
+    def concat(cls, tables: Iterable["Table"]) -> "Table":
+        """Concatenate tables with identical schemas row-wise."""
+        tables = list(tables)
+        if not tables:
+            raise ValueError("cannot concatenate zero tables")
+        schema = tables[0].schema
+        for other in tables[1:]:
+            if other.schema != schema:
+                raise ValueError("cannot concatenate tables with different schemas")
+        merged = {
+            name: np.concatenate([t.columns[name] for t in tables]) for name in schema.names()
+        }
+        return cls(schema, merged)

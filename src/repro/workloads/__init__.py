@@ -1,0 +1,22 @@
+"""Workloads: datasets, query templates, stream generation and sampling."""
+
+from . import telemetry, tpcds, tpch
+from .dataset import DatasetBundle, zipf_codes
+from .generator import generate_stream, segment_lengths
+from .sampling import ReservoirSample, SlidingWindow, TimeBiasedReservoir, WorkloadSampler
+from .templates import QueryTemplate
+
+__all__ = [
+    "DatasetBundle",
+    "QueryTemplate",
+    "ReservoirSample",
+    "SlidingWindow",
+    "TimeBiasedReservoir",
+    "WorkloadSampler",
+    "generate_stream",
+    "segment_lengths",
+    "telemetry",
+    "tpcds",
+    "tpch",
+    "zipf_codes",
+]

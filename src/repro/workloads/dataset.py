@@ -1,0 +1,66 @@
+"""Dataset bundles: a table, its query templates, and layout defaults.
+
+Each workload module (TPC-H-like, TPC-DS-like, Telemetry-like) exposes a
+``load(num_rows, rng)`` function returning a :class:`DatasetBundle` — the
+one object the experiment harness needs to run any paper experiment on that
+dataset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..queries.query import QueryStream
+from ..storage.table import Table
+from .generator import generate_stream
+from .templates import QueryTemplate
+
+__all__ = ["DatasetBundle", "zipf_codes"]
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """Everything the harness needs about one evaluation dataset."""
+
+    name: str
+    table: Table
+    templates: tuple[QueryTemplate, ...]
+    default_sort_column: str
+
+    def workload(
+        self,
+        num_queries: int,
+        num_segments: int,
+        rng: np.random.Generator,
+        min_segment_length: int = 1,
+    ) -> QueryStream:
+        """A segmented query stream over this dataset's templates."""
+        return generate_stream(
+            self.templates, num_queries, num_segments, rng, min_segment_length
+        )
+
+    def template_by_name(self, name: str) -> QueryTemplate:
+        """Look up a template by name (for the oracle baselines)."""
+        for template in self.templates:
+            if template.name == name:
+                return template
+        raise KeyError(f"no template named {name!r} in dataset {self.name!r}")
+
+
+def zipf_codes(
+    num_rows: int, cardinality: int, rng: np.random.Generator, exponent: float = 1.2
+) -> np.ndarray:
+    """Zipf-distributed dictionary codes in ``[0, cardinality)``.
+
+    Real categorical columns (collectors, brands, states) are heavy-tailed;
+    a truncated Zipf keeps the generators realistic without external data.
+    """
+    if cardinality < 1:
+        raise ValueError("cardinality must be positive")
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    return rng.choice(cardinality, size=num_rows, p=weights).astype(np.int32)

@@ -1,0 +1,150 @@
+"""Workload samplers: sliding window, reservoir, and time-biased reservoir.
+
+The LAYOUT MANAGER consumes two kinds of query samples (§V):
+
+* a **sliding window** of recent queries drives candidate layout generation
+  (the paper found SW-only candidates perform best — Table II);
+* a **time-biased reservoir** (R-TBS, Hentschel et al. 2019) curates the
+  representative sample on which Algorithm 5 measures layout similarity.
+
+A plain uniform :class:`ReservoirSample` is included both as the classic
+baseline (Vitter's Algorithm R) and for the SW-vs-RS ablation (Table II).
+
+All samplers share one interface: ``add(item, timestamp)`` and ``snapshot()``
+returning the current sample as a list (oldest first where order is
+meaningful).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Generic, TypeVar
+
+import numpy as np
+
+__all__ = ["WorkloadSampler", "SlidingWindow", "ReservoirSample", "TimeBiasedReservoir"]
+
+T = TypeVar("T")
+
+
+class WorkloadSampler(ABC, Generic[T]):
+    """Common interface over the three sampling strategies."""
+
+    @abstractmethod
+    def add(self, item: T, timestamp: float | None = None) -> None:
+        """Offer one item to the sampler."""
+
+    @abstractmethod
+    def snapshot(self) -> list[T]:
+        """The current sample contents."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of items currently retained."""
+
+
+class SlidingWindow(WorkloadSampler[T]):
+    """Keep exactly the most recent ``capacity`` items."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._window: deque[T] = deque(maxlen=capacity)
+
+    def add(self, item: T, timestamp: float | None = None) -> None:
+        self._window.append(item)
+
+    def snapshot(self) -> list[T]:
+        return list(self._window)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+
+class ReservoirSample(WorkloadSampler[T]):
+    """Uniform reservoir sampling (Vitter's Algorithm R)."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.rng = rng
+        self._reservoir: list[T] = []
+        self._seen = 0
+
+    def add(self, item: T, timestamp: float | None = None) -> None:
+        self._seen += 1
+        if len(self._reservoir) < self.capacity:
+            self._reservoir.append(item)
+            return
+        slot = int(self.rng.integers(self._seen))
+        if slot < self.capacity:
+            self._reservoir[slot] = item
+
+    def snapshot(self) -> list[T]:
+        return list(self._reservoir)
+
+    @property
+    def items_seen(self) -> int:
+        """Total number of items offered so far."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._reservoir)
+
+
+class TimeBiasedReservoir(WorkloadSampler[T]):
+    """Time-biased reservoir sampling in the style of R-TBS.
+
+    Each item's inclusion weight decays exponentially with age: an item
+    arriving at time ``t`` has weight ``exp(t / time_constant)`` relative to
+    older items, so the sample is biased toward recent queries while
+    retaining a tail of history — the behaviour the paper wants from the
+    admission sample (§V-B).
+
+    Implementation: weighted reservoir sampling à la Efraimidis–Spirakis.
+    Item ``i`` with weight ``w_i`` draws ``u_i ~ U(0, 1)`` and receives key
+    ``u_i ** (1 / w_i)``; the ``capacity`` largest keys are kept.  We work
+    with the double-log transform ``ln(-ln u) - t / time_constant`` (smaller
+    is better) which is monotone in the key and numerically safe for
+    arbitrarily large timestamps.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator, time_constant: float = 1000.0):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if time_constant <= 0:
+            raise ValueError("time_constant must be positive")
+        self.capacity = capacity
+        self.rng = rng
+        self.time_constant = time_constant
+        self._clock = itertools.count()
+        # Max-heap on transformed keys via negation: heap of (-key, seq, item).
+        self._heap: list[tuple[float, int, T]] = []
+        self._seq = itertools.count()
+
+    def add(self, item: T, timestamp: float | None = None) -> None:
+        t = float(timestamp) if timestamp is not None else float(next(self._clock))
+        u = float(self.rng.uniform(np.nextafter(0.0, 1.0), 1.0))
+        key = math.log(-math.log(u)) - t / self.time_constant
+        entry = (-key, next(self._seq), item)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return
+        # Keep the items with the smallest transformed keys, i.e. the largest
+        # Efraimidis–Spirakis keys.  The heap root holds the *largest*
+        # transformed key (worst item) because entries are negated.
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def snapshot(self) -> list[T]:
+        # Oldest-first by arrival sequence for deterministic downstream use.
+        return [item for _, _, item in sorted(self._heap, key=lambda e: e[1])]
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,205 @@
+"""Telemetry-like dataset: a synthetic stand-in for VMware SuperCollider.
+
+The paper's third workload is a production table from VMware's internal
+SuperCollider data platform logging monitoring information for ingestion
+jobs: ~30M rows and 24,000 queries over six months.  The actual data is
+proprietary, so we synthesize a table that reproduces the *described*
+characteristics (§VI-A2):
+
+* an arrival-time column spanning six months, skewed toward recent data
+  (ingestion volume grows over time);
+* a heavy-tailed ``collector`` column ("the name of the collector who has
+  sent the data" is a popular filter);
+* operational attributes (job type, team, status, duration, bytes, error
+  codes) with realistic marginals.
+
+The query templates mirror the two dominant predicate families the paper
+reports — time-range filters from a few hours to a few months, and
+collector-name filters — plus the kind of status/error investigations any
+monitoring table attracts.  Timestamps are in hours over a 6-month window
+([0, 4380]); recent-biased templates anchor near the end of the window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..queries.predicates import Predicate, between, conjunction, eq, ge, gt, isin, ne
+from ..storage.table import ColumnSpec, Schema, Table
+from .dataset import DatasetBundle, zipf_codes
+from .templates import QueryTemplate
+
+__all__ = ["load", "make_table", "make_templates", "TIME_MIN", "TIME_MAX"]
+
+TIME_MIN = 0
+TIME_MAX = 4380  # six months in hours
+
+_COLLECTORS = tuple(f"collector-{i:02d}" for i in range(48))
+_JOB_TYPES = (
+    "bulk_ingest", "incremental", "compaction", "schema_sync",
+    "backfill", "export", "replication", "validation",
+)
+_TEAMS = tuple(f"team-{i:02d}" for i in range(30))
+_STATUSES = ("SUCCEEDED", "FAILED", "RUNNING", "CANCELLED")
+_HOSTS = tuple(f"host-{i:03d}" for i in range(96))
+
+
+def make_schema() -> Schema:
+    """Ingestion-job monitoring log schema."""
+    return Schema(
+        columns=(
+            ColumnSpec("arrival_time", "numeric"),
+            ColumnSpec("duration_ms", "numeric"),
+            ColumnSpec("bytes_ingested", "numeric"),
+            ColumnSpec("records_ingested", "numeric"),
+            ColumnSpec("retry_count", "numeric"),
+            ColumnSpec("error_code", "numeric"),
+            ColumnSpec("collector", "categorical", _COLLECTORS),
+            ColumnSpec("job_type", "categorical", _JOB_TYPES),
+            ColumnSpec("team", "categorical", _TEAMS),
+            ColumnSpec("status", "categorical", _STATUSES),
+            ColumnSpec("host", "categorical", _HOSTS),
+        )
+    )
+
+
+def make_table(num_rows: int, rng: np.random.Generator) -> Table:
+    """Synthesize the monitoring log with recent-skewed arrivals."""
+    schema = make_schema()
+    # Ingestion volume grows over the window: arrival CDF ~ t^1.5.
+    arrival = (TIME_MAX * rng.random(size=num_rows) ** (1.0 / 1.5)).astype(np.int64)
+    duration = np.exp(rng.normal(9.0, 1.5, size=num_rows))  # median ~8s
+    bytes_ingested = np.exp(rng.normal(16.0, 2.0, size=num_rows))  # median ~9MB
+    status = rng.choice(len(_STATUSES), size=num_rows, p=(0.86, 0.06, 0.05, 0.03))
+    error_code = np.where(
+        status == 1, rng.integers(1, 21, size=num_rows), 0
+    )
+    columns = {
+        "arrival_time": arrival,
+        "duration_ms": duration,
+        "bytes_ingested": bytes_ingested,
+        "records_ingested": (bytes_ingested / rng.uniform(64, 512, size=num_rows)).astype(
+            np.int64
+        ),
+        "retry_count": rng.choice(6, size=num_rows, p=(0.7, 0.15, 0.07, 0.04, 0.03, 0.01)).astype(
+            np.int64
+        ),
+        "error_code": error_code.astype(np.int64),
+        "collector": zipf_codes(num_rows, len(_COLLECTORS), rng, exponent=1.1),
+        "job_type": zipf_codes(num_rows, len(_JOB_TYPES), rng, exponent=0.9),
+        "team": zipf_codes(num_rows, len(_TEAMS), rng, exponent=1.0),
+        "status": status.astype(np.int32),
+        "host": rng.integers(0, len(_HOSTS), size=num_rows).astype(np.int32),
+    }
+    return Table(schema, columns)
+
+
+def _recent_anchor(rng: np.random.Generator, span: int) -> int:
+    """A window start biased toward the end of the time range."""
+    latest = TIME_MAX - span
+    offset = latest * (1.0 - rng.random() ** 2.0)
+    return int(np.clip(offset, TIME_MIN, latest))
+
+
+def make_templates() -> tuple[QueryTemplate, ...]:
+    """Telemetry query templates: time ranges, collectors, investigations."""
+    schema = make_schema()
+    failed = schema["status"].encode("FAILED")
+
+    def hours_window(rng: np.random.Generator) -> Predicate:
+        span = int(rng.integers(2, 13))
+        start = _recent_anchor(rng, span)
+        return between("arrival_time", start, start + span)
+
+    def days_window(rng: np.random.Generator) -> Predicate:
+        span = int(rng.integers(24, 24 * 8))
+        start = _recent_anchor(rng, span)
+        return between("arrival_time", start, start + span)
+
+    def months_window(rng: np.random.Generator) -> Predicate:
+        span = int(rng.integers(24 * 30, 24 * 90))
+        start = _recent_anchor(rng, span)
+        return between("arrival_time", start, start + span)
+
+    def collector_recent(rng: np.random.Generator) -> Predicate:
+        span = int(rng.integers(24, 24 * 31))
+        start = _recent_anchor(rng, span)
+        return conjunction(
+            (
+                eq("collector", int(zipf_codes(1, len(_COLLECTORS), rng, 1.1)[0])),
+                between("arrival_time", start, start + span),
+            )
+        )
+
+    def collector_group(rng: np.random.Generator) -> Predicate:
+        size = int(rng.integers(2, 6))
+        chosen = rng.choice(len(_COLLECTORS), size=size, replace=False)
+        return isin("collector", tuple(int(c) for c in chosen))
+
+    def failure_triage(rng: np.random.Generator) -> Predicate:
+        span = int(rng.integers(12, 24 * 4))
+        start = _recent_anchor(rng, span)
+        return conjunction(
+            (
+                eq("status", failed),
+                between("arrival_time", start, start + span),
+            )
+        )
+
+    def error_audit(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                ne("error_code", 0),
+                eq("team", int(rng.integers(len(_TEAMS)))),
+            )
+        )
+
+    def team_jobs(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                eq("team", int(rng.integers(len(_TEAMS)))),
+                eq("job_type", int(rng.integers(len(_JOB_TYPES)))),
+            )
+        )
+
+    def heavy_ingest(rng: np.random.Generator) -> Predicate:
+        span = int(rng.integers(24, 24 * 14))
+        start = _recent_anchor(rng, span)
+        return conjunction(
+            (
+                gt("bytes_ingested", float(np.exp(rng.uniform(18.0, 20.0)))),
+                between("arrival_time", start, start + span),
+            )
+        )
+
+    def slow_jobs(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                gt("duration_ms", float(np.exp(rng.uniform(11.0, 12.5)))),
+                ge("retry_count", 1),
+            )
+        )
+
+    makers = {
+        "telemetry-hours": hours_window,
+        "telemetry-days": days_window,
+        "telemetry-months": months_window,
+        "telemetry-collector-recent": collector_recent,
+        "telemetry-collector-group": collector_group,
+        "telemetry-failures": failure_triage,
+        "telemetry-error-audit": error_audit,
+        "telemetry-team-jobs": team_jobs,
+        "telemetry-heavy-ingest": heavy_ingest,
+        "telemetry-slow-jobs": slow_jobs,
+    }
+    return tuple(QueryTemplate(name, fn) for name, fn in makers.items())
+
+
+def load(num_rows: int, rng: np.random.Generator) -> DatasetBundle:
+    """Build the telemetry-like dataset bundle."""
+    return DatasetBundle(
+        name="telemetry",
+        table=make_table(num_rows, rng),
+        templates=make_templates(),
+        default_sort_column="arrival_time",
+    )

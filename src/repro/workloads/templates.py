@@ -1,0 +1,48 @@
+"""Query templates: parameterized predicate factories.
+
+A template is a named distribution over queries — e.g. "TPC-H Q6: random
+one-year shipdate window with a discount band and a quantity cap".  The
+workload generator (§VI-A2) runs a state machine over templates: it samples
+queries from one template for a while, then jumps to another.
+
+Templates also serve the oracle baselines: *MTS Optimal* precomputes the
+best layout per template (it samples a batch of queries from each template
+via :meth:`QueryTemplate.sample_batch`), and *Offline Optimal* switches
+layouts exactly at template boundaries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..queries.predicates import Predicate
+from ..queries.query import Query
+
+__all__ = ["QueryTemplate"]
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A named generator of structurally similar queries."""
+
+    name: str
+    make_predicate: Callable[[np.random.Generator], Predicate]
+
+    def instantiate(self, rng: np.random.Generator, timestamp: float = 0.0) -> Query:
+        """Draw one concrete query from the template."""
+        return Query(
+            predicate=self.make_predicate(rng),
+            template=self.name,
+            timestamp=timestamp,
+        )
+
+    def sample_batch(
+        self, size: int, rng: np.random.Generator, start_timestamp: float = 0.0
+    ) -> list[Query]:
+        """Draw ``size`` queries — the per-template workload oracles train on."""
+        return [
+            self.instantiate(rng, timestamp=start_timestamp + i) for i in range(size)
+        ]

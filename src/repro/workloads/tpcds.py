@@ -1,0 +1,318 @@
+"""TPC-DS-like dataset and query templates.
+
+The paper denormalizes all TPC-DS tables against ``store_sales`` (SF 10,
+~26M rows) and uses 17 store_sales-touching templates: q3, q7, q13, q19,
+q27, q28, q34, q36, q46, q48, q53, q68, q79, q88, q89, q96, q98.  As with
+TPC-H we reproduce the *filter structure* of each template against a
+synthetic denormalized store_sales table: date/time fact columns plus the
+dimension attributes those 17 queries filter on (item, store, customer
+demographics, household demographics, customer address).
+
+Dates are integer days since 1998-01-01 over five years ([0, 1824]);
+``d_year``/``d_moy``/``d_dow`` are derived from the date column so
+time-dimension filters stay consistent with the fact rows.  Time of day is
+seconds since midnight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..queries.predicates import Predicate, between, conjunction, eq, ge, isin
+from ..storage.table import ColumnSpec, Schema, Table
+from .dataset import DatasetBundle, zipf_codes
+from .templates import QueryTemplate
+
+__all__ = ["load", "make_table", "make_templates", "DATE_MIN", "DATE_MAX"]
+
+DATE_MIN = 0
+DATE_MAX = 1824  # 1998-01-01 .. 2002-12-31 in days
+
+_CATEGORIES = (
+    "Books", "Children", "Electronics", "Home", "Jewelry",
+    "Men", "Music", "Shoes", "Sports", "Women",
+)
+_CLASSES = tuple(f"class_{i:02d}" for i in range(48))
+_BRANDS = tuple(f"brand_{i:03d}" for i in range(100))
+_STATES = ("AL", "CA", "GA", "IL", "KS", "MI", "NY", "OH", "TN", "TX")
+_COUNTIES = tuple(f"county_{i:02d}" for i in range(30))
+_STORES = tuple(f"store_{i:02d}" for i in range(24))
+_GENDERS = ("F", "M")
+_MARITAL = ("D", "M", "S", "U", "W")
+_EDUCATION = (
+    "2 yr Degree", "4 yr Degree", "Advanced Degree", "College",
+    "Primary", "Secondary", "Unknown",
+)
+
+
+def make_schema() -> Schema:
+    """Denormalized store_sales schema."""
+    return Schema(
+        columns=(
+            ColumnSpec("ss_sold_date", "numeric"),
+            ColumnSpec("ss_sold_time", "numeric"),
+            ColumnSpec("d_year", "numeric"),
+            ColumnSpec("d_moy", "numeric"),
+            ColumnSpec("d_dow", "numeric"),
+            ColumnSpec("d_dom", "numeric"),
+            ColumnSpec("ss_quantity", "numeric"),
+            ColumnSpec("ss_wholesale_cost", "numeric"),
+            ColumnSpec("ss_list_price", "numeric"),
+            ColumnSpec("ss_sales_price", "numeric"),
+            ColumnSpec("ss_ext_discount_amt", "numeric"),
+            ColumnSpec("ss_net_profit", "numeric"),
+            ColumnSpec("i_current_price", "numeric"),
+            ColumnSpec("i_manufact_id", "numeric"),
+            ColumnSpec("i_manager_id", "numeric"),
+            ColumnSpec("hd_dep_count", "numeric"),
+            ColumnSpec("cd_dep_count", "numeric"),
+            ColumnSpec("i_category", "categorical", _CATEGORIES),
+            ColumnSpec("i_class", "categorical", _CLASSES),
+            ColumnSpec("i_brand", "categorical", _BRANDS),
+            ColumnSpec("s_state", "categorical", _STATES),
+            ColumnSpec("s_county", "categorical", _COUNTIES),
+            ColumnSpec("s_store_name", "categorical", _STORES),
+            ColumnSpec("ca_state", "categorical", _STATES),
+            ColumnSpec("cd_gender", "categorical", _GENDERS),
+            ColumnSpec("cd_marital_status", "categorical", _MARITAL),
+            ColumnSpec("cd_education_status", "categorical", _EDUCATION),
+        )
+    )
+
+
+def make_table(num_rows: int, rng: np.random.Generator) -> Table:
+    """Synthesize a denormalized store_sales table."""
+    schema = make_schema()
+    sold_date = rng.integers(DATE_MIN, DATE_MAX + 1, size=num_rows)
+    quantity = rng.integers(1, 101, size=num_rows).astype(np.float64)
+    wholesale = rng.uniform(1.0, 100.0, size=num_rows)
+    list_price = wholesale * rng.uniform(1.0, 2.0, size=num_rows)
+    sales_price = list_price * rng.uniform(0.3, 1.0, size=num_rows)
+    columns = {
+        "ss_sold_date": sold_date.astype(np.int64),
+        "ss_sold_time": rng.integers(8 * 3600, 22 * 3600, size=num_rows).astype(np.int64),
+        "d_year": (1998 + sold_date // 365).astype(np.int64),
+        "d_moy": (1 + (sold_date % 365) // 31).astype(np.int64),
+        "d_dow": (sold_date % 7).astype(np.int64),
+        "d_dom": (1 + (sold_date % 365) % 31).astype(np.int64),
+        "ss_quantity": quantity,
+        "ss_wholesale_cost": wholesale,
+        "ss_list_price": list_price,
+        "ss_sales_price": sales_price,
+        "ss_ext_discount_amt": (list_price - sales_price) * quantity,
+        "ss_net_profit": (sales_price - wholesale) * quantity,
+        "i_current_price": rng.uniform(0.5, 300.0, size=num_rows),
+        "i_manufact_id": rng.integers(1, 1001, size=num_rows).astype(np.int64),
+        "i_manager_id": rng.integers(1, 101, size=num_rows).astype(np.int64),
+        "hd_dep_count": rng.integers(0, 10, size=num_rows).astype(np.int64),
+        "cd_dep_count": rng.integers(0, 7, size=num_rows).astype(np.int64),
+        "i_category": rng.integers(0, len(_CATEGORIES), size=num_rows).astype(np.int32),
+        "i_class": zipf_codes(num_rows, len(_CLASSES), rng, exponent=0.7),
+        "i_brand": zipf_codes(num_rows, len(_BRANDS), rng, exponent=0.9),
+        "s_state": zipf_codes(num_rows, len(_STATES), rng, exponent=0.6),
+        "s_county": rng.integers(0, len(_COUNTIES), size=num_rows).astype(np.int32),
+        "s_store_name": rng.integers(0, len(_STORES), size=num_rows).astype(np.int32),
+        "ca_state": zipf_codes(num_rows, len(_STATES), rng, exponent=0.5),
+        "cd_gender": rng.integers(0, 2, size=num_rows).astype(np.int32),
+        "cd_marital_status": rng.integers(0, len(_MARITAL), size=num_rows).astype(np.int32),
+        "cd_education_status": rng.integers(0, len(_EDUCATION), size=num_rows).astype(np.int32),
+    }
+    return Table(schema, columns)
+
+
+def make_templates() -> tuple[QueryTemplate, ...]:
+    """The paper's 17 store_sales-touching TPC-DS query templates."""
+
+    def year(rng: np.random.Generator) -> int:
+        return int(rng.integers(1998, 2003))
+
+    def q3(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (eq("i_manufact_id", int(rng.integers(1, 1001))), eq("d_moy", 11))
+        )
+
+    def q7(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                eq("cd_gender", int(rng.integers(2))),
+                eq("cd_marital_status", int(rng.integers(len(_MARITAL)))),
+                eq("cd_education_status", int(rng.integers(len(_EDUCATION)))),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q13(rng: np.random.Generator) -> Predicate:
+        low = float(rng.integers(50, 101))
+        return conjunction(
+            (
+                eq("cd_marital_status", int(rng.integers(len(_MARITAL)))),
+                eq("cd_education_status", int(rng.integers(len(_EDUCATION)))),
+                between("ss_sales_price", low, low + 50.0),
+                eq("d_year", 2001),
+            )
+        )
+
+    def q19(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                eq("i_manager_id", int(rng.integers(1, 101))),
+                eq("d_moy", int(rng.integers(1, 13))),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q27(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                eq("cd_gender", int(rng.integers(2))),
+                eq("cd_marital_status", int(rng.integers(len(_MARITAL)))),
+                eq("s_state", int(rng.integers(len(_STATES)))),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q28(rng: np.random.Generator) -> Predicate:
+        quantity_low = float(rng.integers(0, 80))
+        price_low = float(rng.integers(10, 150))
+        return conjunction(
+            (
+                between("ss_quantity", quantity_low, quantity_low + 20.0),
+                between("ss_list_price", price_low, price_low + 10.0),
+            )
+        )
+
+    def q34(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                between("d_dom", 1, 3),
+                eq("s_county", int(rng.integers(len(_COUNTIES)))),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q36(rng: np.random.Generator) -> Predicate:
+        states = rng.choice(len(_STATES), size=3, replace=False)
+        return conjunction(
+            (
+                eq("d_year", year(rng)),
+                isin("s_state", tuple(int(s) for s in states)),
+            )
+        )
+
+    def q46(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                isin("d_dow", (0, 6)),
+                eq("hd_dep_count", int(rng.integers(0, 10))),
+                eq("s_store_name", int(rng.integers(len(_STORES)))),
+            )
+        )
+
+    def q48(rng: np.random.Generator) -> Predicate:
+        low = float(rng.integers(50, 101))
+        states = rng.choice(len(_STATES), size=3, replace=False)
+        return conjunction(
+            (
+                eq("cd_marital_status", int(rng.integers(len(_MARITAL)))),
+                between("ss_sales_price", low, low + 50.0),
+                isin("ca_state", tuple(int(s) for s in states)),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q53(rng: np.random.Generator) -> Predicate:
+        manufacturers = rng.integers(1, 1001, size=5)
+        month_seq = int(rng.integers(1, 13))
+        return conjunction(
+            (
+                isin("i_manufact_id", tuple(int(m) for m in manufacturers)),
+                eq("d_moy", month_seq),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q68(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                between("d_dom", 1, 2),
+                eq("hd_dep_count", int(rng.integers(0, 10))),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q79(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                eq("d_dow", 1),
+                eq("hd_dep_count", int(rng.integers(0, 10))),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q88(rng: np.random.Generator) -> Predicate:
+        hour = int(rng.integers(8, 21))
+        return conjunction(
+            (
+                between("ss_sold_time", hour * 3600, hour * 3600 + 1799),
+                eq("hd_dep_count", int(rng.integers(0, 10))),
+            )
+        )
+
+    def q89(rng: np.random.Generator) -> Predicate:
+        categories = rng.choice(len(_CATEGORIES), size=3, replace=False)
+        return conjunction(
+            (
+                isin("i_category", tuple(int(c) for c in categories)),
+                eq("d_year", year(rng)),
+            )
+        )
+
+    def q96(rng: np.random.Generator) -> Predicate:
+        hour = int(rng.integers(8, 21))
+        return conjunction(
+            (
+                between("ss_sold_time", hour * 3600, hour * 3600 + 3599),
+                eq("hd_dep_count", int(rng.integers(0, 10))),
+            )
+        )
+
+    def q98(rng: np.random.Generator) -> Predicate:
+        categories = rng.choice(len(_CATEGORIES), size=3, replace=False)
+        day = int(rng.integers(DATE_MIN, DATE_MAX - 30))
+        return conjunction(
+            (
+                isin("i_category", tuple(int(c) for c in categories)),
+                between("ss_sold_date", day, day + 29),
+            )
+        )
+
+    makers = {
+        "tpcds-q3": q3,
+        "tpcds-q7": q7,
+        "tpcds-q13": q13,
+        "tpcds-q19": q19,
+        "tpcds-q27": q27,
+        "tpcds-q28": q28,
+        "tpcds-q34": q34,
+        "tpcds-q36": q36,
+        "tpcds-q46": q46,
+        "tpcds-q48": q48,
+        "tpcds-q53": q53,
+        "tpcds-q68": q68,
+        "tpcds-q79": q79,
+        "tpcds-q88": q88,
+        "tpcds-q89": q89,
+        "tpcds-q96": q96,
+        "tpcds-q98": q98,
+    }
+    return tuple(QueryTemplate(name, fn) for name, fn in makers.items())
+
+
+def load(num_rows: int, rng: np.random.Generator) -> DatasetBundle:
+    """Build the TPC-DS-like dataset bundle."""
+    return DatasetBundle(
+        name="tpcds",
+        table=make_table(num_rows, rng),
+        templates=make_templates(),
+        default_sort_column="ss_sold_date",
+    )

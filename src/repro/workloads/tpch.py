@@ -1,0 +1,285 @@
+"""TPC-H-like dataset and query templates.
+
+The paper denormalizes all TPC-H tables against ``lineitem`` (SF 100,
+~40M-row reorganization unit, 58 columns) and draws 30,000 queries from 13
+lineitem-touching templates (q1, q3, q4, q5, q6, q7, q8, q10, q12, q14,
+q17, q19*, q21).  We reproduce the *filter structure* of those templates —
+the part that determines data skipping — against a synthetic denormalized
+lineitem table whose column marginals follow the TPC-H specification
+(uniform quantities/discounts, 7-year date range, correlated
+ship/commit/receipt/order dates, specified category cardinalities).
+
+Notes on fidelity:
+
+* q9 and q18 are excluded exactly as in the paper (LIKE on a
+  high-cardinality column; HAVING on an aggregate) — their predicates cannot
+  be evaluated with basic partition metadata.
+* The paper lists 12 template names while stating 13 templates; we add
+  q19 (brand + container + quantity band), the canonical remaining
+  lineitem-predicate query, to reach 13.
+* Row-to-row comparisons inside q4/q12/q21 (e.g. ``commitdate <
+  receiptdate``) do not prune partitions via min/max metadata, so templates
+  keep only their metadata-evaluable scalar predicates, matching the
+  paper's own restriction to basic partition-level metadata.
+
+Dates are encoded as integer days since 1992-01-01 (day 0); the full domain
+is [0, 2556] covering 1992-01-01 .. 1998-12-31.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..queries.predicates import Predicate, between, conjunction, eq, ge, gt, isin, le, lt
+from ..storage.table import ColumnSpec, Schema, Table
+from .dataset import DatasetBundle, zipf_codes
+from .templates import QueryTemplate
+
+__all__ = ["load", "make_table", "make_templates", "DATE_MIN", "DATE_MAX"]
+
+DATE_MIN = 0
+DATE_MAX = 2556  # 1992-01-01 .. 1998-12-31 in days
+_YEAR = 365
+
+_REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+_NATIONS = tuple(f"NATION_{i:02d}" for i in range(25))
+_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+_SHIPMODES = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+_SHIPINSTRUCT = ("COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN")
+_RETURNFLAGS = ("A", "N", "R")
+_LINESTATUS = ("F", "O")
+_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+_BRANDS = tuple(f"Brand#{i // 5 + 1}{i % 5 + 1}" for i in range(25))
+_CONTAINERS = tuple(
+    f"{size} {kind}"
+    for size in ("SM", "MED", "LG", "JUMBO", "WRAP")
+    for kind in ("BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG")
+)
+_PTYPES = tuple(
+    f"{a} {b} {c}"
+    for a in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for b in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+    for c in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+)
+
+
+def make_schema() -> Schema:
+    """Denormalized lineitem schema (fact columns + joined dimensions)."""
+    return Schema(
+        columns=(
+            ColumnSpec("l_orderkey", "numeric"),
+            ColumnSpec("l_quantity", "numeric"),
+            ColumnSpec("l_extendedprice", "numeric"),
+            ColumnSpec("l_discount", "numeric"),
+            ColumnSpec("l_tax", "numeric"),
+            ColumnSpec("l_shipdate", "numeric"),
+            ColumnSpec("l_commitdate", "numeric"),
+            ColumnSpec("l_receiptdate", "numeric"),
+            ColumnSpec("o_orderdate", "numeric"),
+            ColumnSpec("o_totalprice", "numeric"),
+            ColumnSpec("p_size", "numeric"),
+            ColumnSpec("p_retailprice", "numeric"),
+            ColumnSpec("l_shipmode", "categorical", _SHIPMODES),
+            ColumnSpec("l_shipinstruct", "categorical", _SHIPINSTRUCT),
+            ColumnSpec("l_returnflag", "categorical", _RETURNFLAGS),
+            ColumnSpec("l_linestatus", "categorical", _LINESTATUS),
+            ColumnSpec("o_orderpriority", "categorical", _PRIORITIES),
+            ColumnSpec("c_mktsegment", "categorical", _SEGMENTS),
+            ColumnSpec("c_region", "categorical", _REGIONS),
+            ColumnSpec("s_region", "categorical", _REGIONS),
+            ColumnSpec("c_nation", "categorical", _NATIONS),
+            ColumnSpec("s_nation", "categorical", _NATIONS),
+            ColumnSpec("p_brand", "categorical", _BRANDS),
+            ColumnSpec("p_container", "categorical", _CONTAINERS),
+            ColumnSpec("p_type", "categorical", _PTYPES),
+        )
+    )
+
+
+def make_table(num_rows: int, rng: np.random.Generator) -> Table:
+    """Synthesize a denormalized lineitem table with TPC-H-style marginals."""
+    schema = make_schema()
+    shipdate = rng.integers(DATE_MIN, DATE_MAX - 130, size=num_rows)
+    orderdate = np.clip(shipdate - rng.integers(1, 122, size=num_rows), DATE_MIN, None)
+    commitdate = np.clip(orderdate + rng.integers(30, 91, size=num_rows), None, DATE_MAX)
+    receiptdate = np.clip(shipdate + rng.integers(1, 31, size=num_rows), None, DATE_MAX)
+    quantity = rng.integers(1, 51, size=num_rows).astype(np.float64)
+    retailprice = 900.0 + rng.uniform(0.0, 1200.0, size=num_rows)
+    columns = {
+        "l_orderkey": np.sort(rng.integers(1, max(2, num_rows), size=num_rows)),
+        "l_quantity": quantity,
+        "l_extendedprice": quantity * retailprice,
+        "l_discount": np.round(rng.uniform(0.0, 0.10, size=num_rows), 2),
+        "l_tax": np.round(rng.uniform(0.0, 0.08, size=num_rows), 2),
+        "l_shipdate": shipdate.astype(np.int64),
+        "l_commitdate": commitdate.astype(np.int64),
+        "l_receiptdate": receiptdate.astype(np.int64),
+        "o_orderdate": orderdate.astype(np.int64),
+        "o_totalprice": rng.uniform(900.0, 500000.0, size=num_rows),
+        "p_size": rng.integers(1, 51, size=num_rows).astype(np.int64),
+        "p_retailprice": retailprice,
+        "l_shipmode": rng.integers(0, len(_SHIPMODES), size=num_rows).astype(np.int32),
+        "l_shipinstruct": rng.integers(0, len(_SHIPINSTRUCT), size=num_rows).astype(np.int32),
+        "l_returnflag": rng.choice(3, size=num_rows, p=(0.25, 0.5, 0.25)).astype(np.int32),
+        "l_linestatus": rng.integers(0, 2, size=num_rows).astype(np.int32),
+        "o_orderpriority": rng.integers(0, len(_PRIORITIES), size=num_rows).astype(np.int32),
+        "c_mktsegment": rng.integers(0, len(_SEGMENTS), size=num_rows).astype(np.int32),
+        "c_region": rng.integers(0, len(_REGIONS), size=num_rows).astype(np.int32),
+        "s_region": rng.integers(0, len(_REGIONS), size=num_rows).astype(np.int32),
+        "c_nation": rng.integers(0, len(_NATIONS), size=num_rows).astype(np.int32),
+        "s_nation": rng.integers(0, len(_NATIONS), size=num_rows).astype(np.int32),
+        "p_brand": zipf_codes(num_rows, len(_BRANDS), rng, exponent=0.8),
+        "p_container": zipf_codes(num_rows, len(_CONTAINERS), rng, exponent=0.8),
+        "p_type": zipf_codes(num_rows, len(_PTYPES), rng, exponent=0.6),
+    }
+    return Table(schema, columns)
+
+
+def _random_day(rng: np.random.Generator, latest_offset: int = 0) -> int:
+    return int(rng.integers(DATE_MIN, DATE_MAX - latest_offset))
+
+
+def make_templates() -> tuple[QueryTemplate, ...]:
+    """The paper's 13 lineitem-touching TPC-H query templates."""
+    schema = make_schema()
+
+    def code(column: str, value: str) -> int:
+        return schema[column].encode(value)
+
+    def q1(rng: np.random.Generator) -> Predicate:
+        # Pricing summary: shipdate <= [date within 60-120 days of end].
+        return le("l_shipdate", DATE_MAX - int(rng.integers(60, 121)))
+
+    def q3(rng: np.random.Generator) -> Predicate:
+        day = _random_day(rng, latest_offset=200)
+        return conjunction(
+            (
+                eq("c_mktsegment", int(rng.integers(len(_SEGMENTS)))),
+                lt("o_orderdate", day),
+                gt("l_shipdate", day),
+            )
+        )
+
+    def q4(rng: np.random.Generator) -> Predicate:
+        day = _random_day(rng, latest_offset=90)
+        return between("o_orderdate", day, day + 89)
+
+    def q5(rng: np.random.Generator) -> Predicate:
+        day = _random_day(rng, latest_offset=_YEAR)
+        return conjunction(
+            (
+                eq("c_region", int(rng.integers(len(_REGIONS)))),
+                between("o_orderdate", day, day + _YEAR - 1),
+            )
+        )
+
+    def q6(rng: np.random.Generator) -> Predicate:
+        day = _random_day(rng, latest_offset=_YEAR)
+        discount = float(np.round(rng.uniform(0.02, 0.09), 2))
+        return conjunction(
+            (
+                between("l_shipdate", day, day + _YEAR - 1),
+                between("l_discount", discount - 0.01, discount + 0.01),
+                lt("l_quantity", float(rng.integers(24, 26))),
+            )
+        )
+
+    def q7(rng: np.random.Generator) -> Predicate:
+        nations = rng.choice(len(_NATIONS), size=2, replace=False)
+        day = _random_day(rng, latest_offset=2 * _YEAR)
+        return conjunction(
+            (
+                isin("s_nation", (int(nations[0]), int(nations[1]))),
+                between("l_shipdate", day, day + 2 * _YEAR - 1),
+            )
+        )
+
+    def q8(rng: np.random.Generator) -> Predicate:
+        day = _random_day(rng, latest_offset=2 * _YEAR)
+        return conjunction(
+            (
+                eq("c_region", int(rng.integers(len(_REGIONS)))),
+                between("o_orderdate", day, day + 2 * _YEAR - 1),
+                eq("p_type", int(rng.integers(len(_PTYPES)))),
+            )
+        )
+
+    def q10(rng: np.random.Generator) -> Predicate:
+        day = _random_day(rng, latest_offset=90)
+        return conjunction(
+            (
+                between("o_orderdate", day, day + 89),
+                eq("l_returnflag", code("l_returnflag", "R")),
+            )
+        )
+
+    def q12(rng: np.random.Generator) -> Predicate:
+        modes = rng.choice(len(_SHIPMODES), size=2, replace=False)
+        day = _random_day(rng, latest_offset=_YEAR)
+        return conjunction(
+            (
+                isin("l_shipmode", (int(modes[0]), int(modes[1]))),
+                between("l_receiptdate", day, day + _YEAR - 1),
+            )
+        )
+
+    def q14(rng: np.random.Generator) -> Predicate:
+        day = _random_day(rng, latest_offset=30)
+        return between("l_shipdate", day, day + 29)
+
+    def q17(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                eq("p_brand", int(rng.integers(len(_BRANDS)))),
+                eq("p_container", int(rng.integers(len(_CONTAINERS)))),
+            )
+        )
+
+    def q19(rng: np.random.Generator) -> Predicate:
+        quantity = float(rng.integers(1, 31))
+        return conjunction(
+            (
+                eq("p_brand", int(rng.integers(len(_BRANDS)))),
+                isin(
+                    "p_container",
+                    tuple(int(c) for c in rng.choice(len(_CONTAINERS), size=4, replace=False)),
+                ),
+                between("l_quantity", quantity, quantity + 10.0),
+                between("p_size", 1, int(rng.integers(5, 16))),
+            )
+        )
+
+    def q21(rng: np.random.Generator) -> Predicate:
+        return conjunction(
+            (
+                eq("s_nation", int(rng.integers(len(_NATIONS)))),
+                eq("l_linestatus", code("l_linestatus", "F")),
+            )
+        )
+
+    makers = {
+        "tpch-q1": q1,
+        "tpch-q3": q3,
+        "tpch-q4": q4,
+        "tpch-q5": q5,
+        "tpch-q6": q6,
+        "tpch-q7": q7,
+        "tpch-q8": q8,
+        "tpch-q10": q10,
+        "tpch-q12": q12,
+        "tpch-q14": q14,
+        "tpch-q17": q17,
+        "tpch-q19": q19,
+        "tpch-q21": q21,
+    }
+    return tuple(QueryTemplate(name, fn) for name, fn in makers.items())
+
+
+def load(num_rows: int, rng: np.random.Generator) -> DatasetBundle:
+    """Build the TPC-H-like dataset bundle."""
+    return DatasetBundle(
+        name="tpch",
+        table=make_table(num_rows, rng),
+        templates=make_templates(),
+        default_sort_column="o_orderdate",
+    )

@@ -1,0 +1,126 @@
+"""Tests for the MTS Optimal and Offline Optimal oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MTSOptimalStrategy,
+    OfflineOptimalStrategy,
+    precompute_template_layouts,
+)
+from repro.core import CostEvaluator
+from repro.layouts import QdTreeBuilder
+from repro.queries import Query, QueryStream, between
+from repro.workloads import generate_stream
+from repro.workloads.templates import QueryTemplate
+
+
+def drift_templates():
+    def low(rng):
+        start = float(rng.uniform(0, 30))
+        return between("x", start, start + 3.0)
+
+    def high(rng):
+        start = float(rng.uniform(60, 95))
+        return between("x", start, start + 3.0)
+
+    return (QueryTemplate("low", low), QueryTemplate("high", high))
+
+
+@pytest.fixture
+def stream(rng):
+    return generate_stream(drift_templates(), 300, 6, rng)
+
+
+@pytest.fixture
+def template_layouts(simple_table, stream, rng):
+    return precompute_template_layouts(
+        simple_table, QdTreeBuilder(), stream, 8, 0.2, rng
+    )
+
+
+class TestPrecompute:
+    def test_one_layout_per_template(self, template_layouts):
+        assert set(template_layouts) == {"low", "high"}
+
+    def test_layouts_specialized(self, simple_table, template_layouts, rng):
+        """Each template's layout must beat the other template's layout on
+        its own queries."""
+        evaluator = CostEvaluator(simple_table)
+        low_queries = [
+            Query(predicate=between("x", 10.0, 13.0), template="low")
+            for _ in range(5)
+        ]
+        low_cost_on_low = evaluator.average_cost(template_layouts["low"], low_queries)
+        low_cost_on_high = evaluator.average_cost(template_layouts["high"], low_queries)
+        assert low_cost_on_low <= low_cost_on_high + 1e-9
+
+
+class TestMTSOptimal:
+    def test_runs_and_accounts(self, simple_table, stream, template_layouts, rng):
+        strategy = MTSOptimalStrategy(
+            CostEvaluator(simple_table), template_layouts, alpha=10.0, rng=rng
+        )
+        summary = strategy.run(stream)
+        assert summary.num_queries == len(stream)
+        assert summary.total_reorg_cost == 10.0 * summary.num_switches
+
+    def test_requires_layouts(self, simple_table, rng):
+        with pytest.raises(ValueError):
+            MTSOptimalStrategy(CostEvaluator(simple_table), {}, alpha=10.0, rng=rng)
+
+    def test_initial_layout_included(self, simple_table, stream, template_layouts, rng):
+        from repro.layouts import RoundRobinLayout
+
+        initial = RoundRobinLayout(8)
+        strategy = MTSOptimalStrategy(
+            CostEvaluator(simple_table),
+            template_layouts,
+            alpha=10.0,
+            rng=rng,
+            initial_layout=initial,
+        )
+        assert strategy.algorithm.current == initial.layout_id
+
+
+class TestOfflineOptimal:
+    def test_switches_exactly_at_boundaries(
+        self, simple_table, stream, template_layouts
+    ):
+        strategy = OfflineOptimalStrategy(
+            CostEvaluator(simple_table), template_layouts, alpha=10.0
+        )
+        summary = strategy.run(stream)
+        # Layout changes happen only at template switches (fewer are allowed
+        # when one layout wins consecutive segments).
+        assert summary.num_switches <= len(stream.segments) - 1
+        assert summary.num_switches >= 1
+        switch_steps = set(strategy.ledger.switch_steps)
+        assert switch_steps <= set(stream.segment_boundaries())
+
+    def test_requires_segmented_stream(self, simple_table, template_layouts):
+        strategy = OfflineOptimalStrategy(
+            CostEvaluator(simple_table), template_layouts, alpha=10.0
+        )
+        bare = QueryStream(
+            queries=(Query(predicate=between("x", 0, 1), template="low"),)
+        )
+        with pytest.raises(ValueError, match="segmented"):
+            strategy.run(bare)
+
+    def test_lower_bounds_mts_optimal_query_cost(
+        self, simple_table, stream, template_layouts, rng
+    ):
+        evaluator = CostEvaluator(simple_table)
+        offline = OfflineOptimalStrategy(evaluator, template_layouts, alpha=10.0)
+        offline_summary = offline.run(stream)
+        online = MTSOptimalStrategy(
+            evaluator, template_layouts, alpha=10.0, rng=np.random.default_rng(0)
+        )
+        online_summary = online.run(stream)
+        assert (
+            offline_summary.total_query_cost
+            <= online_summary.total_query_cost + 1e-9
+        )

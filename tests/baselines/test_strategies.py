@@ -1,0 +1,163 @@
+"""Tests for the Static, Greedy and Regret baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CandidateGenerator,
+    GreedyStrategy,
+    RegretStrategy,
+    StaticStrategy,
+    build_static_layout,
+)
+from repro.core import CostEvaluator
+from repro.layouts import QdTreeBuilder, RangeLayoutBuilder, RoundRobinLayout
+from repro.queries import between
+from repro.workloads import generate_stream
+from repro.workloads.templates import QueryTemplate
+
+
+def drift_templates():
+    def low(rng):
+        start = float(rng.uniform(0, 30))
+        return between("x", start, start + 3.0)
+
+    def high(rng):
+        start = float(rng.uniform(60, 95))
+        return between("x", start, start + 3.0)
+
+    return (QueryTemplate("low", low), QueryTemplate("high", high))
+
+
+@pytest.fixture
+def stream(rng):
+    return generate_stream(drift_templates(), 300, 6, rng)
+
+
+@pytest.fixture
+def candidates(simple_table, rng):
+    return CandidateGenerator(
+        table=simple_table,
+        builder=QdTreeBuilder(),
+        window_size=25,
+        generation_interval=25,
+        num_partitions=8,
+        data_sample_fraction=0.2,
+        rng=rng,
+    )
+
+
+class TestCandidateGenerator:
+    def test_interval_validation(self, simple_table, rng):
+        with pytest.raises(ValueError):
+            CandidateGenerator(simple_table, QdTreeBuilder(), 10, 0, 4, 0.1, rng)
+
+    def test_candidate_every_interval(self, candidates, stream):
+        produced = []
+        for index, query in enumerate(stream):
+            layout = candidates.observe(query)
+            if layout is not None:
+                produced.append(index)
+        assert produced == [i for i in range(len(stream)) if (i + 1) % 25 == 0]
+
+    def test_candidates_differ_across_regimes(self, candidates, stream):
+        layouts = [candidates.observe(q) for q in stream]
+        layouts = [l for l in layouts if l is not None]
+        assert len({l.layout_id for l in layouts}) == len(layouts)
+
+
+class TestStatic:
+    def test_never_switches(self, simple_table, stream, rng):
+        layout = build_static_layout(
+            simple_table, QdTreeBuilder(), list(stream), 8, 0.2, rng
+        )
+        strategy = StaticStrategy(CostEvaluator(simple_table), layout)
+        summary = strategy.run(stream)
+        assert summary.num_switches == 0
+        assert summary.total_reorg_cost == 0.0
+        assert summary.num_queries == len(stream)
+
+    def test_workload_aware_beats_oblivious(self, simple_table, stream, rng):
+        evaluator = CostEvaluator(simple_table)
+        tuned = build_static_layout(
+            simple_table, QdTreeBuilder(), list(stream), 8, 0.2, rng
+        )
+        oblivious = RoundRobinLayout(8)
+        tuned_cost = StaticStrategy(evaluator, tuned).run(stream).total_query_cost
+        oblivious_cost = StaticStrategy(evaluator, oblivious).run(stream).total_query_cost
+        assert tuned_cost < oblivious_cost
+
+
+class TestGreedy:
+    def test_switches_toward_better_layouts(self, simple_table, stream, candidates, rng):
+        initial = RangeLayoutBuilder("y").build(simple_table, [], 8, rng)
+        strategy = GreedyStrategy(CostEvaluator(simple_table), initial, candidates, alpha=10.0)
+        summary = strategy.run(stream)
+        assert summary.num_switches >= 1
+        assert summary.total_reorg_cost == 10.0 * summary.num_switches
+
+    def test_ignores_alpha_in_decisions(self, simple_table, stream, rng):
+        """Same candidate stream => same switch count regardless of alpha."""
+        switch_counts = []
+        for alpha in (1.0, 1000.0):
+            candidates = CandidateGenerator(
+                simple_table, QdTreeBuilder(), 25, 25, 8, 0.2,
+                np.random.default_rng(0),
+            )
+            initial = RangeLayoutBuilder("y").build(
+                simple_table, [], 8, np.random.default_rng(1)
+            )
+            strategy = GreedyStrategy(
+                CostEvaluator(simple_table), initial, candidates, alpha=alpha
+            )
+            switch_counts.append(strategy.run(stream).num_switches)
+        assert switch_counts[0] == switch_counts[1]
+
+
+class TestRegret:
+    def make(self, simple_table, rng, alpha=10.0, **kwargs):
+        candidates = CandidateGenerator(
+            simple_table, QdTreeBuilder(), 25, 25, 8, 0.2, rng
+        )
+        initial = RangeLayoutBuilder("y").build(simple_table, [], 8, rng)
+        return RegretStrategy(
+            CostEvaluator(simple_table), initial, candidates, alpha=alpha, **kwargs
+        )
+
+    def test_switches_when_savings_exceed_alpha(self, simple_table, stream, rng):
+        strategy = self.make(simple_table, rng, alpha=5.0)
+        summary = strategy.run(stream)
+        assert summary.num_switches >= 1
+
+    def test_huge_alpha_prevents_switching(self, simple_table, stream, rng):
+        strategy = self.make(simple_table, rng, alpha=1e9)
+        summary = strategy.run(stream)
+        assert summary.num_switches == 0
+
+    def test_more_conservative_than_greedy(self, simple_table, stream, rng):
+        greedy_candidates = CandidateGenerator(
+            simple_table, QdTreeBuilder(), 25, 25, 8, 0.2, np.random.default_rng(0)
+        )
+        initial = RangeLayoutBuilder("y").build(
+            simple_table, [], 8, np.random.default_rng(1)
+        )
+        greedy = GreedyStrategy(
+            CostEvaluator(simple_table), initial, greedy_candidates, alpha=50.0
+        )
+        greedy_switches = greedy.run(stream).num_switches
+
+        regret = self.make(simple_table, np.random.default_rng(0), alpha=50.0)
+        regret_switches = regret.run(stream).num_switches
+        assert regret_switches <= greedy_switches
+
+    def test_alternative_cap_respected(self, simple_table, stream, rng):
+        strategy = self.make(simple_table, rng, alpha=1e9, max_alternatives=2)
+        strategy.run(stream)
+        assert len(strategy._alternatives) <= 2
+
+    def test_history_cap(self, simple_table, stream, rng):
+        strategy = self.make(simple_table, rng, alpha=1e9, history_cap=40)
+        strategy.run(stream)
+        assert len(strategy._history) <= 40

@@ -1,0 +1,61 @@
+"""Shared fixtures: small deterministic tables, schemas and streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts.metadata import build_layout_metadata
+from repro.queries import Query, between, eq
+from repro.storage import ColumnSpec, Schema, Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_schema() -> Schema:
+    return Schema(
+        columns=(
+            ColumnSpec("x", "numeric"),
+            ColumnSpec("y", "numeric"),
+            ColumnSpec("color", "categorical", ("red", "green", "blue")),
+        )
+    )
+
+
+@pytest.fixture
+def simple_table(simple_schema, rng) -> Table:
+    n = 1000
+    return Table(
+        simple_schema,
+        {
+            "x": rng.uniform(0.0, 100.0, size=n),
+            "y": rng.integers(0, 50, size=n).astype(np.int64),
+            "color": rng.integers(0, 3, size=n).astype(np.int32),
+        },
+    )
+
+
+@pytest.fixture
+def simple_metadata(simple_table):
+    """Metadata for a 4-way row-striped partitioning of simple_table."""
+    assignment = np.arange(simple_table.num_rows) % 4
+    return build_layout_metadata(simple_table, assignment)
+
+
+@pytest.fixture
+def range_query() -> Query:
+    return Query(predicate=between("x", 10.0, 20.0), template="range")
+
+
+@pytest.fixture
+def point_query() -> Query:
+    return Query(predicate=eq("color", 1), template="point")
+
+
+def make_uniform_costs(states, value):
+    """Cost mapping assigning ``value`` to every state (test helper)."""
+    return {s: value for s in states}

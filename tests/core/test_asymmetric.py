@@ -1,0 +1,154 @@
+"""Tests for the asymmetric-cost MTS extensions (Appendix C analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TwoStateCounterAlgorithm, WorkFunctionAlgorithm, solve_offline
+
+
+def symmetric_matrix(n, alpha):
+    matrix = np.full((n, n), float(alpha))
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+class TestWorkFunctionValidation:
+    def test_requires_two_states(self):
+        with pytest.raises(ValueError):
+            WorkFunctionAlgorithm(["a"], np.zeros((1, 1)))
+
+    def test_square_matrix(self):
+        with pytest.raises(ValueError):
+            WorkFunctionAlgorithm(["a", "b"], np.zeros((2, 3)))
+
+    def test_zero_diagonal(self):
+        matrix = np.array([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="self-distances"):
+            WorkFunctionAlgorithm(["a", "b"], matrix)
+
+    def test_negative_distances(self):
+        matrix = np.array([[0.0, -1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            WorkFunctionAlgorithm(["a", "b"], matrix)
+
+    def test_triangle_inequality(self):
+        matrix = np.array(
+            [[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]]
+        )
+        with pytest.raises(ValueError, match="triangle"):
+            WorkFunctionAlgorithm(["a", "b", "c"], matrix)
+
+    def test_matrix_size_must_match_states(self):
+        with pytest.raises(ValueError, match="size"):
+            WorkFunctionAlgorithm(["a", "b", "c"], symmetric_matrix(2, 1.0))
+
+    def test_unknown_initial_state(self):
+        with pytest.raises(ValueError):
+            WorkFunctionAlgorithm(["a", "b"], symmetric_matrix(2, 1.0), initial_state="z")
+
+
+class TestWorkFunctionBehaviour:
+    def test_stays_on_cheap_state(self):
+        wfa = WorkFunctionAlgorithm(["a", "b"], symmetric_matrix(2, 5.0), "a")
+        for _ in range(10):
+            decision = wfa.observe({"a": 0.0, "b": 1.0})
+            assert decision.serviced_in == "a"
+            assert not decision.switched
+
+    def test_eventually_abandons_bad_state(self):
+        wfa = WorkFunctionAlgorithm(["a", "b"], symmetric_matrix(2, 2.0), "a")
+        switched = False
+        for _ in range(20):
+            decision = wfa.observe({"a": 1.0, "b": 0.0})
+            switched = switched or decision.switched
+        assert switched
+        assert wfa.current == "b"
+
+    def test_asymmetric_costs_respected(self):
+        # Leaving a is cheap (0.5) but returning costs 10.
+        matrix = np.array([[0.0, 0.5], [10.0, 0.0]])
+        wfa = WorkFunctionAlgorithm(["a", "b"], matrix, "a")
+        total = 0.0
+        for _ in range(30):
+            total += wfa.observe({"a": 0.4, "b": 0.0}).total_cost
+        assert wfa.current == "b"
+        assert total < 30 * 0.4  # beat the never-move strategy
+
+    def test_competitive_on_random_instances(self):
+        """WFA is (2n-1)-competitive; check cost ≤ 3·OPT + slack on 2 states."""
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            costs = rng.uniform(0, 1, size=(150, 2))
+            alpha = 2.0
+            wfa = WorkFunctionAlgorithm(["a", "b"], symmetric_matrix(2, alpha), "a")
+            online = sum(
+                wfa.observe({"a": c[0], "b": c[1]}).total_cost for c in costs
+            )
+            opt = solve_offline(costs, alpha, initial_state=0).total_cost
+            assert online <= 3.0 * opt + 3.0 * alpha
+
+
+class TestTwoStateCounter:
+    def test_requires_exactly_two_states(self):
+        with pytest.raises(ValueError):
+            TwoStateCounterAlgorithm(["a"], 1.0, 1.0)
+        with pytest.raises(ValueError):
+            TwoStateCounterAlgorithm(["a", "b", "c"], 1.0, 1.0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            TwoStateCounterAlgorithm(["a", "b"], -1.0, 1.0)
+
+    def test_no_switch_without_regret(self):
+        algorithm = TwoStateCounterAlgorithm(["a", "b"], 2.0, 2.0, "a")
+        for _ in range(50):
+            decision = algorithm.observe({"a": 0.0, "b": 1.0})
+            assert not decision.switched
+
+    def test_switch_after_roundtrip_regret(self):
+        algorithm = TwoStateCounterAlgorithm(["a", "b"], 1.0, 1.0, "a")
+        decisions = [algorithm.observe({"a": 1.0, "b": 0.0}) for _ in range(2)]
+        assert decisions[-1].switched
+        assert decisions[-1].movement_cost == 1.0
+        assert algorithm.current == "b"
+
+    def test_asymmetric_threshold(self):
+        # Round trip costs 1 + 3 = 4; regret accrues 0.5 per step -> 8 steps.
+        algorithm = TwoStateCounterAlgorithm(["a", "b"], 1.0, 3.0, "a")
+        switch_step = None
+        for step in range(20):
+            if algorithm.observe({"a": 0.5, "b": 0.0}).switched:
+                switch_step = step
+                break
+        assert switch_step == 7  # regret reaches 4.0 on the 8th query
+
+    def test_regret_resets_after_switch(self):
+        algorithm = TwoStateCounterAlgorithm(["a", "b"], 1.0, 1.0, "a")
+        for _ in range(2):
+            algorithm.observe({"a": 1.0, "b": 0.0})
+        assert algorithm.current == "b"
+        assert algorithm.regret == 0.0
+
+    def test_negative_regret_clamped(self):
+        """Being better than the alternative must not bank negative regret."""
+        algorithm = TwoStateCounterAlgorithm(["a", "b"], 1.0, 1.0, "a")
+        for _ in range(10):
+            algorithm.observe({"a": 0.0, "b": 1.0})  # a is better; no debt
+        algorithm.observe({"a": 1.0, "b": 0.0})
+        algorithm.observe({"a": 1.0, "b": 0.0})
+        assert algorithm.current == "b"  # switched despite the good history
+
+    def test_constant_competitive_on_random_instances(self):
+        rng = np.random.default_rng(1)
+        for trial in range(10):
+            costs = rng.uniform(0, 1, size=(150, 2))
+            out_cost, back_cost = 1.0, 3.0
+            algorithm = TwoStateCounterAlgorithm(["a", "b"], out_cost, back_cost, "a")
+            online = sum(
+                algorithm.observe({"a": c[0], "b": c[1]}).total_cost for c in costs
+            )
+            # OPT under the symmetric upper bound of the two movement costs.
+            opt = solve_offline(costs, min(out_cost, back_cost), initial_state=0).total_cost
+            assert online <= 5.0 * opt + 2 * (out_cost + back_cost)

@@ -1,0 +1,134 @@
+"""Empirical verification of Theorem IV.1's competitive guarantee.
+
+The theorem: Algorithm 4 solves D-UMTS with expected competitive ratio at
+most 2·H(|S_max|).  We cannot test an expectation exactly, so we (a) average
+the randomized algorithm over many seeds, (b) compare against the *exact*
+offline optimum from the DP solver, and (c) allow the additive O(alpha)
+slack that any finite-horizon competitive statement carries (the bound is
+asymptotic: cost_online ≤ ratio·OPT + c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicUMTS, solve_offline
+
+
+def harmonic(n: int) -> float:
+    return float(sum(1.0 / k for k in range(1, n + 1)))
+
+
+def run_online(costs, alpha, seed, states):
+    algorithm = DynamicUMTS(
+        states, alpha, np.random.default_rng(seed), initial_state=states[0]
+    )
+    total = 0.0
+    for row in costs:
+        decision = algorithm.observe({s: row[i] for i, s in enumerate(states)})
+        total += decision.total_cost
+    return total
+
+
+def average_online_cost(costs, alpha, states, num_seeds=40):
+    return float(
+        np.mean([run_online(costs, alpha, seed, states) for seed in range(num_seeds)])
+    )
+
+
+@pytest.mark.parametrize("num_states", [2, 3, 5])
+@pytest.mark.parametrize("instance_seed", [0, 1, 2])
+def test_random_instances_respect_bound(num_states, instance_seed):
+    rng = np.random.default_rng(instance_seed)
+    alpha = 3.0
+    num_tasks = 400
+    costs = rng.uniform(0, 1, size=(num_tasks, num_states))
+    states = [f"s{i}" for i in range(num_states)]
+
+    online = average_online_cost(costs, alpha, states)
+    opt = solve_offline(costs, alpha, initial_state=0).total_cost
+    bound = 2.0 * harmonic(num_states)
+    # Additive slack: one unfinished phase can cost up to ~bound * alpha.
+    assert online <= bound * opt + bound * alpha
+
+
+def test_adversarial_phase_instance_respects_bound():
+    """Cost concentrated on the online algorithm's current state.
+
+    The classic lower-bound instance: at every step the adversary charges 1
+    to one state and 0 elsewhere, cycling so each state fills in turn.
+    """
+    num_states = 4
+    alpha = 2.0
+    states = [f"s{i}" for i in range(num_states)]
+    num_tasks = 320
+    costs = np.zeros((num_tasks, num_states))
+    for t in range(num_tasks):
+        costs[t, t % num_states] = 1.0
+
+    online = average_online_cost(costs, alpha, states)
+    opt = solve_offline(costs, alpha, initial_state=0).total_cost
+    bound = 2.0 * harmonic(num_states)
+    assert online <= bound * opt + bound * alpha
+
+
+def test_dynamic_instance_respects_smax_bound():
+    """Add/remove states mid-stream; compare against the availability-aware OPT."""
+    alpha = 3.0
+    rng = np.random.default_rng(7)
+    num_tasks = 300
+    all_states = [f"s{i}" for i in range(5)]
+    costs = rng.uniform(0, 1, size=(num_tasks, 5))
+    availability = np.ones((num_tasks, 5), dtype=bool)
+    # States 3 and 4 exist only in the middle third; state 1 vanishes there.
+    availability[: num_tasks // 3, 3:] = False
+    availability[2 * num_tasks // 3 :, 3:] = False
+    availability[num_tasks // 3 : 2 * num_tasks // 3, 1] = False
+
+    def run_dynamic(seed):
+        algorithm = DynamicUMTS(
+            all_states[:3], alpha, np.random.default_rng(seed), initial_state="s0"
+        )
+        total = 0.0
+        for t in range(num_tasks):
+            if t == num_tasks // 3:
+                algorithm.add_state("s3")
+                algorithm.add_state("s4")
+                algorithm.remove_state("s1")
+                total += 0.0  # removal of a non-current state is free
+            if t == 2 * num_tasks // 3:
+                for victim in ("s3", "s4"):
+                    forced = algorithm.remove_state(victim)
+                    if forced is not None:
+                        total += alpha  # eviction from the current state
+                algorithm.add_state("s1")
+            live = algorithm.state_names
+            decision = algorithm.observe(
+                {s: costs[t][all_states.index(s)] for s in live}
+            )
+            total += decision.total_cost
+        return total, algorithm.smax
+
+    results = [run_dynamic(seed) for seed in range(40)]
+    online = float(np.mean([r[0] for r in results]))
+    smax = results[0][1]
+    opt = solve_offline(costs, alpha, availability=availability, initial_state=0).total_cost
+    bound = 2.0 * harmonic(smax)
+    assert online <= bound * opt + bound * alpha
+
+
+def test_online_cannot_beat_offline_on_average():
+    """Sanity: OPT with hindsight is never (meaningfully) worse than online."""
+    rng = np.random.default_rng(3)
+    costs = rng.uniform(0, 1, size=(200, 3))
+    states = ["a", "b", "c"]
+    online = average_online_cost(costs, 2.0, states, num_seeds=20)
+    opt = solve_offline(costs, 2.0, initial_state=0).total_cost
+    assert opt <= online + 1e-9
+
+
+def test_theorem_bound_matches_paper_formula():
+    """2·H(n) <= 2(1 + ln n) as stated in Theorem IV.1."""
+    for n in range(1, 50):
+        assert 2 * harmonic(n) <= 2 * (1 + np.log(n)) + 1e-12

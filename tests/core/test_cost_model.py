@@ -1,0 +1,88 @@
+"""Tests for the cost model and the memoizing cost evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CostEvaluator, CostModel
+from repro.layouts import RangeLayoutBuilder, RoundRobinLayout
+from repro.queries import Query, between
+
+
+class TestCostModel:
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            CostModel(alpha=1.0)
+        with pytest.raises(ValueError):
+            CostModel(alpha=0.5)
+
+    def test_movement_cost(self):
+        model = CostModel(alpha=80.0)
+        assert model.movement_cost("a", "a") == 0.0
+        assert model.movement_cost("a", "b") == 80.0
+        assert model.movement_cost(None, "b") == 80.0
+
+
+class TestCostEvaluator:
+    def test_cost_in_unit_interval(self, simple_table, rng):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        query = Query(predicate=between("x", 10.0, 20.0))
+        cost = evaluator.query_cost(layout, query)
+        assert 0.0 <= cost <= 1.0
+
+    def test_sorted_layout_cheaper_than_striped(self, simple_table, rng):
+        evaluator = CostEvaluator(simple_table)
+        striped = RoundRobinLayout(8)
+        ranged = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        query = Query(predicate=between("x", 10.0, 20.0))
+        assert evaluator.query_cost(ranged, query) < evaluator.query_cost(striped, query)
+
+    def test_metadata_cached_per_layout(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        first = evaluator.metadata(layout)
+        second = evaluator.metadata(layout)
+        assert first is second
+        assert evaluator.cache_sizes()[0] == 1
+
+    def test_query_costs_cached_by_predicate_identity(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        query_a = Query(predicate=between("x", 10.0, 20.0))
+        query_b = Query(predicate=between("x", 10.0, 20.0))  # same predicate
+        evaluator.query_cost(layout, query_a)
+        evaluator.query_cost(layout, query_b)
+        assert evaluator.cache_sizes()[1] == 1
+
+    def test_cost_vector_matches_scalar_costs(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        queries = [Query(predicate=between("x", float(i), float(i + 10))) for i in range(5)]
+        vector = evaluator.cost_vector(layout, queries)
+        assert len(vector) == 5
+        for query, value in zip(queries, vector):
+            assert value == evaluator.query_cost(layout, query)
+
+    def test_average_cost_empty_sample(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        assert evaluator.average_cost(RoundRobinLayout(4), []) == 0.0
+
+    def test_forget_evicts_layout(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        evaluator.query_cost(layout, Query(predicate=between("x", 0.0, 1.0)))
+        assert evaluator.cache_sizes() == (1, 1)
+        evaluator.forget(layout.layout_id)
+        assert evaluator.cache_sizes() == (0, 0)
+
+    def test_forget_keeps_other_layouts(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        keep = RoundRobinLayout(4)
+        drop = RoundRobinLayout(2)
+        query = Query(predicate=between("x", 0.0, 1.0))
+        evaluator.query_cost(keep, query)
+        evaluator.query_cost(drop, query)
+        evaluator.forget(drop.layout_id)
+        assert evaluator.cache_sizes() == (1, 1)

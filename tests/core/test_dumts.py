@@ -1,0 +1,188 @@
+"""Tests for D-UMTS (Algorithm 4): dynamic state addition and removal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BLSAlgorithm, DynamicUMTS
+
+
+def make(states=("a", "b", "c"), alpha=2.0, seed=0, **kwargs):
+    return DynamicUMTS(states, alpha, np.random.default_rng(seed), **kwargs)
+
+
+def uniform_costs(algorithm, value=0.5):
+    return {s: value for s in algorithm.state_names}
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(states=())
+        with pytest.raises(ValueError):
+            make(alpha=0)
+        with pytest.raises(ValueError):
+            make(add_policy="nonsense")
+        with pytest.raises(ValueError):
+            make(initial_state="zz")
+
+    def test_smax_starts_at_initial_size(self):
+        assert make().smax == 3
+
+
+class TestAddState:
+    def test_defer_policy_excludes_until_next_phase(self):
+        algorithm = make(initial_state="a", alpha=2.0, add_policy="defer")
+        algorithm.add_state("d")
+        assert "d" in algorithm.state_names
+        assert "d" not in algorithm.active
+        # Fill everything to force a reset; d joins the new phase.
+        algorithm.observe({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        algorithm.observe({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        assert "d" in algorithm.active
+
+    def test_defer_still_requires_cost_entries(self):
+        algorithm = make(initial_state="a", add_policy="defer")
+        algorithm.add_state("d")
+        with pytest.raises(KeyError):
+            algorithm.observe({"a": 0.1, "b": 0.1, "c": 0.1})
+
+    def test_median_policy_activates_immediately(self):
+        algorithm = make(initial_state="a", alpha=5.0, add_policy="median")
+        algorithm.observe({"a": 0.2, "b": 0.4, "c": 0.6})
+        algorithm.add_state("d")
+        assert "d" in algorithm.active
+        assert algorithm.counters["d"] == pytest.approx(0.4)
+
+    def test_zero_policy_starts_at_zero(self):
+        algorithm = make(initial_state="a", alpha=5.0, add_policy="zero")
+        algorithm.observe({"a": 0.9, "b": 0.9, "c": 0.9})
+        algorithm.add_state("d")
+        assert algorithm.counters["d"] == 0.0
+
+    def test_replay_policy_sums_costs(self):
+        algorithm = make(initial_state="a", alpha=5.0, add_policy="replay")
+        algorithm.add_state("d", replay_costs=[0.5, 0.25])
+        assert algorithm.counters["d"] == pytest.approx(0.75)
+
+    def test_replay_requires_costs(self):
+        algorithm = make(add_policy="replay")
+        with pytest.raises(ValueError, match="replay_costs"):
+            algorithm.add_state("d")
+
+    def test_replay_full_counter_stays_inactive(self):
+        algorithm = make(initial_state="a", alpha=2.0, add_policy="replay")
+        algorithm.add_state("d", replay_costs=[1.5, 1.0])
+        assert "d" not in algorithm.active
+
+    def test_duplicate_add_is_noop(self):
+        algorithm = make()
+        algorithm.add_state("a")
+        assert algorithm.num_states == 3
+
+    def test_smax_tracks_peak(self):
+        algorithm = make()
+        algorithm.add_state("d")
+        algorithm.add_state("e")
+        algorithm.remove_state("d")
+        algorithm.remove_state("e")
+        assert algorithm.num_states == 3
+        assert algorithm.smax == 5
+
+    def test_change_log(self):
+        algorithm = make()
+        algorithm.add_state("d")
+        algorithm.remove_state("d")
+        kinds = [(c.kind, c.state) for c in algorithm.changes]
+        assert kinds == [("add", "d"), ("remove", "d")]
+
+
+class TestRemoveState:
+    def test_removed_state_unavailable(self):
+        algorithm = make(initial_state="a")
+        algorithm.remove_state("b")
+        assert "b" not in algorithm.state_names
+        assert "b" not in algorithm.active
+
+    def test_remove_unknown_state(self):
+        algorithm = make()
+        with pytest.raises(KeyError):
+            algorithm.remove_state("zz")
+
+    def test_cannot_remove_last_state(self):
+        algorithm = make(states=("a",), initial_state="a")
+        with pytest.raises(ValueError, match="last remaining"):
+            algorithm.remove_state("a")
+
+    def test_remove_current_forces_switch(self):
+        algorithm = make(initial_state="a")
+        new_state = algorithm.remove_state("a")
+        assert new_state in {"b", "c"}
+        assert algorithm.current == new_state
+
+    def test_remove_non_current_returns_none(self):
+        algorithm = make(initial_state="a")
+        assert algorithm.remove_state("b") is None
+        assert algorithm.current == "a"
+
+    def test_remove_emptying_active_resets_phase(self):
+        algorithm = make(states=("a", "b"), initial_state="a", alpha=1.0)
+        # Fill b's counter, then remove a (the only remaining active state):
+        algorithm.observe({"a": 0.5, "b": 1.0})
+        phase_before = algorithm.phase_index
+        algorithm.remove_state("a")
+        assert algorithm.phase_index == phase_before + 1
+        assert algorithm.current == "b"
+        assert algorithm.active == {"b"}
+
+    def test_costs_not_required_for_removed_states(self):
+        algorithm = make(initial_state="a")
+        algorithm.remove_state("c")
+        decision = algorithm.observe({"a": 0.1, "b": 0.1})
+        assert decision.serviced_in == "a"
+
+    def test_switch_never_targets_removed_state(self):
+        for seed in range(10):
+            algorithm = make(initial_state="a", alpha=1.0, seed=seed)
+            algorithm.remove_state("b")
+            decision = algorithm.observe({"a": 1.0, "c": 0.0})
+            assert decision.switched_to == "c"
+
+
+class TestDifferentialAgainstBLS:
+    """Without state updates, Algorithm 4 must behave exactly like BLS."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identical_trajectories(self, seed):
+        stream_rng = np.random.default_rng(seed + 100)
+        stream = [
+            {s: float(stream_rng.uniform(0, 1)) for s in "abcd"} for _ in range(300)
+        ]
+        bls = BLSAlgorithm(
+            "abcd", 3.0, np.random.default_rng(seed), initial_state="a",
+            stay_on_reset=True,
+        )
+        dumts = DynamicUMTS(
+            "abcd", 3.0, np.random.default_rng(seed), initial_state="a",
+            stay_on_reset=True,
+        )
+        for costs in stream:
+            decision_bls = bls.observe(costs)
+            decision_dumts = dumts.observe(costs)
+            assert decision_bls == decision_dumts
+            assert bls.current == dumts.current
+
+
+class TestCompetitiveBound:
+    def test_bound_formula(self):
+        algorithm = make()
+        algorithm.add_state("d")
+        expected = 2.0 * (1.0 + np.log(4))
+        assert algorithm.competitive_bound() == pytest.approx(expected)
+
+    def test_bound_uses_peak_size(self):
+        algorithm = make()
+        algorithm.add_state("d")
+        algorithm.remove_state("d")
+        assert algorithm.competitive_bound() == pytest.approx(2.0 * (1.0 + np.log(4)))

@@ -1,0 +1,105 @@
+"""Stateful property testing of D-UMTS under arbitrary operation orders.
+
+Hypothesis drives random interleavings of service queries, state additions
+and state removals — the full D-UMTS interface — and checks the structural
+invariants of Algorithm 4 after every step:
+
+* the current state is always a member of the state space;
+* the current state's counter is strictly below α (it would have triggered
+  a switch otherwise);
+* active states are exactly those with counters below α, and active ⊆ space;
+* ``smax`` never decreases and always dominates the live state count;
+* accumulated movement cost equals α × (observed switches + forced
+  switches from removing the current state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import DynamicUMTS
+
+ALPHA = 3.0
+
+
+class DUMTSMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.algorithm = DynamicUMTS(
+            ["s0", "s1"],
+            ALPHA,
+            np.random.default_rng(0),
+            initial_state="s0",
+            stay_on_reset=True,
+        )
+        self._next_state_id = 2
+        self.movement_paid = 0.0
+        self.switch_count = 0
+
+    # ------------------------------------------------------------------- rules
+    @rule(seed=st.integers(0, 2**16))
+    def service_query(self, seed):
+        rng = np.random.default_rng(seed)
+        costs = {s: float(rng.uniform(0, 1)) for s in self.algorithm.state_names}
+        decision = self.algorithm.observe(costs)
+        self.movement_paid += decision.movement_cost
+        if decision.switched:
+            self.switch_count += 1
+
+    @rule()
+    def add_state(self):
+        name = f"s{self._next_state_id}"
+        self._next_state_id += 1
+        self.algorithm.add_state(name)
+
+    @precondition(lambda self: self.algorithm.num_states > 1)
+    @rule(index=st.integers(0, 10_000))
+    def remove_some_state(self, index):
+        names = self.algorithm.state_names
+        victim = names[index % len(names)]
+        forced = self.algorithm.remove_state(victim)
+        if forced is not None:
+            self.movement_paid += ALPHA
+            self.switch_count += 1
+
+    # -------------------------------------------------------------- invariants
+    @invariant()
+    def current_state_exists(self):
+        assert self.algorithm.current in self.algorithm.states
+
+    @invariant()
+    def current_counter_below_alpha(self):
+        assert self.algorithm.counters[self.algorithm.current] < ALPHA
+
+    @invariant()
+    def active_set_consistent(self):
+        for state in self.algorithm.active:
+            assert state in self.algorithm.states
+            assert self.algorithm.counters[state] < ALPHA
+        # Non-active live states either have full counters or are deferred
+        # additions that join at the next phase reset (no counter yet).
+        for state in self.algorithm.states:
+            if state not in self.algorithm.active:
+                counter = self.algorithm.counters.get(state)
+                assert counter is None or counter >= ALPHA
+
+    @invariant()
+    def active_never_empty(self):
+        assert self.algorithm.active
+
+    @invariant()
+    def smax_dominates(self):
+        assert self.algorithm.smax >= self.algorithm.num_states
+
+    @invariant()
+    def movement_cost_accounting(self):
+        assert self.movement_paid == self.switch_count * ALPHA
+
+
+DUMTSMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=60, deadline=None
+)
+TestDUMTSStateMachine = DUMTSMachine.TestCase

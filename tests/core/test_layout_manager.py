@@ -1,0 +1,183 @@
+"""Tests for the LAYOUT MANAGER: generation cadence, Algorithm 5, pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CostEvaluator, LayoutManager, LayoutManagerConfig
+from repro.layouts import QdTreeBuilder, RangeLayoutBuilder, RoundRobinLayout
+from repro.queries import Query, between
+
+
+def make_manager(table, rng, **overrides):
+    defaults = dict(
+        epsilon=0.08,
+        window_size=20,
+        generation_interval=20,
+        admission_sample_size=16,
+        num_partitions=8,
+        data_sample_fraction=0.2,
+    )
+    defaults.update(overrides)
+    config = LayoutManagerConfig(**defaults)
+    evaluator = CostEvaluator(table)
+    manager = LayoutManager(table, QdTreeBuilder(), evaluator, config, rng)
+    return manager, evaluator
+
+
+def x_query(rng):
+    low = float(rng.uniform(0, 90))
+    return Query(predicate=between("x", low, low + 5.0))
+
+
+class TestConfigValidation:
+    def test_epsilon_bounds(self):
+        with pytest.raises(ValueError):
+            LayoutManagerConfig(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            LayoutManagerConfig(epsilon=1.1)
+
+    def test_sampler_mode(self):
+        with pytest.raises(ValueError):
+            LayoutManagerConfig(sampler_mode="bogus")
+
+    def test_max_states(self):
+        with pytest.raises(ValueError):
+            LayoutManagerConfig(max_states=1)
+
+
+class TestRegistryAndGeneration:
+    def test_register_and_get(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng)
+        layout = RoundRobinLayout(4)
+        manager.register(layout)
+        assert manager.get(layout.layout_id) is layout
+        assert manager.num_states == 1
+
+    def test_no_generation_before_interval(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng)
+        manager.register(RoundRobinLayout(4))
+        for _ in range(19):
+            events = manager.observe(x_query(rng))
+            assert events.candidates_considered == 0
+
+    def test_generation_at_interval(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng)
+        manager.register(RoundRobinLayout(4))
+        events = None
+        for _ in range(20):
+            events = manager.observe(x_query(rng))
+        assert events.candidates_considered == 1
+
+    def test_good_candidate_admitted(self, simple_table, rng):
+        """A qd-tree tuned to x-range queries differs from round-robin."""
+        manager, _ = make_manager(simple_table, rng)
+        manager.register(RoundRobinLayout(8))
+        admitted = []
+        for _ in range(40):
+            events = manager.observe(x_query(rng))
+            admitted.extend(events.added)
+        assert admitted
+        assert manager.num_states >= 2
+
+    def test_near_duplicate_rejected(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng)
+        manager.register(RoundRobinLayout(8))
+        total_rejected = 0
+        for _ in range(100):
+            events = manager.observe(x_query(rng))
+            total_rejected += events.candidates_rejected
+        # The same x-heavy workload keeps producing similar qd-trees; after
+        # the first admission most candidates must be rejected as ε-close.
+        assert total_rejected >= 2
+
+    def test_sw_rs_mode_generates_two_candidates(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng, sampler_mode="sw+rs")
+        manager.register(RoundRobinLayout(4))
+        for _ in range(19):
+            manager.observe(x_query(rng))
+        events = manager.observe(x_query(rng))
+        assert events.candidates_considered == 2
+
+
+class TestAdmission:
+    def test_admit_state_empty_sample_rejects(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng)
+        assert not manager.admit_state(RoundRobinLayout(4))
+
+    def test_first_state_admitted_when_registry_empty(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng)
+        manager.admission_sample.add(x_query(rng))
+        assert manager.admit_state(RoundRobinLayout(4))
+
+    def test_identical_layout_rejected(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng)
+        layout = RoundRobinLayout(4)
+        manager.register(layout)
+        manager.admission_sample.add(x_query(rng))
+        clone = RoundRobinLayout(4)  # different id, identical cost vector
+        assert not manager.admit_state(clone)
+
+    def test_epsilon_zero_admits_any_difference(self, simple_table, rng):
+        manager, evaluator = make_manager(simple_table, rng, epsilon=0.0)
+        manager.register(RoundRobinLayout(8))
+        for _ in range(10):
+            manager.admission_sample.add(x_query(rng))
+        candidate = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        assert manager.admit_state(candidate)
+
+    def test_epsilon_one_rejects_everything(self, simple_table, rng):
+        manager, _ = make_manager(simple_table, rng, epsilon=1.0)
+        manager.register(RoundRobinLayout(8))
+        for _ in range(10):
+            manager.admission_sample.add(x_query(rng))
+        candidate = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        assert not manager.admit_state(candidate)
+
+    def test_distance_is_normalized_l1(self):
+        a = np.array([0.0, 1.0, 0.5, 0.5])
+        b = np.array([1.0, 0.0, 0.5, 0.5])
+        assert LayoutManager._distance(a, b) == pytest.approx(0.5)
+
+
+class TestPruning:
+    def test_max_states_cap_enforced(self, simple_table, rng):
+        manager, _ = make_manager(
+            simple_table, rng, max_states=2, epsilon=0.0, generation_interval=10,
+            window_size=10,
+        )
+        initial = RoundRobinLayout(8)
+        manager.register(initial)
+        for _ in range(100):
+            manager.observe(x_query(rng), protected=[initial.layout_id])
+            assert manager.num_states <= 2
+
+    def test_protected_layouts_survive_cap(self, simple_table, rng):
+        manager, _ = make_manager(
+            simple_table, rng, max_states=2, epsilon=0.0, generation_interval=10,
+            window_size=10,
+        )
+        initial = RoundRobinLayout(8)
+        manager.register(initial)
+        for _ in range(60):
+            manager.observe(x_query(rng), protected=[initial.layout_id])
+        assert initial.layout_id in manager.layouts
+
+    def test_prune_similar_removes_worse_twin(self, simple_table, rng):
+        manager, _ = make_manager(
+            simple_table, rng, prune_interval=30, epsilon=0.05
+        )
+        # Two identical layouts (ε-close by construction) + one different.
+        twin_a = RoundRobinLayout(8)
+        twin_b = RoundRobinLayout(8)
+        ranged = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        for layout in (twin_a, twin_b, ranged):
+            manager.register(layout)
+        removed = []
+        for _ in range(30):
+            events = manager.observe(x_query(rng), protected=[ranged.layout_id])
+            removed.extend(events.removed)
+        assert len(removed) == 1
+        assert removed[0] in {twin_a.layout_id, twin_b.layout_id}
+        assert ranged.layout_id in manager.layouts

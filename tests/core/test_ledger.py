@@ -1,0 +1,59 @@
+"""Tests for the run ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RunLedger
+
+
+class TestRunLedger:
+    def test_empty_ledger(self):
+        ledger = RunLedger()
+        assert ledger.num_queries == 0
+        assert ledger.total_cost == 0.0
+        assert ledger.num_switches == 0
+
+    def test_record_accumulates(self):
+        ledger = RunLedger()
+        ledger.record(0.5, 0.0, "a", switched=False)
+        ledger.record(0.3, 2.0, "b", switched=True)
+        assert ledger.num_queries == 2
+        assert ledger.total_query_cost == pytest.approx(0.8)
+        assert ledger.total_reorg_cost == pytest.approx(2.0)
+        assert ledger.total_cost == pytest.approx(2.8)
+
+    def test_switch_steps_recorded(self):
+        ledger = RunLedger()
+        ledger.record(0.1, 0.0, "a", switched=False)
+        ledger.record(0.1, 1.0, "b", switched=True)
+        ledger.record(0.1, 0.0, "b", switched=False)
+        assert ledger.switch_steps == [1]
+        assert ledger.num_switches == 1
+
+    def test_layout_history(self):
+        ledger = RunLedger()
+        for layout in ("a", "a", "b"):
+            ledger.record(0.0, 0.0, layout, switched=False)
+        assert ledger.layout_history == ["a", "a", "b"]
+
+    def test_cumulative_costs_monotone(self):
+        ledger = RunLedger()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            ledger.record(float(rng.uniform(0, 1)), 0.0, "a", switched=False)
+        trajectory = ledger.cumulative_costs()
+        assert len(trajectory) == 50
+        assert np.all(np.diff(trajectory) >= 0)
+        assert trajectory[-1] == pytest.approx(ledger.total_cost)
+
+    def test_summary_freeze(self):
+        ledger = RunLedger()
+        ledger.record(0.5, 1.0, "a", switched=True)
+        summary = ledger.summary()
+        assert summary.total_query_cost == pytest.approx(0.5)
+        assert summary.total_reorg_cost == pytest.approx(1.0)
+        assert summary.total_cost == pytest.approx(1.5)
+        assert summary.num_switches == 1
+        assert summary.num_queries == 1

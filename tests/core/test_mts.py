@@ -1,0 +1,180 @@
+"""Tests for the classic BLS algorithm (Algorithms 1-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BLSAlgorithm
+from repro.core.mts import MTSDecision, PhaseStats
+
+
+def make(states=("a", "b", "c"), alpha=2.0, seed=0, **kwargs):
+    return BLSAlgorithm(states, alpha, np.random.default_rng(seed), **kwargs)
+
+
+class TestConstruction:
+    def test_requires_states(self):
+        with pytest.raises(ValueError):
+            make(states=())
+
+    def test_requires_positive_alpha(self):
+        with pytest.raises(ValueError):
+            make(alpha=0.0)
+
+    def test_initial_state_honoured(self):
+        algorithm = make(initial_state="b")
+        assert algorithm.current == "b"
+
+    def test_unknown_initial_state(self):
+        with pytest.raises(ValueError):
+            make(initial_state="zz")
+
+    def test_random_initial_state_in_set(self):
+        algorithm = make()
+        assert algorithm.current in {"a", "b", "c"}
+
+    def test_duplicate_states_deduplicated(self):
+        algorithm = BLSAlgorithm(["a", "a", "b"], 2.0, np.random.default_rng(0))
+        assert algorithm.states == ["a", "b"]
+
+
+class TestObserve:
+    def test_costs_must_cover_all_states(self):
+        algorithm = make()
+        with pytest.raises(KeyError, match="missing"):
+            algorithm.observe({"a": 0.1, "b": 0.1})
+
+    def test_costs_must_be_in_unit_interval(self):
+        algorithm = make()
+        with pytest.raises(ValueError, match="out of"):
+            algorithm.observe({"a": 1.5, "b": 0.1, "c": 0.1})
+        with pytest.raises(ValueError, match="out of"):
+            algorithm.observe({"a": -0.1, "b": 0.1, "c": 0.1})
+
+    def test_service_in_current_state(self):
+        algorithm = make(initial_state="a")
+        decision = algorithm.observe({"a": 0.3, "b": 0.9, "c": 0.9})
+        assert decision.serviced_in == "a"
+        assert decision.service_cost == pytest.approx(0.3)
+
+    def test_counters_accumulate(self):
+        algorithm = make(initial_state="a")
+        algorithm.observe({"a": 0.5, "b": 0.25, "c": 0.0})
+        assert algorithm.counters["a"] == pytest.approx(0.5)
+        assert algorithm.counters["b"] == pytest.approx(0.25)
+
+    def test_no_switch_while_counter_below_alpha(self):
+        algorithm = make(initial_state="a", alpha=2.0)
+        decision = algorithm.observe({"a": 1.0, "b": 0.0, "c": 0.0})
+        assert not decision.switched
+        assert algorithm.current == "a"
+
+    def test_switch_when_counter_full(self):
+        algorithm = make(initial_state="a", alpha=2.0)
+        algorithm.observe({"a": 1.0, "b": 0.0, "c": 0.0})
+        decision = algorithm.observe({"a": 1.0, "b": 0.0, "c": 0.0})
+        assert decision.switched
+        assert decision.movement_cost == 2.0
+        assert algorithm.current in {"b", "c"}
+
+    def test_switch_targets_only_non_full_states(self):
+        algorithm = make(initial_state="a", alpha=1.0)
+        algorithm.observe({"a": 0.5, "b": 0.8, "c": 0.0})
+        decision = algorithm.observe({"a": 0.5, "b": 0.3, "c": 0.0})
+        # a reached 1.0 and b reached 1.1 (>= alpha); only c is available.
+        assert decision.switched_to == "c"
+
+    def test_full_counter_exactly_alpha(self):
+        algorithm = make(initial_state="a", alpha=1.0)
+        decision = algorithm.observe({"a": 1.0, "b": 0.0, "c": 0.0})
+        assert decision.switched  # counter == alpha counts as full
+
+    def test_phase_reset_when_all_full(self):
+        algorithm = make(initial_state="a", alpha=1.0)
+        decision = algorithm.observe({"a": 1.0, "b": 1.0, "c": 1.0})
+        assert decision.phase_reset
+        assert algorithm.phase_index == 2
+        assert all(c == 0.0 for c in algorithm.counters.values())
+        assert algorithm.active == {"a", "b", "c"}
+
+    def test_reset_without_stay_moves_randomly(self):
+        switched_any = False
+        for seed in range(20):
+            algorithm = make(initial_state="a", alpha=1.0, seed=seed, stay_on_reset=False)
+            decision = algorithm.observe({"a": 1.0, "b": 1.0, "c": 1.0})
+            if decision.switched:
+                switched_any = True
+                assert decision.movement_cost == 1.0  # == alpha
+        assert switched_any
+
+    def test_stay_on_reset_never_moves_at_reset(self):
+        for seed in range(20):
+            algorithm = make(initial_state="a", alpha=1.0, seed=seed, stay_on_reset=True)
+            decision = algorithm.observe({"a": 1.0, "b": 1.0, "c": 1.0})
+            assert not decision.switched
+            assert algorithm.current == "a"
+
+    def test_run_processes_whole_stream(self):
+        algorithm = make(initial_state="a", alpha=2.0)
+        decisions = algorithm.run([{"a": 0.5, "b": 0.5, "c": 0.5}] * 10)
+        assert len(decisions) == 10
+        assert all(isinstance(d, MTSDecision) for d in decisions)
+
+    def test_deterministic_given_seed(self):
+        stream = [{"a": 0.9, "b": 0.1, "c": 0.5}] * 50
+        runs = []
+        for _ in range(2):
+            algorithm = make(initial_state="a", alpha=2.0, seed=7)
+            decisions = algorithm.run(stream)
+            runs.append([d.switched_to for d in decisions])
+        assert runs[0] == runs[1]
+
+
+class TestPhaseSemantics:
+    def test_counters_only_accumulate_for_active(self):
+        algorithm = make(initial_state="a", alpha=1.0)
+        algorithm.observe({"a": 0.2, "b": 1.0, "c": 0.2})  # b becomes full
+        algorithm.observe({"a": 0.2, "b": 1.0, "c": 0.2})
+        # b's counter froze at 1.0 once it left the active set.
+        assert algorithm.counters["b"] == pytest.approx(1.0)
+
+    def test_current_state_counter_below_alpha_invariant(self):
+        algorithm = make(initial_state="a", alpha=2.0, seed=3)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            costs = {s: float(rng.uniform(0, 1)) for s in "abc"}
+            algorithm.observe(costs)
+            assert algorithm.counters[algorithm.current] < algorithm.alpha
+
+    def test_total_service_cost_matches_ledger(self):
+        algorithm = make(initial_state="a", alpha=2.0)
+        stream = [{"a": 0.3, "b": 0.2, "c": 0.1}] * 30
+        decisions = algorithm.run(stream)
+        # Service cost each step equals the pre-switch state's cost.
+        for decision in decisions:
+            assert decision.service_cost in (0.3, 0.2, 0.1)
+
+    def test_phase_count_grows_with_stream(self):
+        algorithm = make(initial_state="a", alpha=1.0)
+        algorithm.run([{"a": 1.0, "b": 1.0, "c": 1.0}] * 5)
+        assert algorithm.phase_index == 6
+
+
+class TestPhaseStats:
+    def test_skip_weights_empty(self):
+        assert PhaseStats().skip_weights() == {}
+
+    def test_skip_weights_average(self):
+        stats = PhaseStats()
+        stats.record({"a": 0.2, "b": 1.0})
+        stats.record({"a": 0.4, "b": 1.0})
+        weights = stats.skip_weights()
+        assert weights["a"] == pytest.approx(0.7)
+        assert weights["b"] == pytest.approx(0.0)
+
+    def test_weights_published_after_reset(self):
+        algorithm = make(initial_state="a", alpha=1.0)
+        algorithm.observe({"a": 1.0, "b": 1.0, "c": 0.5})
+        algorithm.observe({"a": 1.0, "b": 1.0, "c": 0.5})  # ends phase
+        assert algorithm.last_phase_weights  # previous phase recorded

@@ -1,0 +1,110 @@
+"""Tests for the multi-copy variant (Appendix D analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MultiCopyUMTS
+
+
+def make(states=("a", "b", "c"), alpha=2.0, budget=2, seed=0, **kwargs):
+    return MultiCopyUMTS(states, alpha, budget, np.random.default_rng(seed), **kwargs)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(states=())
+        with pytest.raises(ValueError):
+            make(budget=0)
+        with pytest.raises(ValueError):
+            make(alpha=0)
+
+    def test_initial_states_respected(self):
+        algorithm = make(initial_states=("a", "b"))
+        assert set(algorithm.held) == {"a", "b"}
+
+    def test_initial_states_over_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            make(budget=1, initial_states=("a", "b"))
+
+    def test_unknown_initial_states(self):
+        with pytest.raises(ValueError, match="not in state set"):
+            make(initial_states=("zz",))
+
+
+class TestServicing:
+    def test_serves_on_cheapest_held(self):
+        algorithm = make(initial_states=("a", "b"))
+        decision = algorithm.observe({"a": 0.9, "b": 0.2, "c": 0.0})
+        assert decision.serviced_in == "b"  # c is not held
+        assert decision.service_cost == pytest.approx(0.2)
+
+    def test_missing_costs_rejected(self):
+        algorithm = make()
+        with pytest.raises(KeyError):
+            algorithm.observe({"a": 0.1})
+
+    def test_budget_never_exceeded(self):
+        algorithm = make(budget=2, initial_states=("a",))
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            algorithm.observe({s: float(rng.uniform(0, 1)) for s in "abc"})
+            assert len(algorithm.held) <= 2
+
+    def test_materialization_costs_alpha(self):
+        algorithm = make(states=("a", "b"), budget=1, initial_states=("a",), alpha=3.0)
+        decision = None
+        for _ in range(10):
+            decision = algorithm.observe({"a": 1.0, "b": 0.0})
+            if decision.materialized:
+                break
+        assert decision.materialized == "b"
+        assert decision.movement_cost == 3.0
+        assert decision.evicted == "a"
+
+    def test_eviction_only_when_budget_full(self):
+        algorithm = make(states=("a", "b"), budget=2, initial_states=("a",), alpha=2.0)
+        for _ in range(10):
+            decision = algorithm.observe({"a": 1.0, "b": 0.0})
+            if decision.materialized:
+                assert decision.evicted is None
+                assert set(algorithm.held) == {"a", "b"}
+                return
+        raise AssertionError("never materialized")
+
+    def test_phase_reset_when_all_full(self):
+        algorithm = make(states=("a", "b"), budget=2, initial_states=("a", "b"), alpha=1.0)
+        decision = algorithm.observe({"a": 1.0, "b": 1.0})
+        assert decision.phase_reset
+        assert algorithm.phase_index == 2
+
+    def test_add_state_deferred(self):
+        algorithm = make()
+        algorithm.add_state("d")
+        assert "d" in algorithm.states
+        assert "d" not in algorithm.active
+
+
+class TestBudgetAdvantage:
+    def test_two_copies_beat_one_on_alternating_workload(self):
+        """Holding both layouts avoids ping-pong reorganizations entirely."""
+
+        def run(budget, seed):
+            algorithm = make(
+                states=("a", "b"), budget=budget, initial_states=("a",),
+                alpha=5.0, seed=seed,
+            )
+            total = 0.0
+            for t in range(400):
+                if (t // 20) % 2 == 0:
+                    costs = {"a": 0.05, "b": 0.6}
+                else:
+                    costs = {"a": 0.6, "b": 0.05}
+                total += algorithm.observe(costs).total_cost
+            return total
+
+        single = np.mean([run(1, seed) for seed in range(10)])
+        double = np.mean([run(2, seed) for seed in range(10)])
+        assert double < single

@@ -1,0 +1,74 @@
+"""Stateful property testing of the multi-copy variant.
+
+Random interleavings of queries and state additions must preserve the
+budget invariant (never hold more copies than allowed), the servicing
+invariant (queries served by the cheapest held layout), and the accounting
+invariant (movement cost = α × materializations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import MultiCopyUMTS
+
+ALPHA = 2.5
+BUDGET = 2
+
+
+class MultiCopyMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.algorithm = MultiCopyUMTS(
+            ["s0", "s1", "s2"],
+            ALPHA,
+            BUDGET,
+            np.random.default_rng(0),
+            initial_states=("s0",),
+        )
+        self._next_state_id = 3
+        self.movement_paid = 0.0
+        self.materializations = 0
+
+    @rule(seed=st.integers(0, 2**16))
+    def service_query(self, seed):
+        rng = np.random.default_rng(seed)
+        costs = {s: float(rng.uniform(0, 1)) for s in self.algorithm.states}
+        held_before = list(self.algorithm.held)
+        decision = self.algorithm.observe(costs)
+        # Serviced by the cheapest held copy as of arrival.
+        cheapest = min(held_before, key=lambda s: costs[s])
+        assert decision.service_cost == costs[cheapest]
+        self.movement_paid += decision.movement_cost
+        if decision.materialized is not None:
+            self.materializations += 1
+
+    @rule()
+    def add_state(self):
+        self.algorithm.add_state(f"s{self._next_state_id}")
+        self._next_state_id += 1
+
+    @invariant()
+    def budget_respected(self):
+        assert 1 <= len(self.algorithm.held) <= BUDGET
+
+    @invariant()
+    def held_states_exist(self):
+        assert set(self.algorithm.held) <= set(self.algorithm.states)
+
+    @invariant()
+    def held_states_distinct(self):
+        assert len(self.algorithm.held) == len(set(self.algorithm.held))
+
+    @invariant()
+    def movement_accounting(self):
+        assert self.movement_paid == self.materializations * ALPHA
+
+
+MultiCopyMachine.TestCase.settings = settings(
+    max_examples=50, stateful_step_count=50, deadline=None
+)
+TestMultiCopyStateMachine = MultiCopyMachine.TestCase

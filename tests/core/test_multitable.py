@@ -1,0 +1,158 @@
+"""Tests for the multi-table OREO composition (§VIII)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OREO,
+    MultiTableOREO,
+    MultiTableQuery,
+    OreoConfig,
+    split_conjunction,
+)
+from repro.layouts import QdTreeBuilder, RangeLayoutBuilder
+from repro.queries import And, Comparison, between, eq
+from repro.storage import ColumnSpec, Schema, Table
+
+OWNERS = {"f_a": "facts", "f_b": "facts", "d_x": "dims", "d_y": "dims"}
+
+
+def make_tables(rng):
+    facts = Table(
+        Schema(columns=(ColumnSpec("f_a", "numeric"), ColumnSpec("f_b", "numeric"))),
+        {"f_a": rng.uniform(0, 100, 2000), "f_b": rng.uniform(0, 100, 2000)},
+    )
+    dims = Table(
+        Schema(columns=(ColumnSpec("d_x", "numeric"), ColumnSpec("d_y", "numeric"))),
+        {"d_x": rng.uniform(0, 100, 2000), "d_y": rng.uniform(0, 100, 2000)},
+    )
+    return {"facts": facts, "dims": dims}
+
+
+def make_multitable(rng):
+    tables = make_tables(rng)
+    config = OreoConfig(
+        alpha=10.0, window_size=20, generation_interval=20,
+        num_partitions=6, data_sample_fraction=0.25,
+    )
+    instances = {}
+    for name, table in tables.items():
+        sort_column = table.schema.names()[0]
+        initial = RangeLayoutBuilder(sort_column).build(
+            table.sample(0.25, rng), [], 6, rng
+        )
+        instances[name] = OREO(table, QdTreeBuilder(), initial, config, rng)
+    return MultiTableOREO(instances)
+
+
+class TestSplitConjunction:
+    def test_per_table_parts(self):
+        predicate = And((between("f_a", 0, 10), eq("d_x", 5.0)))
+        parts = split_conjunction(predicate, OWNERS)
+        assert set(parts) == {"facts", "dims"}
+        assert parts["facts"] == between("f_a", 0, 10)
+        assert parts["dims"] == eq("d_x", 5.0)
+
+    def test_multiple_conjuncts_same_table(self):
+        predicate = And((between("f_a", 0, 10), between("f_b", 5, 6)))
+        parts = split_conjunction(predicate, OWNERS)
+        assert set(parts) == {"facts"}
+        assert isinstance(parts["facts"], And)
+
+    def test_nested_conjunctions_flattened(self):
+        predicate = And((And((between("f_a", 0, 1), eq("d_y", 2.0)),), eq("d_x", 3.0)))
+        parts = split_conjunction(predicate, OWNERS)
+        assert set(parts) == {"facts", "dims"}
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError, match="no owning table"):
+            split_conjunction(eq("mystery", 1), OWNERS)
+
+    def test_cross_table_conjunct_dropped(self):
+        """A join condition (columns from two tables) prunes nothing."""
+        join_like = Comparison("f_a", "==", 0) | Comparison("d_x", "==", 0)
+        parts = split_conjunction(And((join_like, eq("f_b", 1.0))), OWNERS)
+        assert set(parts) == {"facts"}
+
+
+class TestMultiTableQuery:
+    def test_requires_parts(self):
+        with pytest.raises(ValueError):
+            MultiTableQuery(parts={})
+
+    def test_part_projection(self):
+        query = MultiTableQuery(
+            parts={"facts": between("f_a", 0, 1)}, template="q1", timestamp=3.0
+        )
+        projected = query.part_as_query("facts")
+        assert projected.template == "q1"
+        assert projected.timestamp == 3.0
+        assert projected.predicate == between("f_a", 0, 1)
+
+
+class TestMultiTableOREO:
+    def test_requires_instances(self):
+        with pytest.raises(ValueError):
+            MultiTableOREO({})
+
+    def test_routes_to_correct_instance(self, rng):
+        system = make_multitable(rng)
+        query = MultiTableQuery(parts={"facts": between("f_a", 0, 10)})
+        results = system.process(query)
+        assert set(results) == {"facts"}
+        assert system.instances["facts"].ledger.num_queries == 1
+        assert system.instances["dims"].ledger.num_queries == 0
+
+    def test_unknown_table_rejected(self, rng):
+        system = make_multitable(rng)
+        with pytest.raises(KeyError, match="no OREO instance"):
+            system.process(MultiTableQuery(parts={"ghost": between("f_a", 0, 1)}))
+
+    def test_summary_is_additive(self, rng):
+        system = make_multitable(rng)
+        stream = [
+            MultiTableQuery(
+                parts={
+                    "facts": between("f_a", float(i % 50), float(i % 50) + 5),
+                    "dims": between("d_x", float(i % 50), float(i % 50) + 5),
+                }
+            )
+            for i in range(60)
+        ]
+        summary = system.run(stream)
+        per_table = system.per_table_summaries()
+        assert summary.num_queries == sum(s.num_queries for s in per_table.values())
+        assert summary.total_cost == pytest.approx(
+            sum(s.total_cost for s in per_table.values())
+        )
+
+    def test_untouched_table_not_charged(self, rng):
+        system = make_multitable(rng)
+        stream = [
+            MultiTableQuery(parts={"facts": between("f_a", 0, 10)}) for _ in range(30)
+        ]
+        system.run(stream)
+        assert system.instances["dims"].ledger.total_cost == 0.0
+
+    def test_tables_reorganize_independently(self, rng):
+        """Drift only on facts: the dims instance must not switch."""
+        system = make_multitable(rng)
+        stream = []
+        for i in range(400):
+            column = "f_a" if i < 200 else "f_b"
+            start = float(rng.uniform(0, 90))
+            stream.append(
+                MultiTableQuery(
+                    parts={
+                        "facts": between(column, start, start + 5.0),
+                        "dims": between("d_x", 40.0, 45.0),
+                    }
+                )
+            )
+        system.run(stream)
+        facts_switches = system.instances["facts"].ledger.num_switches
+        dims_switches = system.instances["dims"].ledger.num_switches
+        assert facts_switches >= 1
+        assert dims_switches <= facts_switches

@@ -1,0 +1,163 @@
+"""Tests for the non-uniform movement-cost extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostEvaluator,
+    NonUniformReorganizer,
+    layout_transport_fraction,
+    movement_cost_matrix,
+    repair_triangle,
+)
+from repro.layouts import RangeLayout, RangeLayoutBuilder, RoundRobinLayout
+from repro.queries import Query, between
+
+
+class TestTransportFraction:
+    def test_identical_layouts_cost_zero(self, simple_table):
+        layout = RoundRobinLayout(4)
+        assert layout_transport_fraction(layout, layout, simple_table) == 0.0
+
+    def test_relabelled_layout_costs_zero(self, simple_table):
+        """Same partitioning, different partition ids: nothing moves."""
+        a = RangeLayout("x", np.array([50.0]))
+        # A second layout with the same boundary: identical row sets.
+        b = RangeLayout("x", np.array([50.0]))
+        assert layout_transport_fraction(a, b, simple_table) == 0.0
+
+    def test_full_reshuffle_is_expensive(self, simple_table, rng):
+        sorted_layout = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        striped = RoundRobinLayout(8)
+        fraction = layout_transport_fraction(sorted_layout, striped, simple_table)
+        assert fraction > 0.5
+
+    def test_refinement_is_cheap(self, simple_table):
+        """Splitting each partition in two only moves within partitions —
+        the coarse->fine direction keeps the largest-overlap halves."""
+        coarse = RangeLayout("x", np.array([50.0]))
+        fine = RangeLayout("x", np.array([25.0, 50.0, 75.0]))
+        fraction = layout_transport_fraction(coarse, fine, simple_table)
+        # Each fine partition is wholly contained in one coarse partition...
+        # but only the largest contributor stays; about half moves.
+        assert fraction <= 0.55
+
+    def test_range_in_unit_interval(self, simple_table, rng):
+        for k in (2, 4, 16):
+            a = RangeLayoutBuilder("x").build(simple_table, [], k, rng)
+            b = RoundRobinLayout(k)
+            fraction = layout_transport_fraction(a, b, simple_table)
+            assert 0.0 <= fraction < 1.0
+
+    def test_empty_table(self, simple_schema):
+        from repro.storage import Table
+
+        table = Table(
+            simple_schema,
+            {"x": np.empty(0), "y": np.empty(0), "color": np.empty(0, dtype=np.int32)},
+        )
+        assert layout_transport_fraction(RoundRobinLayout(2), RoundRobinLayout(4), table) == 0.0
+
+
+class TestCostMatrix:
+    def test_shape_and_diagonal(self, simple_table, rng):
+        layouts = [
+            RangeLayoutBuilder("x").build(simple_table, [], 4, rng),
+            RangeLayoutBuilder("y").build(simple_table, [], 4, rng),
+            RoundRobinLayout(4),
+        ]
+        matrix = movement_cost_matrix(layouts, simple_table, alpha=10.0)
+        assert matrix.shape == (3, 3)
+        assert np.all(np.diag(matrix) == 0.0)
+        assert np.all(matrix >= 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_scaled_by_alpha(self, simple_table, rng):
+        layouts = [
+            RangeLayoutBuilder("x").build(simple_table, [], 4, rng),
+            RoundRobinLayout(4),
+        ]
+        small = movement_cost_matrix(layouts, simple_table, alpha=1.0)
+        large = movement_cost_matrix(layouts, simple_table, alpha=10.0)
+        assert np.allclose(large, 10.0 * small)
+
+
+class TestRepairTriangle:
+    def test_noop_on_valid_metric(self):
+        matrix = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.5], [2.0, 1.5, 0.0]])
+        assert np.allclose(repair_triangle(matrix), matrix)
+
+    def test_repairs_violation(self):
+        matrix = np.array([[0.0, 1.0, 10.0], [1.0, 0.0, 1.0], [10.0, 1.0, 0.0]])
+        repaired = repair_triangle(matrix)
+        assert repaired[0, 2] == pytest.approx(2.0)  # via the middle state
+
+    def test_output_satisfies_triangle(self, simple_table, rng):
+        layouts = [
+            RangeLayoutBuilder("x").build(simple_table, [], 4, rng),
+            RangeLayoutBuilder("y").build(simple_table, [], 4, rng),
+            RoundRobinLayout(4),
+            RoundRobinLayout(8),
+        ]
+        matrix = repair_triangle(movement_cost_matrix(layouts, simple_table, 5.0))
+        n = matrix.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-9
+
+
+class TestNonUniformReorganizer:
+    def make(self, simple_table, rng, alpha=5.0):
+        pool = {
+            "by-x": RangeLayoutBuilder("x").build(simple_table, [], 8, rng),
+            "by-y": RangeLayoutBuilder("y").build(simple_table, [], 8, rng),
+        }
+        evaluator = CostEvaluator(simple_table)
+        return NonUniformReorganizer(pool, evaluator, alpha, initial_layout="by-x")
+
+    def test_requires_pool(self, simple_table, rng):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        with pytest.raises(ValueError):
+            NonUniformReorganizer({"only": layout}, evaluator, 5.0)
+
+    def test_switches_under_sustained_pressure(self, simple_table, rng):
+        reorganizer = self.make(simple_table, rng)
+        switched = False
+        for _ in range(200):
+            query = Query(predicate=between("y", 10, 12))
+            decision = reorganizer.observe(query)
+            switched = switched or decision.switched
+        assert switched
+        assert reorganizer.current == "by-y"
+
+    def test_stays_on_matching_layout(self, simple_table, rng):
+        reorganizer = self.make(simple_table, rng)
+        for _ in range(100):
+            query = Query(predicate=between("x", 10.0, 15.0))
+            decision = reorganizer.observe(query)
+            assert not decision.switched
+
+    def test_ledger_accounting(self, simple_table, rng):
+        reorganizer = self.make(simple_table, rng)
+        for i in range(50):
+            reorganizer.observe(Query(predicate=between("y", float(i % 40), float(i % 40) + 2)))
+        summary = reorganizer.ledger.summary()
+        assert summary.num_queries == 50
+        assert summary.total_cost == pytest.approx(
+            summary.total_query_cost + summary.total_reorg_cost
+        )
+
+    def test_movement_cheaper_than_uniform_alpha(self, simple_table, rng):
+        """The whole point: related layouts cost less than a full α."""
+        alpha = 5.0
+        reorganizer = self.make(simple_table, rng, alpha=alpha)
+        for _ in range(200):
+            decision = reorganizer.observe(Query(predicate=between("y", 10, 12)))
+            if decision.switched:
+                assert decision.movement_cost <= alpha
+                return
+        raise AssertionError("never switched")

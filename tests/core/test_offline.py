@@ -1,0 +1,146 @@
+"""Tests for the exact offline UMTS solver (the OPT in competitive ratios)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import solve_offline
+
+
+def brute_force(costs: np.ndarray, alpha: float, initial_state=None) -> float:
+    """Exhaustive enumeration over all state schedules (tiny instances)."""
+    num_tasks, num_states = costs.shape
+    best = np.inf
+    for schedule in itertools.product(range(num_states), repeat=num_tasks):
+        total = 0.0
+        if initial_state is not None and schedule[0] != initial_state:
+            total += alpha
+        total += costs[0][schedule[0]]
+        for t in range(1, num_tasks):
+            if schedule[t] != schedule[t - 1]:
+                total += alpha
+            total += costs[t][schedule[t]]
+        best = min(best, total)
+    return best
+
+
+class TestBasics:
+    def test_empty_instance(self):
+        solution = solve_offline(np.empty((0, 3)), alpha=2.0)
+        assert solution.total_cost == 0.0
+        assert solution.schedule == ()
+
+    def test_single_task_picks_cheapest(self):
+        solution = solve_offline(np.array([[0.5, 0.2, 0.9]]), alpha=2.0)
+        assert solution.schedule == (1,)
+        assert solution.total_cost == pytest.approx(0.2)
+
+    def test_initial_state_penalty(self):
+        solution = solve_offline(
+            np.array([[0.5, 0.0]]), alpha=2.0, initial_state=0
+        )
+        # Moving to state 1 costs 2.0 + 0.0 > staying at 0.5.
+        assert solution.schedule == (0,)
+
+    def test_initial_state_worth_leaving(self):
+        costs = np.array([[1.0, 0.0]] * 10)
+        solution = solve_offline(costs, alpha=2.0, initial_state=0)
+        assert solution.schedule[-1] == 1
+        assert solution.total_cost == pytest.approx(2.0)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            solve_offline(np.zeros(5), alpha=1.0)
+        with pytest.raises(ValueError):
+            solve_offline(np.zeros((3, 2)), alpha=1.0, availability=np.ones((2, 2), bool))
+        with pytest.raises(ValueError):
+            solve_offline(np.zeros((3, 2)), alpha=1.0, initial_state=5)
+
+    def test_switching_when_worth_it(self):
+        # Phase 1 favors state 0, phase 2 favors state 1, switching cost small.
+        costs = np.array([[0.0, 1.0]] * 5 + [[1.0, 0.0]] * 5)
+        solution = solve_offline(costs, alpha=1.5)
+        assert solution.schedule == (0,) * 5 + (1,) * 5
+        assert solution.num_switches == 1
+        assert solution.total_cost == pytest.approx(1.5)
+
+    def test_not_switching_when_too_expensive(self):
+        costs = np.array([[0.0, 1.0]] * 5 + [[1.0, 0.0]] * 5)
+        solution = solve_offline(costs, alpha=10.0)
+        assert solution.num_switches == 0
+        assert solution.total_cost == pytest.approx(5.0)
+
+    def test_cost_decomposition(self):
+        costs = np.array([[0.0, 1.0]] * 3 + [[1.0, 0.0]] * 3)
+        solution = solve_offline(costs, alpha=1.0)
+        assert solution.total_cost == pytest.approx(
+            solution.service_cost + solution.movement_cost
+        )
+        assert solution.movement_cost == pytest.approx(solution.num_switches * 1.0)
+
+
+class TestAvailability:
+    def test_unavailable_state_never_used(self):
+        costs = np.zeros((4, 2))
+        availability = np.array([[True, False]] * 4)
+        solution = solve_offline(costs, alpha=1.0, availability=availability)
+        assert solution.schedule == (0, 0, 0, 0)
+
+    def test_forced_migration(self):
+        # State 0 disappears halfway; OPT must pay one switch.
+        costs = np.zeros((4, 2))
+        availability = np.array([[True, True]] * 2 + [[False, True]] * 2)
+        solution = solve_offline(costs, alpha=1.0, availability=availability)
+        assert solution.schedule[2:] == (1, 1)
+
+    def test_every_row_needs_a_state(self):
+        with pytest.raises(ValueError, match="at least one"):
+            solve_offline(
+                np.zeros((2, 2)), alpha=1.0, availability=np.zeros((2, 2), bool)
+            )
+
+    def test_state_can_return_after_absence(self):
+        costs = np.array(
+            [[0.0, 1.0], [1.0, 0.1], [0.0, 1.0]]
+        )
+        availability = np.array([[True, True], [False, True], [True, True]])
+        solution = solve_offline(costs, alpha=0.05, availability=availability)
+        assert solution.schedule == (0, 1, 0)
+
+
+class TestAgainstBruteForce:
+    @given(
+        seed=st.integers(0, 10_000),
+        num_tasks=st.integers(1, 6),
+        num_states=st.integers(1, 4),
+        alpha=st.floats(0.1, 5.0),
+        with_initial=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_exhaustive_optimum(
+        self, seed, num_tasks, num_states, alpha, with_initial
+    ):
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0, 1, size=(num_tasks, num_states))
+        initial = 0 if with_initial else None
+        solution = solve_offline(costs, alpha, initial_state=initial)
+        expected = brute_force(costs, alpha, initial_state=initial)
+        assert solution.total_cost == pytest.approx(expected)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_schedule_witnesses_reported_cost(self, seed):
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0, 1, size=(8, 3))
+        solution = solve_offline(costs, alpha=1.0)
+        total = costs[0][solution.schedule[0]]
+        for t in range(1, 8):
+            if solution.schedule[t] != solution.schedule[t - 1]:
+                total += 1.0
+            total += costs[t][solution.schedule[t]]
+        assert total == pytest.approx(solution.total_cost)

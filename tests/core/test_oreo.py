@@ -1,0 +1,154 @@
+"""Integration tests for the OREO controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OREO, CostEvaluator, OreoConfig
+from repro.layouts import QdTreeBuilder, RangeLayoutBuilder
+from repro.queries import Query, between
+from repro.workloads import generate_stream
+from repro.workloads.templates import QueryTemplate
+
+
+def drifting_templates():
+    """Two disjoint x-range regimes: layouts tuned to one fail on the other."""
+
+    def low_range(rng):
+        start = float(rng.uniform(0, 30))
+        return between("x", start, start + 3.0)
+
+    def high_range(rng):
+        start = float(rng.uniform(60, 95))
+        return between("x", start, start + 3.0)
+
+    return (
+        QueryTemplate("low", low_range),
+        QueryTemplate("high", high_range),
+    )
+
+
+@pytest.fixture
+def oreo_setup(simple_table, rng):
+    config = OreoConfig(
+        alpha=10.0,
+        window_size=25,
+        generation_interval=25,
+        admission_sample_size=16,
+        num_partitions=8,
+        data_sample_fraction=0.2,
+    )
+    initial = RangeLayoutBuilder("y").build(simple_table, [], 8, rng)
+    evaluator = CostEvaluator(simple_table)
+    oreo = OREO(simple_table, QdTreeBuilder(), initial, config, rng, evaluator)
+    return oreo, initial
+
+
+class TestProcess:
+    def test_step_result_fields(self, oreo_setup, rng):
+        oreo, initial = oreo_setup
+        query = Query(predicate=between("x", 0.0, 10.0))
+        result = oreo.process(query)
+        assert result.effective_layout == initial.layout_id
+        assert 0.0 <= result.service_cost <= 1.0
+        assert result.movement_cost == 0.0
+        assert not result.switched
+
+    def test_ledger_tracks_every_query(self, oreo_setup, rng):
+        oreo, _ = oreo_setup
+        stream = generate_stream(drifting_templates(), 100, 4, rng)
+        oreo.run(stream)
+        assert oreo.ledger.num_queries == 100
+        assert len(oreo.state_space_sizes) == 100
+
+    def test_total_cost_decomposition(self, oreo_setup, rng):
+        oreo, _ = oreo_setup
+        stream = generate_stream(drifting_templates(), 150, 4, rng)
+        summary = oreo.run(stream)
+        assert summary.total_cost == pytest.approx(
+            summary.total_query_cost + summary.total_reorg_cost
+        )
+        assert summary.total_reorg_cost == pytest.approx(
+            oreo.config.alpha * summary.num_switches
+            + oreo.config.alpha * oreo.reorganizer.forced_switches
+        )
+
+    def test_state_space_grows_under_drift(self, oreo_setup, rng):
+        oreo, _ = oreo_setup
+        stream = generate_stream(drifting_templates(), 200, 6, rng)
+        oreo.run(stream)
+        assert oreo.manager.num_states >= 2
+        assert oreo.average_state_space_size() >= 1.0
+
+    def test_switches_to_admitted_layouts(self, oreo_setup, rng):
+        oreo, initial = oreo_setup
+        stream = generate_stream(drifting_templates(), 400, 6, rng)
+        summary = oreo.run(stream)
+        assert summary.num_switches >= 1
+        assert oreo.current_layout.layout_id != initial.layout_id or True
+        # Whatever the final layout, it must be resolvable in the registry.
+        assert oreo.current_layout is oreo.manager.get(oreo.reorganizer.effective)
+
+    def test_effective_layout_always_resolvable(self, oreo_setup, rng):
+        oreo, _ = oreo_setup
+        stream = generate_stream(drifting_templates(), 300, 6, rng)
+        for query in stream:
+            result = oreo.process(query)
+            oreo.manager.get(result.effective_layout)  # must not raise
+
+    def test_smax_at_least_final_state_count(self, oreo_setup, rng):
+        oreo, _ = oreo_setup
+        stream = generate_stream(drifting_templates(), 200, 4, rng)
+        oreo.run(stream)
+        assert oreo.reorganizer.algorithm.smax >= oreo.manager.num_states
+
+
+class TestReplayPolicy:
+    def test_replay_add_policy_runs(self, simple_table, rng):
+        config = OreoConfig(
+            alpha=10.0,
+            window_size=25,
+            generation_interval=25,
+            num_partitions=8,
+            data_sample_fraction=0.2,
+            add_policy="replay",
+        )
+        initial = RangeLayoutBuilder("y").build(simple_table, [], 8, rng)
+        oreo = OREO(simple_table, QdTreeBuilder(), initial, config, rng)
+        stream = generate_stream(drifting_templates(), 150, 4, rng)
+        summary = oreo.run(stream)
+        assert summary.num_queries == 150
+
+    def test_median_add_policy_runs(self, simple_table, rng):
+        config = OreoConfig(
+            alpha=10.0,
+            window_size=25,
+            generation_interval=25,
+            num_partitions=8,
+            data_sample_fraction=0.2,
+            add_policy="median",
+        )
+        initial = RangeLayoutBuilder("y").build(simple_table, [], 8, rng)
+        oreo = OREO(simple_table, QdTreeBuilder(), initial, config, rng)
+        stream = generate_stream(drifting_templates(), 150, 4, rng)
+        assert oreo.run(stream).num_queries == 150
+
+
+class TestMaxStates:
+    def test_cap_keeps_state_space_bounded(self, simple_table, rng):
+        config = OreoConfig(
+            alpha=10.0,
+            window_size=20,
+            generation_interval=20,
+            num_partitions=8,
+            data_sample_fraction=0.2,
+            epsilon=0.0,  # admit aggressively to stress the cap
+            max_states=3,
+        )
+        initial = RangeLayoutBuilder("y").build(simple_table, [], 8, rng)
+        oreo = OREO(simple_table, QdTreeBuilder(), initial, config, rng)
+        stream = generate_stream(drifting_templates(), 300, 8, rng)
+        for query in stream:
+            oreo.process(query)
+            assert oreo.manager.num_states <= 3

@@ -1,0 +1,120 @@
+"""Tests for the REORGANIZER: delay semantics and state forwarding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Reorganizer, ReorganizerConfig
+
+
+def make(delay=0, alpha=1.0, seed=0, **kwargs):
+    config = ReorganizerConfig(alpha=alpha, delay=delay, **kwargs)
+    return Reorganizer("init", config, np.random.default_rng(seed))
+
+
+def drive_until_switch(reorganizer, costs, max_steps=100):
+    """Feed constant costs until the algorithm decides to switch."""
+    for _ in range(max_steps):
+        step = reorganizer.observe(costs)
+        if step.reorg_started is not None:
+            return step
+    raise AssertionError("no switch occurred")
+
+
+class TestConfig:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ReorganizerConfig(delay=-1)
+
+
+class TestZeroDelay:
+    def test_effective_follows_logical_next_query(self):
+        reorganizer = make(delay=0)
+        reorganizer.add_layout("better")
+        # Force a phase so "better" activates, then fill init's counter.
+        step = drive_until_switch(reorganizer, {"init": 1.0, "better": 0.0})
+        # The triggering query itself was serviced on the old layout.
+        assert step.effective_layout == "init"
+        assert step.reorg_started == "better"
+        follow_up = reorganizer.observe({"init": 1.0, "better": 0.0})
+        assert follow_up.effective_layout == "better"
+
+
+class TestDelayedSwap:
+    def test_delay_queries_on_old_layout(self):
+        delay = 4
+        reorganizer = make(delay=delay)
+        reorganizer.add_layout("better")
+        drive_until_switch(reorganizer, {"init": 1.0, "better": 0.0})
+        served_on = []
+        for _ in range(delay + 2):
+            step = reorganizer.observe({"init": 0.0, "better": 0.0})
+            served_on.append(step.effective_layout)
+        assert served_on[:delay] == ["init"] * delay
+        assert served_on[delay] == "better"
+
+    def test_completion_event_reported(self):
+        reorganizer = make(delay=2)
+        reorganizer.add_layout("better")
+        drive_until_switch(reorganizer, {"init": 1.0, "better": 0.0})
+        completions = []
+        for _ in range(4):
+            step = reorganizer.observe({"init": 0.0, "better": 0.0})
+            completions.append(step.reorg_completed)
+        assert completions.count("better") == 1
+
+    def test_movement_cost_charged_at_decision(self):
+        reorganizer = make(delay=5, alpha=1.0)
+        reorganizer.add_layout("better")
+        step = drive_until_switch(reorganizer, {"init": 1.0, "better": 0.0})
+        assert step.movement_cost == 1.0
+        # Later queries carry no extra movement cost while the swap is pending.
+        follow_up = reorganizer.observe({"init": 0.0, "better": 0.0})
+        assert follow_up.movement_cost == 0.0
+
+    def test_new_decision_supersedes_pending(self):
+        reorganizer = make(delay=3, alpha=1.0)
+        reorganizer.add_layout("b")
+        drive_until_switch(reorganizer, {"init": 1.0, "b": 0.0})
+        assert reorganizer.pending_target == "b"
+        reorganizer.add_layout("c")
+        # Make the logical state (b) fill while c stays cheap; after a phase
+        # where everything fills, c eventually becomes the target.
+        for _ in range(50):
+            step = reorganizer.observe({"init": 1.0, "b": 1.0, "c": 0.0})
+            if step.reorg_started == "c":
+                break
+        else:
+            raise AssertionError("never switched to c")
+        assert reorganizer.pending_target == "c"
+
+
+class TestRemoveLayout:
+    def test_remove_non_current_is_free(self):
+        reorganizer = make()
+        reorganizer.add_layout("other")
+        reorganizer.observe({"init": 0.2, "other": 0.2})
+        assert reorganizer.remove_layout("other") == 0.0
+
+    def test_remove_current_costs_alpha(self):
+        reorganizer = make(alpha=7.0)
+        reorganizer.add_layout("other")
+        # Activate "other" by finishing a phase.
+        reorganizer.observe({"init": 1.0, "other": 1.0})
+        cost = reorganizer.remove_layout("init")
+        assert cost == 7.0
+        assert reorganizer.logical == "other"
+        assert reorganizer.forced_switches == 1
+
+    def test_remove_current_with_zero_delay_swaps_effective(self):
+        reorganizer = make(alpha=2.0, delay=0)
+        reorganizer.add_layout("other")
+        reorganizer.observe({"init": 1.0, "other": 1.0})
+        reorganizer.remove_layout("init")
+        assert reorganizer.effective == "other"
+
+    def test_layout_ids_view(self):
+        reorganizer = make()
+        reorganizer.add_layout("x")
+        assert set(reorganizer.layout_ids()) == {"init", "x"}

@@ -1,0 +1,105 @@
+"""Tests for transition choosers (uniform and γ-weighted predictor)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import GammaWeightedChooser, UniformChooser
+
+
+class TestUniformChooser:
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            UniformChooser().choose([], {}, np.random.default_rng(0))
+
+    def test_single_candidate(self):
+        chooser = UniformChooser()
+        assert chooser.choose(["a"], {}, np.random.default_rng(0)) == "a"
+
+    def test_approximately_uniform(self):
+        chooser = UniformChooser()
+        rng = np.random.default_rng(0)
+        counts = Counter(
+            chooser.choose(["a", "b", "c"], {}, rng) for _ in range(3000)
+        )
+        for state in "abc":
+            assert 800 < counts[state] < 1200
+
+    def test_ignores_weights(self):
+        chooser = UniformChooser()
+        rng = np.random.default_rng(0)
+        counts = Counter(
+            chooser.choose(["a", "b"], {"a": 100.0, "b": 0.001}, rng)
+            for _ in range(2000)
+        )
+        assert 800 < counts["b"] < 1200
+
+
+class TestGammaWeightedChooser:
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            GammaWeightedChooser(-1.0)
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            GammaWeightedChooser(1.0).choose([], {}, np.random.default_rng(0))
+
+    def test_gamma_zero_is_uniform(self):
+        chooser = GammaWeightedChooser(0.0)
+        rng = np.random.default_rng(0)
+        counts = Counter(
+            chooser.choose(["a", "b"], {"a": 1.0, "b": 0.0}, rng) for _ in range(2000)
+        )
+        assert 800 < counts["b"] < 1200
+
+    def test_bias_toward_heavier_weight(self):
+        chooser = GammaWeightedChooser(1.0)
+        rng = np.random.default_rng(0)
+        weights = {"good": 0.9, "bad": 0.1}
+        counts = Counter(
+            chooser.choose(["good", "bad"], weights, rng) for _ in range(3000)
+        )
+        assert counts["good"] > 2 * counts["bad"]
+
+    def test_higher_gamma_sharpens_bias(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        weights = {"good": 0.9, "bad": 0.3}
+        candidates = ["good", "bad"]
+        soft = Counter(
+            GammaWeightedChooser(1.0).choose(candidates, weights, rng_a)
+            for _ in range(3000)
+        )
+        sharp = Counter(
+            GammaWeightedChooser(3.0).choose(candidates, weights, rng_b)
+            for _ in range(3000)
+        )
+        assert sharp["good"] > soft["good"]
+
+    def test_unknown_candidates_get_median_weight(self):
+        chooser = GammaWeightedChooser(1.0)
+        rng = np.random.default_rng(0)
+        weights = {"a": 0.5, "b": 0.5}
+        # "new" has no weight; it must still be picked sometimes (median=0.5).
+        counts = Counter(
+            chooser.choose(["a", "b", "new"], weights, rng) for _ in range(3000)
+        )
+        assert counts["new"] > 500
+
+    def test_all_unknown_candidates_fallback(self):
+        chooser = GammaWeightedChooser(2.0)
+        rng = np.random.default_rng(0)
+        counts = Counter(chooser.choose(["x", "y"], {}, rng) for _ in range(2000))
+        assert 700 < counts["x"] < 1300
+
+    def test_all_zero_weights_degrade_to_uniform(self):
+        """The weight floor prevents 0/0 normalization when no state skipped
+        anything last phase — the distribution degrades to uniform."""
+        chooser = GammaWeightedChooser(1.0)
+        rng = np.random.default_rng(0)
+        weights = {"a": 0.0, "b": 0.0}
+        counts = Counter(chooser.choose(["a", "b"], weights, rng) for _ in range(2000))
+        assert 800 < counts["a"] < 1200

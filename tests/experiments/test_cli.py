@@ -1,0 +1,66 @@
+"""Tests for the experiment CLI (python -m repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.num_rows == 60_000
+        assert args.num_queries == 3_000
+        assert args.out is None
+
+    def test_sizes_flag(self):
+        args = build_parser().parse_args(["table1", "--sizes", "2", "4"])
+        assert args.sizes == [2, 4]
+
+
+class TestRun:
+    def test_fig5_tiny(self, capsys):
+        exit_code = main(
+            [
+                "fig5",
+                "--num-rows", "4000",
+                "--num-queries", "200",
+                "--num-segments", "2",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+        assert "alpha" in output
+
+    def test_out_directory_written(self, tmp_path, capsys):
+        main(
+            [
+                "fig6",
+                "--num-rows", "4000",
+                "--num-queries", "200",
+                "--num-segments", "2",
+                "--out", str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert (tmp_path / "fig6.txt").exists()
+
+    def test_table1_with_sizes(self, capsys):
+        exit_code = main(["table1", "--sizes", "2"])
+        assert exit_code == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_experiment_unknown(self):
+        args = build_parser().parse_args(["fig5"])
+        with pytest.raises(ValueError):
+            run_experiment("bogus", args)

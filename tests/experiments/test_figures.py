@@ -1,0 +1,152 @@
+"""Smoke tests for the per-figure experiment drivers (tiny scales)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure3_end_to_end,
+    figure4_gap_to_optimal,
+    figure5_alpha_sweep,
+    figure6_epsilon_sweep,
+    format_rows,
+    format_table,
+    load_bundle,
+    measure_alpha,
+    table1_alpha_measurement,
+    table2_ablations,
+)
+
+SCALE = dict(num_rows=6_000, num_queries=250, num_segments=3)
+
+
+class TestLoadBundle:
+    def test_known_datasets(self):
+        for name in ("tpch", "tpcds", "telemetry"):
+            bundle = load_bundle(name, 500, seed=1)
+            assert bundle.name == name
+            assert bundle.table.num_rows == 500
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_bundle("mystery", 100)
+
+
+class TestFigure3:
+    def test_row_structure(self, tmp_path):
+        rows = figure3_end_to_end(
+            datasets=("tpch",),
+            builders=("qdtree",),
+            methods=("static", "greedy"),
+            num_rows=6_000,
+            num_queries=120,
+            num_segments=2,
+            sample_stride=30,
+            store_root=tmp_path,
+            alpha=5.0,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["total_seconds"] == pytest.approx(
+                row["query_seconds"] + row["reorg_seconds"]
+            )
+            assert row["alpha"] == 5.0
+
+    def test_measured_alpha_used_when_none(self, tmp_path):
+        rows = figure3_end_to_end(
+            datasets=("tpch",),
+            builders=("qdtree",),
+            methods=("static",),
+            num_rows=4_000,
+            num_queries=60,
+            num_segments=2,
+            sample_stride=30,
+            store_root=tmp_path,
+            alpha=None,
+        )
+        assert rows[0]["alpha"] > 1.0
+
+
+class TestFigure4:
+    def test_rows_and_invariants(self):
+        rows = figure4_gap_to_optimal(datasets=("tpch",), **SCALE)
+        methods = {row["method"] for row in rows}
+        assert methods == {"offline-optimal", "mts-optimal", "oreo", "static"}
+        by_method = {row["method"]: row for row in rows}
+        # Offline optimal's query cost approximately lower-bounds everyone's
+        # (methods with dynamic pools may dip slightly below it).
+        offline_query = by_method["offline-optimal"]["query_cost"]
+        for method in ("mts-optimal", "oreo", "static"):
+            assert by_method[method]["query_cost"] >= 0.75 * offline_query
+        for row in rows:
+            trajectory = row["trajectory"]
+            assert len(trajectory) == SCALE["num_queries"]
+            assert np.all(np.diff(trajectory) >= -1e-12)
+
+
+class TestFigure5:
+    def test_switches_decrease_with_alpha(self):
+        rows = figure5_alpha_sweep(alphas=(2, 200), **SCALE)
+        assert rows[0]["num_switches"] >= rows[1]["num_switches"]
+        for row in rows:
+            assert row["total_cost"] == pytest.approx(
+                row["query_cost"] + row["reorg_cost"]
+            )
+
+
+class TestFigure6:
+    def test_state_space_shrinks_with_epsilon(self):
+        rows = figure6_epsilon_sweep(epsilons=(0.0, 0.9), **SCALE)
+        assert rows[0]["avg_state_space"] >= rows[1]["avg_state_space"]
+
+
+class TestTable1:
+    def test_alpha_measurement_shape(self, tmp_path):
+        rows = table1_alpha_measurement(
+            target_megabytes=(2,), repeats=1, store_root=tmp_path
+        )
+        row = rows[0]
+        assert row["query_seconds"] > 0
+        assert row["reorg_seconds"] > row["query_seconds"]
+        assert row["alpha"] > 1.0
+
+    def test_measure_alpha_helper(self):
+        assert measure_alpha(target_megabytes=2) > 1.0
+
+
+class TestTable2:
+    def test_knob_coverage(self):
+        rows = table2_ablations(
+            datasets=("tpch",),
+            gammas=(0.0, 1.0),
+            sampler_modes=("sw",),
+            delays_as_alpha_fraction=(0.0,),
+            **SCALE,
+        )
+        knobs = {(row["knob"], row["value"]) for row in rows}
+        assert ("gamma", "0") in knobs
+        assert ("gamma", "1") in knobs
+        assert ("sampler", "sw") in knobs
+        assert ("delay", "0") in knobs
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_rows_title(self):
+        text = format_rows("My Table", [{"a": 1}])
+        assert "=== My Table ===" in text
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,102 @@
+"""Tests for the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentHarness, HarnessConfig, load_bundle, make_builder
+from repro.layouts import QdTreeBuilder, RangeLayoutBuilder, ZOrderLayoutBuilder
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bundle = load_bundle("tpch", 8_000, seed=0)
+    stream = bundle.workload(400, 4, np.random.default_rng(5))
+    config = HarnessConfig(
+        alpha=15.0,
+        window_size=40,
+        generation_interval=40,
+        num_partitions=12,
+        data_sample_fraction=0.05,
+        seed=0,
+    )
+    builder = make_builder("qdtree", bundle)
+    return ExperimentHarness(bundle, stream, builder, config)
+
+
+class TestMakeBuilder:
+    def test_kinds(self):
+        bundle = load_bundle("telemetry", 1_000, seed=0)
+        assert isinstance(make_builder("qdtree", bundle), QdTreeBuilder)
+        assert isinstance(make_builder("zorder", bundle), ZOrderLayoutBuilder)
+        assert isinstance(make_builder("range", bundle), RangeLayoutBuilder)
+        with pytest.raises(ValueError):
+            make_builder("nope", bundle)
+
+
+class TestHarnessConfig:
+    def test_with_overrides(self):
+        config = HarnessConfig(alpha=10.0)
+        changed = config.with_overrides(alpha=20.0, gamma=2.0)
+        assert changed.alpha == 20.0
+        assert changed.gamma == 2.0
+        assert config.alpha == 10.0  # original untouched
+
+    def test_oreo_config_projection(self):
+        config = HarnessConfig(alpha=33.0, epsilon=0.2, delay=7)
+        oreo_config = config.oreo_config()
+        assert oreo_config.alpha == 33.0
+        assert oreo_config.epsilon == 0.2
+        assert oreo_config.delay == 7
+
+
+class TestMethods:
+    def test_unknown_method(self, setup):
+        with pytest.raises(ValueError, match="unknown method"):
+            setup.run("nope")
+
+    @pytest.mark.parametrize(
+        "method",
+        ["static", "oreo", "greedy", "regret", "mts-optimal", "offline-optimal"],
+    )
+    def test_method_produces_full_ledger(self, setup, method):
+        result = setup.run(method)
+        assert result.method == method
+        assert result.ledger.num_queries == len(setup.stream)
+        assert result.summary.total_cost >= 0
+
+    @pytest.mark.parametrize(
+        "method",
+        ["static", "oreo", "greedy", "regret", "mts-optimal", "offline-optimal"],
+    )
+    def test_layout_history_resolvable(self, setup, method):
+        """Every layout in the history must be captured for physical replay."""
+        result = setup.run(method)
+        for layout_id in result.ledger.layout_history:
+            assert layout_id in result.layouts
+
+    def test_static_never_reorganizes(self, setup):
+        result = setup.run_static()
+        assert result.summary.num_switches == 0
+        assert result.summary.total_reorg_cost == 0.0
+
+    def test_oreo_extras(self, setup):
+        result = setup.run_oreo()
+        assert result.extras["avg_state_space"] >= 1.0
+        assert result.extras["smax"] >= 1
+        assert result.extras["phases"] >= 1
+
+    def test_offline_optimal_switch_count(self, setup):
+        result = setup.run_offline_optimal()
+        assert result.summary.num_switches == len(setup.stream.segments) - 1
+
+    def test_run_all(self, setup):
+        results = setup.run_all(methods=("static", "offline-optimal"))
+        assert set(results) == {"static", "offline-optimal"}
+
+    def test_deterministic_given_seed(self, setup):
+        first = setup.run_oreo()
+        second = setup.run_oreo()
+        assert first.summary.total_cost == pytest.approx(second.summary.total_cost)
+        assert first.ledger.switch_steps == second.ledger.switch_steps

@@ -1,0 +1,82 @@
+"""Tests for physical replay of logical schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentHarness,
+    HarnessConfig,
+    load_bundle,
+    make_builder,
+    replay_physical,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    bundle = load_bundle("tpch", 6_000, seed=0)
+    stream = bundle.workload(200, 3, np.random.default_rng(5))
+    config = HarnessConfig(
+        alpha=5.0,
+        window_size=30,
+        generation_interval=30,
+        num_partitions=8,
+        data_sample_fraction=0.05,
+        seed=0,
+    )
+    harness = ExperimentHarness(bundle, stream, make_builder("qdtree", bundle), config)
+    return bundle, stream, harness
+
+
+class TestReplay:
+    def test_replay_matches_logical_switch_count(self, setup, tmp_path):
+        bundle, stream, harness = setup
+        result = harness.run_greedy()
+        physical = replay_physical(
+            bundle.table, stream, result, tmp_path / "replay", sample_stride=20
+        )
+        assert physical.num_switches == result.summary.num_switches
+        assert physical.queries_total == len(stream)
+
+    def test_timings_positive(self, setup, tmp_path):
+        bundle, stream, harness = setup
+        result = harness.run_static()
+        physical = replay_physical(
+            bundle.table, stream, result, tmp_path / "replay2", sample_stride=20
+        )
+        assert physical.query_seconds > 0
+        assert physical.reorg_seconds == 0.0  # static never reorganizes
+        assert physical.total_seconds == pytest.approx(
+            physical.query_seconds + physical.reorg_seconds
+        )
+
+    def test_stride_controls_sample_size(self, setup, tmp_path):
+        bundle, stream, harness = setup
+        result = harness.run_static()
+        physical = replay_physical(
+            bundle.table, stream, result, tmp_path / "replay3", sample_stride=50
+        )
+        assert physical.queries_timed == len(stream) // 50 + (1 if len(stream) % 50 else 0)
+
+    def test_invalid_stride(self, setup, tmp_path):
+        bundle, stream, harness = setup
+        result = harness.run_static()
+        with pytest.raises(ValueError):
+            replay_physical(bundle.table, stream, result, tmp_path, sample_stride=0)
+
+    def test_schedule_length_mismatch_rejected(self, setup, tmp_path):
+        bundle, stream, harness = setup
+        result = harness.run_static()
+        shorter = bundle.workload(10, 2, np.random.default_rng(1))
+        with pytest.raises(ValueError, match="schedule length"):
+            replay_physical(bundle.table, shorter, result, tmp_path)
+
+    def test_store_cleaned_up(self, setup, tmp_path):
+        bundle, stream, harness = setup
+        result = harness.run_static()
+        root = tmp_path / "cleanup"
+        replay_physical(bundle.table, stream, result, root, sample_stride=50)
+        leftover = [f for f in root.rglob("*.npz")]
+        assert leftover == []

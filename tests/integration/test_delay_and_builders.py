@@ -1,0 +1,122 @@
+"""Integration tests: delay semantics at the OREO level, builder agnosticism.
+
+The Δ experiment (Table II) rests on two invariants that must hold for the
+*whole* pipeline, not just the reorganizer unit: reorganization cost is
+identical for any Δ (decisions don't change; cost is charged at decision
+time), and query cost can only get worse as Δ grows (savings arrive late).
+We verify them by running identical streams through OREO with different
+delays and a fixed seed.
+
+Builder agnosticism (§III-B): the same OREO instance must run unmodified
+over any LayoutBuilder; we exercise Z-order and Qd-tree and check both
+adapt under drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OREO, CostEvaluator, OreoConfig
+from repro.layouts import QdTreeBuilder, RangeLayoutBuilder, ZOrderLayoutBuilder
+from repro.queries import between
+from repro.storage import ColumnSpec, Schema, Table
+from repro.workloads import generate_stream
+from repro.workloads.templates import QueryTemplate
+
+
+def make_setup(seed=0, num_rows=20_000):
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        columns=tuple(ColumnSpec(f"c{i}", "numeric") for i in range(3))
+    )
+    table = Table(
+        schema, {f"c{i}": rng.uniform(0, 100, num_rows) for i in range(3)}
+    )
+
+    def template(i):
+        def sample(rng):
+            start = float(rng.uniform(0, 92))
+            return between(f"c{i}", start, start + 4.0)
+
+        return QueryTemplate(f"col-{i}", sample)
+
+    templates = tuple(template(i) for i in range(3))
+    stream = generate_stream(
+        templates, 1_200, 4, np.random.default_rng(seed + 1), min_segment_length=200
+    )
+    return table, stream
+
+
+def run_oreo(table, stream, builder, delay=0, seed=7, **overrides):
+    config = OreoConfig(
+        alpha=20.0,
+        window_size=60,
+        generation_interval=60,
+        num_partitions=12,
+        data_sample_fraction=0.1,
+        delay=delay,
+        **overrides,
+    )
+    oreo = OREO(
+        table,
+        builder,
+        RangeLayoutBuilder("c0").build(
+            table.sample(0.1, np.random.default_rng(seed)), [], 12,
+            np.random.default_rng(seed),
+        ),
+        config,
+        np.random.default_rng(seed),
+        CostEvaluator(table),
+    )
+    return oreo, oreo.run(stream)
+
+
+class TestDelayInvariants:
+    def test_reorg_cost_independent_of_delay(self):
+        table, stream = make_setup()
+        summaries = {}
+        for delay in (0, 10, 20):
+            _, summary = run_oreo(table, stream, QdTreeBuilder(), delay=delay)
+            summaries[delay] = summary
+        reorg_costs = {s.total_reorg_cost for s in summaries.values()}
+        assert len(reorg_costs) == 1
+        switch_counts = {s.num_switches for s in summaries.values()}
+        assert len(switch_counts) == 1
+
+    def test_query_cost_monotone_in_delay(self):
+        table, stream = make_setup()
+        _, fast = run_oreo(table, stream, QdTreeBuilder(), delay=0)
+        _, slow = run_oreo(table, stream, QdTreeBuilder(), delay=20)
+        assert slow.total_query_cost >= fast.total_query_cost - 1e-9
+
+    def test_delay_effect_bounded_by_stalled_queries(self):
+        """The extra cost is at most (switches x delay) full scans."""
+        table, stream = make_setup()
+        _, fast = run_oreo(table, stream, QdTreeBuilder(), delay=0)
+        _, slow = run_oreo(table, stream, QdTreeBuilder(), delay=20)
+        extra = slow.total_query_cost - fast.total_query_cost
+        assert extra <= fast.num_switches * 20 + 1e-9
+
+
+class TestBuilderAgnosticism:
+    @pytest.mark.parametrize("builder_kind", ["qdtree", "zorder"])
+    def test_oreo_adapts_with_either_builder(self, builder_kind):
+        table, stream = make_setup()
+        if builder_kind == "qdtree":
+            builder = QdTreeBuilder()
+        else:
+            builder = ZOrderLayoutBuilder(num_columns=2, default_columns=("c0",))
+        oreo, summary = run_oreo(table, stream, builder)
+        # With strong rotating drift both builders must produce admitted
+        # candidates and at least one reorganization.
+        assert oreo.manager.num_states >= 2
+        assert summary.num_switches >= 1
+
+    def test_never_reorganizing_builder_static_behaviour(self):
+        """A builder stuck on one column gives OREO nothing to switch to —
+        candidates are ε-identical and the state space stays minimal."""
+        table, stream = make_setup()
+        builder = RangeLayoutBuilder("c0")  # same layout every time
+        oreo, summary = run_oreo(table, stream, builder)
+        assert oreo.manager.num_states <= 2

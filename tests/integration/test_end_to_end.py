@@ -1,0 +1,157 @@
+"""End-to-end claims of the paper, asserted on engineered drifting workloads.
+
+These tests reproduce the *shape* of the headline results at test scale:
+
+* under workload drift, dynamic reorganization with OREO beats the single
+  workload-optimized static layout on total cost (Figure 3's claim);
+* a static layout tuned to a drifting workload achieves almost no skipping
+  on regimes it wasn't tuned for (the technical report's Appendix A
+  example);
+* the oracle ordering of Figure 4 holds: Offline Optimal ≤ MTS Optimal and
+  Offline Optimal ≤ OREO in query cost;
+* Greedy reorganizes at least as often as OREO, Regret at most as often
+  (Figure 3's qualitative characterization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentHarness, HarnessConfig
+from repro.layouts import QdTreeBuilder
+from repro.queries import between
+from repro.storage import ColumnSpec, Schema, Table
+from repro.workloads import generate_stream
+from repro.workloads.dataset import DatasetBundle
+from repro.workloads.templates import QueryTemplate
+
+NUM_COLUMNS = 4
+
+
+def rotating_bundle(num_rows=30_000, seed=0) -> DatasetBundle:
+    """The paper's motivating drift pattern (§V-A): the workload rotates
+    through columns, issuing narrow range queries on one column at a time.
+    A layout tuned to column ``ci`` is useless for column ``cj``."""
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        columns=tuple(ColumnSpec(f"c{i}", "numeric") for i in range(NUM_COLUMNS))
+    )
+    table = Table(
+        schema,
+        {f"c{i}": rng.uniform(0, 100, size=num_rows) for i in range(NUM_COLUMNS)},
+    )
+
+    def make_template(i):
+        def sample(rng):
+            start = float(rng.uniform(0, 95))
+            return between(f"c{i}", start, start + 5.0)
+
+        return QueryTemplate(f"col-{i}", sample)
+
+    templates = tuple(make_template(i) for i in range(NUM_COLUMNS))
+    return DatasetBundle(
+        name="rotating", table=table, templates=templates, default_sort_column="c0"
+    )
+
+
+@pytest.fixture(scope="module")
+def harness():
+    # The paper's operating regime (§III-C): query patterns stay stable for
+    # much longer than a reorganization takes to pay off.  Segments of ≥400
+    # queries against α=25 leave most of a segment to enjoy the tuned layout
+    # after the (bounded) exploration the randomized algorithm performs.
+    bundle = rotating_bundle()
+    stream = generate_stream(
+        bundle.templates, 3_000, 5, np.random.default_rng(3), min_segment_length=400
+    )
+    config = HarnessConfig(
+        alpha=25.0,
+        window_size=75,
+        generation_interval=75,
+        num_partitions=16,
+        data_sample_fraction=0.05,
+        seed=0,
+    )
+    return ExperimentHarness(bundle, stream, QdTreeBuilder(), config)
+
+
+@pytest.fixture(scope="module")
+def results(harness):
+    return harness.run_all(
+        methods=("static", "oreo", "greedy", "regret", "mts-optimal", "offline-optimal")
+    )
+
+
+class TestHeadlineClaim:
+    def test_oreo_beats_static_under_drift(self, results):
+        """The paper's headline: up to 32% total-cost improvement."""
+        static_cost = results["static"].summary.total_cost
+        oreo_cost = results["oreo"].summary.total_cost
+        assert oreo_cost < static_cost
+
+    def test_oreo_improvement_is_substantial(self, results):
+        static_cost = results["static"].summary.total_cost
+        oreo_cost = results["oreo"].summary.total_cost
+        improvement = 1.0 - oreo_cost / static_cost
+        assert improvement > 0.10  # expect ≫10% on strongly drifting workloads
+
+    def test_oreo_actually_reorganizes(self, results):
+        assert results["oreo"].summary.num_switches >= 3
+
+
+class TestAppendixAAnalogue:
+    def test_static_layout_barely_skips_under_rotation(self, harness, results):
+        """A layout tuned to all regimes at once skips little per query:
+        with 6 rotating columns and 16 partitions, the static qd-tree cannot
+        isolate any single column's ranges well."""
+        static_query_cost = results["static"].summary.total_query_cost
+        num_queries = results["static"].summary.num_queries
+        average_cost = static_query_cost / num_queries
+        # Offline per-template layouts achieve far lower cost:
+        offline_avg = (
+            results["offline-optimal"].summary.total_query_cost / num_queries
+        )
+        assert average_cost > 2.0 * offline_avg
+
+
+class TestOracleOrdering:
+    def test_offline_optimal_lower_bounds_query_cost(self, results):
+        offline_query = results["offline-optimal"].summary.total_query_cost
+        for method in ("oreo", "mts-optimal", "static", "greedy", "regret"):
+            assert results[method].summary.total_query_cost >= offline_query - 1e-9
+
+    def test_oreo_within_theorem_bound_of_opt(self, results, harness):
+        """Loose end-to-end check of the Theorem IV.1 guarantee, using the
+        offline-optimal total cost as an upper bound proxy for OPT (the true
+        OPT over the dynamic state space is no larger)."""
+        oreo = results["oreo"]
+        smax = oreo.extras["smax"]
+        bound = 2.0 * (1.0 + np.log(max(smax, 1)))
+        opt_proxy = results["offline-optimal"].summary.total_cost
+        slack = bound * harness.config.alpha
+        assert oreo.summary.total_cost <= bound * opt_proxy + slack
+
+
+class TestOnlineStrategyCharacter:
+    def test_greedy_switches_most(self, results):
+        assert (
+            results["greedy"].summary.num_switches
+            >= results["oreo"].summary.num_switches
+        )
+
+    def test_regret_is_most_conservative(self, results):
+        assert (
+            results["regret"].summary.num_switches
+            <= results["greedy"].summary.num_switches
+        )
+
+    def test_greedy_query_cost_is_lower_envelope(self, results):
+        """Greedy pays any reorg price for query savings, so its query cost
+        is the lowest among the online methods sharing the candidate feed."""
+        greedy_query = results["greedy"].summary.total_query_cost
+        assert greedy_query <= results["regret"].summary.total_query_cost * 1.1
+
+    def test_all_methods_processed_full_stream(self, results, harness):
+        for result in results.values():
+            assert result.summary.num_queries == len(harness.stream)

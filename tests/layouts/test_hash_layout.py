@@ -1,0 +1,61 @@
+"""Tests for hash and round-robin layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import (
+    HashLayout,
+    HashLayoutBuilder,
+    RoundRobinLayout,
+    RoundRobinLayoutBuilder,
+)
+
+
+class TestHashLayout:
+    def test_deterministic(self, simple_table):
+        layout = HashLayout("y", 8)
+        first = layout.assign(simple_table)
+        second = layout.assign(simple_table)
+        assert np.array_equal(first, second)
+
+    def test_equal_values_collide(self, simple_table):
+        layout = HashLayout("y", 8)
+        assignment = layout.assign(simple_table)
+        y = simple_table["y"]
+        for value in np.unique(y)[:5]:
+            partitions = np.unique(assignment[y == value])
+            assert len(partitions) == 1
+
+    def test_assignment_in_range(self, simple_table):
+        assignment = HashLayout("x", 5).assign(simple_table)
+        assert assignment.min() >= 0
+        assert assignment.max() < 5
+
+    def test_float_column_hashes_bit_pattern(self, simple_table):
+        assignment = HashLayout("x", 16).assign(simple_table)
+        # Continuous values should spread across most partitions.
+        assert len(np.unique(assignment)) >= 8
+
+    def test_builder(self, simple_table, rng):
+        layout = HashLayoutBuilder("y").build(simple_table, [], 4, rng)
+        assert layout.num_partitions == 4
+
+
+class TestRoundRobinLayout:
+    def test_striping(self, simple_table):
+        assignment = RoundRobinLayout(4).assign(simple_table)
+        assert assignment[:8].tolist() == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_balance_exact(self, simple_table):
+        counts = np.bincount(RoundRobinLayout(4).assign(simple_table))
+        assert counts.tolist() == [250, 250, 250, 250]
+
+    def test_builder(self, simple_table, rng):
+        layout = RoundRobinLayoutBuilder().build(simple_table, [], 3, rng)
+        assert layout.num_partitions == 3
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            RoundRobinLayout(0)

@@ -1,0 +1,137 @@
+"""Tests for partition metadata construction and cost estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts.metadata import (
+    DISTINCT_SET_CAP,
+    ColumnStats,
+    LayoutMetadata,
+    PartitionMetadata,
+    build_layout_metadata,
+    build_partition_metadata,
+    partition_row_indices,
+)
+from repro.queries import between, eq
+from repro.storage import ColumnSpec, Schema, Table
+
+
+class TestColumnStats:
+    def test_min_above_max_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnStats(min=5, max=4)
+
+    def test_equal_bounds_allowed(self):
+        stats = ColumnStats(min=3, max=3)
+        assert stats.min == stats.max == 3
+
+
+class TestPartitionMetadata:
+    def test_negative_row_count_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionMetadata(partition_id=0, row_count=-1, stats={})
+
+    def test_build_from_rows(self, simple_table):
+        rows = np.arange(100)
+        metadata = build_partition_metadata(simple_table, rows, 7)
+        assert metadata.partition_id == 7
+        assert metadata.row_count == 100
+        assert metadata.stats["x"].min == simple_table["x"][:100].min()
+        assert metadata.stats["x"].max == simple_table["x"][:100].max()
+
+    def test_categorical_gets_distinct_set(self, simple_table):
+        metadata = build_partition_metadata(simple_table, np.arange(50), 0)
+        assert metadata.stats["color"].distinct is not None
+        assert metadata.stats["color"].distinct <= {0, 1, 2}
+
+    def test_numeric_has_no_distinct_set(self, simple_table):
+        metadata = build_partition_metadata(simple_table, np.arange(50), 0)
+        assert metadata.stats["x"].distinct is None
+
+    def test_wide_categorical_falls_back_to_minmax(self):
+        vocab = tuple(f"v{i}" for i in range(DISTINCT_SET_CAP + 10))
+        schema = Schema(columns=(ColumnSpec("c", "categorical", vocab),))
+        table = Table(schema, {"c": np.arange(DISTINCT_SET_CAP + 10, dtype=np.int32)})
+        metadata = build_partition_metadata(table, np.arange(table.num_rows), 0)
+        assert metadata.stats["c"].distinct is None
+
+
+class TestLayoutMetadata:
+    def test_total_rows_and_partitions(self, simple_table):
+        assignment = np.arange(simple_table.num_rows) % 4
+        metadata = build_layout_metadata(simple_table, assignment)
+        assert metadata.num_partitions == 4
+        assert metadata.total_rows == simple_table.num_rows
+
+    def test_empty_partitions_omitted(self, simple_table):
+        assignment = np.full(simple_table.num_rows, 3)
+        metadata = build_layout_metadata(simple_table, assignment)
+        assert metadata.num_partitions == 1
+        assert metadata.partitions[0].partition_id == 3
+
+    def test_assignment_length_mismatch(self, simple_table):
+        with pytest.raises(ValueError, match="assignment length"):
+            build_layout_metadata(simple_table, np.zeros(3))
+
+    def test_empty_table(self, simple_schema):
+        table = Table(
+            simple_schema,
+            {"x": np.empty(0), "y": np.empty(0), "color": np.empty(0, dtype=np.int32)},
+        )
+        metadata = build_layout_metadata(table, np.empty(0, dtype=np.int64))
+        assert metadata.num_partitions == 0
+        assert metadata.accessed_fraction(eq("x", 1)) == 0.0
+
+    def test_accessed_fraction_range(self, simple_metadata):
+        fraction = simple_metadata.accessed_fraction(between("x", 10.0, 20.0))
+        assert 0.0 <= fraction <= 1.0
+
+    def test_fractions_complement(self, simple_metadata):
+        predicate = between("x", 10.0, 20.0)
+        total = simple_metadata.accessed_fraction(predicate) + simple_metadata.skipped_fraction(
+            predicate
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_striped_layout_cannot_skip(self, simple_metadata):
+        # Round-robin striping leaves every partition overlapping the range.
+        assert simple_metadata.accessed_fraction(between("x", 10.0, 20.0)) == 1.0
+
+    def test_sorted_layout_skips(self, simple_table):
+        order = np.argsort(simple_table["x"])
+        assignment = np.empty(simple_table.num_rows, dtype=np.int64)
+        assignment[order] = np.arange(simple_table.num_rows) // 250  # 4 parts
+        metadata = build_layout_metadata(simple_table, assignment)
+        fraction = metadata.accessed_fraction(between("x", 0.0, 10.0))
+        assert fraction <= 0.5
+
+    def test_relevant_partitions_sound(self, simple_table):
+        order = np.argsort(simple_table["x"])
+        assignment = np.empty(simple_table.num_rows, dtype=np.int64)
+        assignment[order] = np.arange(simple_table.num_rows) // 100
+        metadata = build_layout_metadata(simple_table, assignment)
+        predicate = between("x", 30.0, 40.0)
+        relevant_ids = {p.partition_id for p in metadata.relevant_partitions(predicate)}
+        matches = predicate.evaluate(simple_table.columns)
+        touched_ids = set(assignment[matches].tolist())
+        assert touched_ids <= relevant_ids
+
+
+class TestPartitionRowIndices:
+    def test_groups_cover_all_rows(self):
+        assignment = np.array([2, 0, 1, 0, 2, 2])
+        groups = partition_row_indices(assignment)
+        assert set(groups) == {0, 1, 2}
+        all_rows = sorted(int(i) for rows in groups.values() for i in rows)
+        assert all_rows == list(range(6))
+
+    def test_group_membership(self):
+        assignment = np.array([1, 0, 1])
+        groups = partition_row_indices(assignment)
+        assert groups[1].tolist() == [0, 2]
+        assert groups[0].tolist() == [1]
+
+    def test_empty_assignment(self):
+        assert partition_row_indices(np.empty(0, dtype=np.int64)) == {}

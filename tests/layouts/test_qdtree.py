@@ -1,0 +1,183 @@
+"""Tests for Qd-tree construction and routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import QdTreeBuilder, QdTreeLayout, extract_cut_predicates
+from repro.layouts.qdtree import QdTreeNode
+from repro.queries import (
+    And,
+    Between,
+    Comparison,
+    Not,
+    Or,
+    Query,
+    between,
+    conjunction,
+    eq,
+    isin,
+    lt,
+)
+
+
+def make_workload(rng, n=30):
+    """Queries concentrated on x-ranges and color equality."""
+    queries = []
+    for _ in range(n):
+        low = float(rng.uniform(0, 90))
+        queries.append(Query(predicate=between("x", low, low + 10.0)))
+        queries.append(Query(predicate=eq("color", int(rng.integers(3)))))
+    return queries
+
+
+class TestCutExtraction:
+    def test_comparison_extracted(self):
+        cuts = extract_cut_predicates([Query(predicate=lt("x", 5.0))])
+        assert cuts == [lt("x", 5.0)]
+
+    def test_between_yields_boundary_comparisons(self):
+        cuts = extract_cut_predicates([Query(predicate=between("x", 1.0, 2.0))])
+        keys = {c.cache_key() for c in cuts}
+        assert Comparison("x", ">=", 1.0).cache_key() in keys
+        assert Comparison("x", "<=", 2.0).cache_key() in keys
+
+    def test_in_extracted_whole(self):
+        cuts = extract_cut_predicates([Query(predicate=isin("color", (0, 1)))])
+        assert cuts == [isin("color", (0, 1))]
+
+    def test_nested_and_or_not(self):
+        predicate = Not(Or((And((lt("x", 1.0), eq("y", 2))), lt("x", 3.0))))
+        cuts = extract_cut_predicates([Query(predicate=predicate)])
+        assert len(cuts) == 3
+
+    def test_deduplication(self):
+        queries = [Query(predicate=lt("x", 5.0)), Query(predicate=lt("x", 5.0))]
+        assert len(extract_cut_predicates(queries)) == 1
+
+    def test_column_whitelist(self):
+        queries = [Query(predicate=And((lt("x", 5.0), eq("secret", 1))))]
+        cuts = extract_cut_predicates(queries, allowed_columns=["x"])
+        assert cuts == [lt("x", 5.0)]
+
+
+class TestQdTreeNode:
+    def test_leaf_properties(self):
+        leaf = QdTreeNode(partition_id=3)
+        assert leaf.is_leaf
+        assert leaf.depth() == 1
+        assert leaf.leaf_count() == 1
+
+    def test_inner_counts(self):
+        root = QdTreeNode(
+            cut=lt("x", 1.0),
+            true_child=QdTreeNode(partition_id=0),
+            false_child=QdTreeNode(
+                cut=lt("x", 2.0),
+                true_child=QdTreeNode(partition_id=1),
+                false_child=QdTreeNode(partition_id=2),
+            ),
+        )
+        assert root.leaf_count() == 3
+        assert root.depth() == 3
+
+
+class TestQdTreeBuilder:
+    def test_routing_is_total_and_in_range(self, simple_table, rng):
+        layout = QdTreeBuilder().build(simple_table, make_workload(rng), 8, rng)
+        assignment = layout.assign(simple_table)
+        assert len(assignment) == simple_table.num_rows
+        assert assignment.min() >= 0
+        assert assignment.max() < layout.num_partitions
+
+    def test_leaf_budget_respected(self, simple_table, rng):
+        layout = QdTreeBuilder().build(simple_table, make_workload(rng), 8, rng)
+        assert 1 <= layout.num_partitions <= 8
+
+    def test_routing_deterministic(self, simple_table, rng):
+        layout = QdTreeBuilder().build(simple_table, make_workload(rng), 8, rng)
+        assert np.array_equal(layout.assign(simple_table), layout.assign(simple_table))
+
+    def test_no_workload_gives_single_leaf(self, simple_table, rng):
+        layout = QdTreeBuilder().build(simple_table, [], 8, rng)
+        assert layout.num_partitions == 1
+
+    def test_min_leaf_fraction_validation(self):
+        with pytest.raises(ValueError):
+            QdTreeBuilder(min_leaf_fraction=0.0)
+        with pytest.raises(ValueError):
+            QdTreeBuilder(min_leaf_fraction=1.5)
+
+    def test_min_leaf_size_enforced(self, simple_table, rng):
+        builder = QdTreeBuilder(min_leaf_fraction=1.0)
+        layout = builder.build(simple_table, make_workload(rng), 4, rng)
+        counts = np.bincount(layout.assign(simple_table), minlength=layout.num_partitions)
+        assert counts[counts > 0].min() >= simple_table.num_rows / 4 * 0.5
+
+    def test_skips_more_than_round_robin(self, simple_table, rng):
+        """The whole point: workload-aware cuts beat striping on skipping."""
+        workload = make_workload(rng)
+        layout = QdTreeBuilder().build(simple_table, workload, 8, rng)
+        metadata = layout.metadata_for(simple_table)
+        striped = np.arange(simple_table.num_rows) % 8
+        from repro.layouts.metadata import build_layout_metadata
+
+        striped_metadata = build_layout_metadata(simple_table, striped)
+        test_queries = make_workload(np.random.default_rng(99))
+        qd_cost = np.mean(
+            [metadata.accessed_fraction(q.predicate) for q in test_queries]
+        )
+        rr_cost = np.mean(
+            [striped_metadata.accessed_fraction(q.predicate) for q in test_queries]
+        )
+        assert qd_cost < rr_cost
+
+    def test_adapts_to_workload_columns(self, simple_table, rng):
+        """Trees built for different workloads should partition differently."""
+        x_heavy = [
+            Query(predicate=between("x", float(i), float(i) + 5.0)) for i in range(0, 90, 5)
+        ]
+        color_heavy = [Query(predicate=eq("color", i % 3)) for i in range(20)]
+        x_layout = QdTreeBuilder().build(simple_table, x_heavy, 6, rng)
+        color_layout = QdTreeBuilder().build(simple_table, color_heavy, 6, rng)
+        x_query = between("x", 20.0, 25.0)
+        x_cost_on_x = x_layout.metadata_for(simple_table).accessed_fraction(x_query)
+        x_cost_on_color = color_layout.metadata_for(simple_table).accessed_fraction(x_query)
+        assert x_cost_on_x < x_cost_on_color
+
+    def test_generalizes_from_sample(self, simple_table, rng):
+        sample = simple_table.sample(0.2, rng)
+        workload = make_workload(rng)
+        layout = QdTreeBuilder().build(sample, workload, 8, rng)
+        assignment = layout.assign(simple_table)
+        counts = np.bincount(assignment, minlength=layout.num_partitions)
+        assert counts.max() < simple_table.num_rows  # actually splits
+
+    def test_describe(self, simple_table, rng):
+        layout = QdTreeBuilder().build(simple_table, make_workload(rng), 8, rng)
+        assert "qd-tree" in layout.describe()
+
+
+class TestQdTreeLayoutRouting:
+    def test_hand_built_tree_routes_correctly(self, simple_table):
+        root = QdTreeNode(
+            cut=lt("x", 50.0),
+            true_child=QdTreeNode(partition_id=0),
+            false_child=QdTreeNode(partition_id=1),
+        )
+        layout = QdTreeLayout(root)
+        assignment = layout.assign(simple_table)
+        x = simple_table["x"]
+        assert (assignment[x < 50.0] == 0).all()
+        assert (assignment[x >= 50.0] == 1).all()
+
+    def test_metadata_consistent_with_routing(self, simple_table, rng):
+        layout = QdTreeBuilder().build(simple_table, make_workload(rng), 8, rng)
+        metadata = layout.metadata_for(simple_table)
+        assignment = layout.assign(simple_table)
+        for partition in metadata.partitions:
+            rows = assignment == partition.partition_id
+            assert partition.row_count == int(rows.sum())
+            assert simple_table["x"][rows].min() >= partition.stats["x"].min
+            assert simple_table["x"][rows].max() <= partition.stats["x"].max

@@ -1,0 +1,86 @@
+"""Tests for range (sort-based) layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import RangeLayout, RangeLayoutBuilder, equal_frequency_boundaries
+from repro.storage import ColumnSpec, Schema, Table
+
+
+class TestEqualFrequencyBoundaries:
+    def test_uniform_data_splits_evenly(self):
+        values = np.arange(1000, dtype=np.float64)
+        boundaries = equal_frequency_boundaries(values, 4)
+        assert len(boundaries) == 3
+        assignment = np.searchsorted(boundaries, values, side="left")
+        counts = np.bincount(assignment, minlength=4)
+        assert counts.min() >= 200
+
+    def test_single_partition_no_boundaries(self):
+        assert len(equal_frequency_boundaries(np.arange(10.0), 1)) == 0
+
+    def test_empty_values(self):
+        assert len(equal_frequency_boundaries(np.empty(0), 4)) == 0
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            equal_frequency_boundaries(np.arange(10.0), 0)
+
+    def test_heavy_hitter_deduplicates(self):
+        values = np.zeros(100)
+        boundaries = equal_frequency_boundaries(values, 8)
+        assert len(boundaries) <= 1
+
+    def test_boundaries_strictly_increasing(self, rng):
+        values = rng.normal(size=5000)
+        boundaries = equal_frequency_boundaries(values, 16)
+        assert np.all(np.diff(boundaries) > 0)
+
+
+class TestRangeLayout:
+    def test_nonincreasing_boundaries_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            RangeLayout("x", np.array([1.0, 1.0]))
+
+    def test_assignment_respects_boundaries(self, simple_table):
+        layout = RangeLayout("x", np.array([25.0, 50.0, 75.0]))
+        assignment = layout.assign(simple_table)
+        x = simple_table["x"]
+        assert (assignment[x < 25.0] == 0).all()
+        assert (assignment[(x >= 25.0) & (x < 50.0)] == 1).all()
+        assert (assignment[x >= 75.0] == 3).all()
+
+    def test_assignment_in_range(self, simple_table):
+        layout = RangeLayout("x", np.array([50.0]))
+        assignment = layout.assign(simple_table)
+        assert assignment.min() >= 0
+        assert assignment.max() < layout.num_partitions
+
+    def test_describe_mentions_column(self):
+        layout = RangeLayout("time", np.array([1.0]))
+        assert "time" in layout.describe()
+
+
+class TestRangeLayoutBuilder:
+    def test_builder_balances_partitions(self, simple_table, rng):
+        layout = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        assignment = layout.assign(simple_table)
+        counts = np.bincount(assignment, minlength=layout.num_partitions)
+        assert counts.max() <= 2 * simple_table.num_rows / 8
+
+    def test_builder_on_skewed_column(self, rng):
+        schema = Schema(columns=(ColumnSpec("v", "numeric"),))
+        table = Table(schema, {"v": rng.exponential(1.0, size=10_000)})
+        layout = RangeLayoutBuilder("v").build(table, [], 10, rng)
+        counts = np.bincount(layout.assign(table), minlength=layout.num_partitions)
+        # Equal-frequency quantiles keep skewed data balanced.
+        assert counts.max() < 0.25 * table.num_rows
+
+    def test_generalizes_from_sample_to_full_table(self, simple_table, rng):
+        sample = simple_table.sample(0.1, rng)
+        layout = RangeLayoutBuilder("x").build(sample, [], 4, rng)
+        assignment = layout.assign(simple_table)
+        counts = np.bincount(assignment, minlength=layout.num_partitions)
+        assert counts.max() < 0.6 * simple_table.num_rows

@@ -1,0 +1,127 @@
+"""Property tests: data skipping must never lose rows, for ANY layout.
+
+This is design decision #4 in DESIGN.md: the logical cost model is only
+trustworthy if metadata pruning is sound — a partition declared skippable
+must contain zero matching rows.  We fuzz across all four layout families
+and random predicate workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layouts import (
+    HashLayout,
+    QdTreeBuilder,
+    RangeLayoutBuilder,
+    RoundRobinLayout,
+    ZOrderLayoutBuilder,
+)
+from repro.layouts.base import eval_skipped
+from repro.queries import Query, between, conjunction, eq
+from repro.storage import ColumnSpec, Schema, Table
+
+_SCHEMA = Schema(
+    columns=(
+        ColumnSpec("a", "numeric"),
+        ColumnSpec("b", "numeric"),
+        ColumnSpec("c", "categorical", tuple(f"v{i}" for i in range(5))),
+    )
+)
+
+
+def make_table(seed: int, n: int) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        _SCHEMA,
+        {
+            "a": rng.integers(0, 100, size=n).astype(np.int64),
+            "b": rng.uniform(0, 50, size=n),
+            "c": rng.integers(0, 5, size=n).astype(np.int32),
+        },
+    )
+
+
+def make_query(seed: int) -> Query:
+    rng = np.random.default_rng(seed)
+    parts = []
+    if rng.random() < 0.8:
+        low = int(rng.integers(0, 90))
+        parts.append(between("a", low, low + int(rng.integers(1, 30))))
+    if rng.random() < 0.5:
+        low = float(rng.uniform(0, 40))
+        parts.append(between("b", low, low + float(rng.uniform(1, 15))))
+    if rng.random() < 0.4:
+        parts.append(eq("c", int(rng.integers(5))))
+    if not parts:
+        parts.append(between("a", 0, 50))
+    return Query(predicate=conjunction(parts))
+
+
+def build_layout(kind: str, table: Table, workload, seed: int):
+    rng = np.random.default_rng(seed)
+    if kind == "range":
+        return RangeLayoutBuilder("a").build(table, workload, 6, rng)
+    if kind == "zorder":
+        return ZOrderLayoutBuilder(columns=("a", "b")).build(table, workload, 6, rng)
+    if kind == "qdtree":
+        return QdTreeBuilder().build(table, workload, 6, rng)
+    if kind == "hash":
+        return HashLayout("a", 6)
+    return RoundRobinLayout(6)
+
+
+@given(
+    data_seed=st.integers(0, 10_000),
+    query_seed=st.integers(0, 10_000),
+    kind=st.sampled_from(["range", "zorder", "qdtree", "hash", "roundrobin"]),
+    n=st.integers(50, 400),
+)
+@settings(max_examples=120, deadline=None)
+def test_pruned_partitions_contain_no_matches(data_seed, query_seed, kind, n):
+    table = make_table(data_seed, n)
+    workload = [make_query(query_seed + i) for i in range(8)]
+    layout = build_layout(kind, table, workload, data_seed)
+    query = make_query(query_seed)
+
+    assignment = layout.assign(table)
+    metadata = layout.metadata_for(table)
+    matches = query.predicate.evaluate(table.columns)
+    matched_partitions = set(assignment[matches].tolist())
+    relevant = {p.partition_id for p in metadata.relevant_partitions(query.predicate)}
+    # Soundness: every partition holding a match must be deemed relevant.
+    assert matched_partitions <= relevant
+
+
+@given(
+    data_seed=st.integers(0, 10_000),
+    query_seed=st.integers(0, 10_000),
+    kind=st.sampled_from(["range", "zorder", "qdtree"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_accessed_fraction_upper_bounds_true_selectivity(data_seed, query_seed, kind):
+    """c(s, q) can overestimate (pruning is approximate) but never under."""
+    table = make_table(data_seed, 300)
+    workload = [make_query(query_seed + i) for i in range(8)]
+    layout = build_layout(kind, table, workload, data_seed)
+    query = make_query(query_seed)
+    metadata = layout.metadata_for(table)
+    true_selectivity = float(query.predicate.evaluate(table.columns).mean())
+    assert metadata.accessed_fraction(query.predicate) >= true_selectivity - 1e-12
+
+
+@given(data_seed=st.integers(0, 10_000), query_seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_eval_skipped_in_unit_interval(data_seed, query_seed):
+    table = make_table(data_seed, 200)
+    workload = [make_query(query_seed + i) for i in range(5)]
+    layout = build_layout("qdtree", table, workload, data_seed)
+    skipped = eval_skipped(layout.metadata_for(table), workload)
+    assert 0.0 <= skipped <= 1.0
+
+
+def test_eval_skipped_empty_workload(simple_table, rng):
+    layout = RoundRobinLayout(4)
+    assert eval_skipped(layout.metadata_for(simple_table), []) == 0.0

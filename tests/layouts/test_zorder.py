@@ -1,0 +1,121 @@
+"""Tests for Morton interleaving and Z-order layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import ZOrderLayoutBuilder, morton_interleave
+from repro.layouts.zorder import ZOrderLayout
+from repro.queries import Query, between, conjunction
+from repro.storage import ColumnSpec, Schema, Table
+
+
+class TestMortonInterleave:
+    def test_known_values_2d(self):
+        # morton(x=1, y=0) -> bit 0 set; morton(x=0, y=1) -> bit 1 set.
+        codes = morton_interleave([np.array([1, 0, 1]), np.array([0, 1, 1])], bits=4)
+        assert codes.tolist() == [1, 2, 3]
+
+    def test_bijective_on_grid(self):
+        xs, ys = np.meshgrid(np.arange(16), np.arange(16))
+        codes = morton_interleave([xs.ravel(), ys.ravel()], bits=4)
+        assert len(np.unique(codes)) == 256
+
+    def test_monotone_per_dimension(self):
+        xs = np.arange(32)
+        fixed = np.zeros(32, dtype=np.int64)
+        codes = morton_interleave([xs, fixed], bits=5)
+        assert np.all(np.diff(codes.astype(np.int64)) > 0)
+
+    def test_three_dims(self):
+        codes = morton_interleave(
+            [np.array([1]), np.array([1]), np.array([1])], bits=2
+        )
+        assert codes.tolist() == [0b111]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            morton_interleave([np.array([16])], bits=4)
+
+    def test_rejects_bit_overflow(self):
+        with pytest.raises(ValueError, match="64-bit"):
+            morton_interleave([np.array([0])] * 3, bits=22)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            morton_interleave([np.array([0, 1]), np.array([0])], bits=4)
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(ValueError, match="at least one"):
+            morton_interleave([], bits=4)
+
+
+class TestZOrderLayout:
+    def make_layout(self, table, rng, columns=("x", "y"), k=8):
+        return ZOrderLayoutBuilder(columns=columns).build(table, [], k, rng)
+
+    def test_assignment_in_range(self, simple_table, rng):
+        layout = self.make_layout(simple_table, rng)
+        assignment = layout.assign(simple_table)
+        assert assignment.min() >= 0
+        assert assignment.max() < layout.num_partitions
+
+    def test_partitions_roughly_balanced(self, simple_table, rng):
+        layout = self.make_layout(simple_table, rng)
+        counts = np.bincount(layout.assign(simple_table), minlength=layout.num_partitions)
+        assert counts.max() <= 3 * simple_table.num_rows / layout.num_partitions
+
+    def test_locality_beats_round_robin(self, rng):
+        """A box query should touch fewer rows under Z-order than striping."""
+        n = 20_000
+        schema = Schema(columns=(ColumnSpec("a", "numeric"), ColumnSpec("b", "numeric")))
+        table = Table(
+            schema,
+            {"a": rng.uniform(0, 100, n), "b": rng.uniform(0, 100, n)},
+        )
+        layout = ZOrderLayoutBuilder(columns=("a", "b")).build(table, [], 16, rng)
+        metadata = layout.metadata_for(table)
+        box = conjunction((between("a", 10.0, 20.0), between("b", 10.0, 20.0)))
+        assert metadata.accessed_fraction(box) < 0.75
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ZOrderLayout((), {}, np.empty(0, dtype=np.uint64))
+
+    def test_describe_lists_columns(self, simple_table, rng):
+        layout = self.make_layout(simple_table, rng)
+        assert "x" in layout.describe() and "y" in layout.describe()
+
+
+class TestZOrderLayoutBuilder:
+    def test_requires_columns_or_default(self):
+        with pytest.raises(ValueError):
+            ZOrderLayoutBuilder()
+
+    def test_picks_top_queried_columns(self, simple_table, rng):
+        workload = [Query(predicate=between("y", 0, 10))] * 5 + [
+            Query(predicate=between("x", 0.0, 1.0))
+        ] * 3
+        builder = ZOrderLayoutBuilder(num_columns=2, default_columns=("x",))
+        layout = builder.build(simple_table, workload, 8, rng)
+        assert set(layout.columns) == {"x", "y"}
+
+    def test_falls_back_to_default_columns(self, simple_table, rng):
+        builder = ZOrderLayoutBuilder(default_columns=("x",))
+        layout = builder.build(simple_table, [], 8, rng)
+        assert layout.columns == ("x",)
+
+    def test_single_column_zorder_is_range_like(self, simple_table, rng):
+        builder = ZOrderLayoutBuilder(columns=("x",))
+        layout = builder.build(simple_table, [], 8, rng)
+        assignment = layout.assign(simple_table)
+        # Sorted by x, partition ids must be monotone in x.
+        order = np.argsort(simple_table["x"])
+        assert np.all(np.diff(assignment[order]) >= 0)
+
+    def test_respects_allowed_columns_from_sample(self, simple_table, rng):
+        workload = [Query(predicate=between("nonexistent", 0, 1))]
+        builder = ZOrderLayoutBuilder(num_columns=2, default_columns=("x",))
+        layout = builder.build(simple_table, workload, 4, rng)
+        assert layout.columns == ("x",)

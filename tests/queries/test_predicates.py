@@ -1,0 +1,289 @@
+"""Unit tests for the predicate AST: evaluation, pruning, algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts.metadata import ColumnStats, PartitionMetadata
+from repro.queries.predicates import (
+    AlwaysFalse,
+    AlwaysTrue,
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+    between,
+    conjunction,
+    eq,
+    ge,
+    gt,
+    isin,
+    le,
+    lt,
+    ne,
+)
+
+
+def meta(**stats):
+    """Metadata helper: meta(x=(0, 10)) or meta(c=(0, 2, {0, 1, 2}))."""
+    built = {}
+    for name, spec in stats.items():
+        if len(spec) == 3:
+            built[name] = ColumnStats(min=spec[0], max=spec[1], distinct=frozenset(spec[2]))
+        else:
+            built[name] = ColumnStats(min=spec[0], max=spec[1])
+    return PartitionMetadata(partition_id=0, row_count=10, stats=built)
+
+
+COLUMNS = {
+    "x": np.array([1.0, 5.0, 10.0, 15.0]),
+    "y": np.array([0, 1, 2, 3]),
+}
+
+
+class TestComparison:
+    def test_lt_evaluation(self):
+        mask = lt("x", 10.0).evaluate(COLUMNS)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_le_evaluation(self):
+        mask = le("x", 10.0).evaluate(COLUMNS)
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_gt_evaluation(self):
+        mask = gt("x", 5.0).evaluate(COLUMNS)
+        assert mask.tolist() == [False, False, True, True]
+
+    def test_ge_evaluation(self):
+        mask = ge("x", 5.0).evaluate(COLUMNS)
+        assert mask.tolist() == [False, True, True, True]
+
+    def test_eq_evaluation(self):
+        mask = eq("y", 2).evaluate(COLUMNS)
+        assert mask.tolist() == [False, False, True, False]
+
+    def test_ne_evaluation(self):
+        mask = ne("y", 2).evaluate(COLUMNS)
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("x", "<>", 1)
+
+    def test_unknown_column_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown column"):
+            lt("missing", 1).evaluate(COLUMNS)
+
+    def test_may_match_lt_inside_range(self):
+        assert lt("x", 5.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_may_match_lt_below_range(self):
+        assert not lt("x", 0.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_may_match_le_boundary(self):
+        assert le("x", 0.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_may_match_gt_above_range(self):
+        assert not gt("x", 10.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_may_match_ge_boundary(self):
+        assert ge("x", 10.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_may_match_eq_uses_distinct_set(self):
+        m = meta(y=(0, 4, {0, 2, 4}))
+        assert eq("y", 2).may_match(m)
+        assert not eq("y", 3).may_match(m)  # in range, not in distinct set
+
+    def test_may_match_eq_range_only(self):
+        assert eq("x", 5.0).may_match(meta(x=(0.0, 10.0)))
+        assert not eq("x", 11.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_may_match_ne_single_value_partition(self):
+        assert not ne("x", 3.0).may_match(meta(x=(3.0, 3.0)))
+        assert ne("x", 3.0).may_match(meta(x=(3.0, 4.0)))
+
+    def test_may_match_missing_column_is_conservative(self):
+        assert eq("unknown", 1).may_match(meta(x=(0.0, 1.0)))
+
+    def test_matches_all_lt(self):
+        assert lt("x", 11.0).matches_all(meta(x=(0.0, 10.0)))
+        assert not lt("x", 10.0).matches_all(meta(x=(0.0, 10.0)))
+
+    def test_matches_all_ne_outside_range(self):
+        assert ne("x", 20.0).matches_all(meta(x=(0.0, 10.0)))
+        assert not ne("x", 5.0).matches_all(meta(x=(0.0, 10.0)))
+
+    def test_matches_all_ne_with_distinct(self):
+        assert ne("y", 3).matches_all(meta(y=(0, 4, {0, 2, 4})))
+        assert not ne("y", 2).matches_all(meta(y=(0, 4, {0, 2, 4})))
+
+    def test_matches_all_missing_column_is_conservative(self):
+        assert not lt("unknown", 1).matches_all(meta(x=(0.0, 1.0)))
+
+    def test_negate_roundtrip(self):
+        predicate = lt("x", 5.0)
+        negated = predicate.negate()
+        assert negated.op == ">="
+        combined = predicate.evaluate(COLUMNS) | negated.evaluate(COLUMNS)
+        assert combined.all()
+
+    def test_columns(self):
+        assert lt("x", 5.0).columns() == frozenset({"x"})
+
+    def test_structural_equality(self):
+        assert lt("x", 5.0) == lt("x", 5.0)
+        assert lt("x", 5.0) != lt("x", 6.0)
+        assert hash(lt("x", 5.0)) == hash(lt("x", 5.0))
+
+
+class TestBetween:
+    def test_evaluation_inclusive(self):
+        mask = between("x", 5.0, 10.0).evaluate(COLUMNS)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            between("x", 10.0, 5.0)
+
+    def test_may_match_overlap(self):
+        assert between("x", 5.0, 15.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_may_match_disjoint(self):
+        assert not between("x", 11.0, 15.0).may_match(meta(x=(0.0, 10.0)))
+        assert not between("x", -5.0, -1.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_may_match_touching_boundary(self):
+        assert between("x", 10.0, 15.0).may_match(meta(x=(0.0, 10.0)))
+
+    def test_matches_all_containment(self):
+        assert between("x", -1.0, 11.0).matches_all(meta(x=(0.0, 10.0)))
+        assert not between("x", 1.0, 11.0).matches_all(meta(x=(0.0, 10.0)))
+
+    def test_negate_is_complement(self):
+        predicate = between("x", 5.0, 10.0)
+        negated = predicate.negate()
+        assert (predicate.evaluate(COLUMNS) ^ negated.evaluate(COLUMNS)).all()
+
+
+class TestIn:
+    def test_evaluation(self):
+        mask = isin("y", (0, 3)).evaluate(COLUMNS)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            isin("y", ())
+
+    def test_may_match_with_distinct(self):
+        m = meta(y=(0, 4, {0, 2, 4}))
+        assert isin("y", (2, 9)).may_match(m)
+        assert not isin("y", (1, 3)).may_match(m)
+
+    def test_may_match_range_only(self):
+        assert isin("x", (5.0, 50.0)).may_match(meta(x=(0.0, 10.0)))
+        assert not isin("x", (20.0, 50.0)).may_match(meta(x=(0.0, 10.0)))
+
+    def test_matches_all_subset(self):
+        assert isin("y", (0, 2, 4, 6)).matches_all(meta(y=(0, 4, {0, 2, 4})))
+        assert not isin("y", (0, 2)).matches_all(meta(y=(0, 4, {0, 2, 4})))
+
+    def test_matches_all_constant_partition(self):
+        assert isin("x", (3.0,)).matches_all(meta(x=(3.0, 3.0)))
+
+    def test_cache_key_order_insensitive(self):
+        assert isin("y", (1, 2)) == isin("y", (2, 1))
+
+
+class TestBooleanCombinators:
+    def test_and_evaluation(self):
+        predicate = And((ge("x", 5.0), le("x", 10.0)))
+        assert predicate.evaluate(COLUMNS).tolist() == [False, True, True, False]
+
+    def test_or_evaluation(self):
+        predicate = Or((lt("x", 5.0), gt("x", 10.0)))
+        assert predicate.evaluate(COLUMNS).tolist() == [True, False, False, True]
+
+    def test_not_evaluation(self):
+        predicate = Not(lt("x", 5.0))
+        assert predicate.evaluate(COLUMNS).tolist() == [False, True, True, True]
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            And(())
+        with pytest.raises(ValueError):
+            Or(())
+
+    def test_and_may_match_requires_all(self):
+        m = meta(x=(0.0, 10.0))
+        assert And((lt("x", 5.0), gt("x", 1.0))).may_match(m)
+        assert not And((lt("x", 5.0), gt("x", 20.0))).may_match(m)
+
+    def test_or_may_match_requires_any(self):
+        m = meta(x=(0.0, 10.0))
+        assert Or((gt("x", 20.0), lt("x", 5.0))).may_match(m)
+        assert not Or((gt("x", 20.0), lt("x", -1.0))).may_match(m)
+
+    def test_not_prunes_when_child_covers_partition(self):
+        # Every row has x <= 10, so NOT(x <= 10) can skip the partition.
+        assert not Not(le("x", 10.0)).may_match(meta(x=(0.0, 10.0)))
+        assert Not(le("x", 5.0)).may_match(meta(x=(0.0, 10.0)))
+
+    def test_de_morgan_negate(self):
+        predicate = And((lt("x", 5.0), eq("y", 2)))
+        negated = predicate.negate()
+        assert isinstance(negated, Or)
+        assert (predicate.evaluate(COLUMNS) ^ negated.evaluate(COLUMNS)).all()
+
+    def test_operator_overloads(self):
+        combined = lt("x", 5.0) & gt("y", 0)
+        assert isinstance(combined, And)
+        either = lt("x", 5.0) | gt("y", 0)
+        assert isinstance(either, Or)
+        inverted = ~lt("x", 5.0)
+        assert inverted == ge("x", 5.0)
+
+    def test_columns_union(self):
+        predicate = And((lt("x", 5.0), eq("y", 2)))
+        assert predicate.columns() == frozenset({"x", "y"})
+
+    def test_and_cache_key_order_insensitive(self):
+        assert And((lt("x", 1.0), eq("y", 2))) == And((eq("y", 2), lt("x", 1.0)))
+
+
+class TestConstants:
+    def test_always_true(self):
+        predicate = AlwaysTrue()
+        assert predicate.evaluate(COLUMNS).all()
+        assert predicate.may_match(meta(x=(0, 1)))
+        assert predicate.matches_all(meta(x=(0, 1)))
+        assert predicate.columns() == frozenset()
+
+    def test_always_false(self):
+        predicate = AlwaysFalse()
+        assert not predicate.evaluate(COLUMNS).any()
+        assert not predicate.may_match(meta(x=(0, 1)))
+        assert not predicate.matches_all(meta(x=(0, 1)))
+
+    def test_negations(self):
+        assert AlwaysTrue().negate() == AlwaysFalse()
+        assert AlwaysFalse().negate() == AlwaysTrue()
+
+    def test_empty_columns_mapping(self):
+        assert AlwaysTrue().evaluate({}).shape == (0,)
+
+
+class TestConjunctionHelper:
+    def test_empty_is_true(self):
+        assert conjunction(()) == AlwaysTrue()
+
+    def test_single_child_unwrapped(self):
+        child = lt("x", 5.0)
+        assert conjunction((child,)) is child
+
+    def test_multiple_children_anded(self):
+        combined = conjunction((lt("x", 5.0), gt("y", 0)))
+        assert isinstance(combined, And)
+        assert len(combined.children) == 2

@@ -1,0 +1,129 @@
+"""Property-based tests: pruning soundness is the invariant the whole
+logical cost model rests on.
+
+``may_match`` may only return False when no row matches; ``matches_all``
+may only return True when every row matches.  We fuzz random integer
+tables, build exact partition metadata, and check both directions for
+randomly generated predicate trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layouts.metadata import build_partition_metadata
+from repro.queries.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+)
+from repro.storage import ColumnSpec, Schema, Table
+
+_SCHEMA = Schema(
+    columns=(
+        ColumnSpec("a", "numeric"),
+        ColumnSpec("b", "numeric"),
+        ColumnSpec("c", "categorical", tuple(f"v{i}" for i in range(8))),
+    )
+)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return Table(
+        _SCHEMA,
+        {
+            "a": rng.integers(-20, 21, size=n).astype(np.int64),
+            "b": rng.integers(0, 10, size=n).astype(np.int64),
+            "c": rng.integers(0, 8, size=n).astype(np.int32),
+        },
+    )
+
+
+def atomic_predicates():
+    comparisons = st.builds(
+        Comparison,
+        st.sampled_from(["a", "b", "c"]),
+        st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+        st.integers(min_value=-25, max_value=25),
+    )
+    betweens = st.builds(
+        lambda col, lo, width: Between(col, lo, lo + width),
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=-25, max_value=25),
+        st.integers(min_value=0, max_value=20),
+    )
+    ins = st.builds(
+        In,
+        st.sampled_from(["a", "b", "c"]),
+        st.lists(st.integers(min_value=-25, max_value=25), min_size=1, max_size=5),
+    )
+    return st.one_of(comparisons, betweens, ins)
+
+
+def predicates(max_depth: int = 3):
+    return st.recursive(
+        atomic_predicates(),
+        lambda children: st.one_of(
+            st.builds(lambda kids: And(tuple(kids)), st.lists(children, min_size=1, max_size=3)),
+            st.builds(lambda kids: Or(tuple(kids)), st.lists(children, min_size=1, max_size=3)),
+            st.builds(Not, children),
+        ),
+        max_leaves=6,
+    )
+
+
+@given(table=tables(), predicate=predicates())
+@settings(max_examples=300, deadline=None)
+def test_may_match_never_false_negative(table, predicate):
+    """If may_match says skip, no row in the partition can match."""
+    metadata = build_partition_metadata(table, np.arange(table.num_rows), 0)
+    matches = predicate.evaluate(table.columns)
+    if not predicate.may_match(metadata):
+        assert not matches.any()
+
+
+@given(table=tables(), predicate=predicates())
+@settings(max_examples=300, deadline=None)
+def test_matches_all_never_false_positive(table, predicate):
+    """If matches_all says full coverage, every row matches."""
+    metadata = build_partition_metadata(table, np.arange(table.num_rows), 0)
+    matches = predicate.evaluate(table.columns)
+    if predicate.matches_all(metadata):
+        assert matches.all()
+
+
+@given(table=tables(), predicate=predicates())
+@settings(max_examples=200, deadline=None)
+def test_negate_is_exact_complement(table, predicate):
+    """negate() must flip every row's verdict."""
+    mask = predicate.evaluate(table.columns)
+    negated_mask = predicate.negate().evaluate(table.columns)
+    assert (mask ^ negated_mask).all()
+
+
+@given(table=tables(), predicate=predicates())
+@settings(max_examples=200, deadline=None)
+def test_double_negation_semantics(table, predicate):
+    """NOT(NOT(p)) evaluates identically to p."""
+    mask = predicate.evaluate(table.columns)
+    double = Not(Not(predicate)).evaluate(table.columns)
+    assert (mask == double).all()
+
+
+@given(predicate=predicates())
+@settings(max_examples=200, deadline=None)
+def test_cache_key_stable_and_hashable(predicate):
+    """cache_key is hashable and equal predicates share it."""
+    key_a = predicate.cache_key()
+    key_b = predicate.cache_key()
+    assert key_a == key_b
+    hash(key_a)

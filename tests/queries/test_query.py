@@ -1,0 +1,79 @@
+"""Tests for Query and QueryStream objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries import Query, QueryStream, between, eq
+
+
+def make_stream():
+    queries = tuple(
+        Query(predicate=between("x", i, i + 1), template="t1" if i < 3 else "t2")
+        for i in range(6)
+    )
+    segments = ((0, "t1"), (3, "t2"))
+    return QueryStream(queries=queries, segments=segments)
+
+
+class TestQuery:
+    def test_qids_are_unique(self):
+        a = Query(predicate=eq("x", 1))
+        b = Query(predicate=eq("x", 1))
+        assert a.qid != b.qid
+
+    def test_cache_key_shared_for_identical_predicates(self):
+        a = Query(predicate=eq("x", 1))
+        b = Query(predicate=eq("x", 1))
+        assert a.cache_key() == b.cache_key()
+
+    def test_evaluate_delegates_to_predicate(self):
+        query = Query(predicate=eq("x", 1))
+        mask = query.evaluate({"x": np.array([0, 1, 1])})
+        assert mask.tolist() == [False, True, True]
+
+    def test_columns(self):
+        query = Query(predicate=between("time", 0, 10))
+        assert query.columns() == frozenset({"time"})
+
+    def test_default_template(self):
+        assert Query(predicate=eq("x", 1)).template == "adhoc"
+
+
+class TestQueryStream:
+    def test_len_and_iteration(self):
+        stream = make_stream()
+        assert len(stream) == 6
+        assert len(list(stream)) == 6
+
+    def test_indexing(self):
+        stream = make_stream()
+        assert stream[0].template == "t1"
+        assert stream[5].template == "t2"
+
+    def test_segment_boundaries_exclude_zero(self):
+        assert make_stream().segment_boundaries() == [3]
+
+    def test_segment_of(self):
+        stream = make_stream()
+        assert stream.segment_of(0) == "t1"
+        assert stream.segment_of(2) == "t1"
+        assert stream.segment_of(3) == "t2"
+        assert stream.segment_of(5) == "t2"
+
+    def test_segment_of_without_segments_uses_query_template(self):
+        queries = (Query(predicate=eq("x", 1), template="solo"),)
+        stream = QueryStream(queries=queries)
+        assert stream.segment_of(0) == "solo"
+
+    def test_templates_in_first_appearance_order(self):
+        assert make_stream().templates() == ["t1", "t2"]
+
+    def test_templates_fallback_without_segments(self):
+        queries = tuple(
+            Query(predicate=eq("x", i), template=name)
+            for i, name in enumerate(["b", "a", "b"])
+        )
+        stream = QueryStream(queries=queries)
+        assert stream.templates() == ["b", "a"]

@@ -1,0 +1,79 @@
+"""Tests for the physical query executor: pruning + correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import RangeLayoutBuilder, RoundRobinLayout
+from repro.queries import Query, between, eq
+from repro.storage import PartitionStore, QueryExecutor
+
+
+@pytest.fixture
+def executor(tmp_path):
+    return QueryExecutor(PartitionStore(tmp_path / "store"))
+
+
+@pytest.fixture
+def stored_range(executor, simple_table, rng):
+    """simple_table partitioned by x-ranges (prunable for x-predicates)."""
+    layout = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+    return executor.store.materialize(simple_table, layout)
+
+
+class TestExecution:
+    def test_matches_equal_brute_force(self, executor, stored_range, simple_table):
+        query = Query(predicate=between("x", 10.0, 20.0))
+        result = executor.execute(stored_range, query)
+        expected = int(query.predicate.evaluate(simple_table.columns).sum())
+        assert result.rows_matched == expected
+
+    def test_range_layout_prunes_partitions(self, executor, stored_range):
+        query = Query(predicate=between("x", 10.0, 20.0))
+        result = executor.execute(stored_range, query)
+        assert result.partitions_scanned < result.partitions_total
+        assert result.rows_scanned < result.total_rows
+
+    def test_unaligned_layout_scans_everything(self, executor, simple_table):
+        stored = executor.store.materialize(simple_table, RoundRobinLayout(8))
+        query = Query(predicate=between("x", 10.0, 20.0))
+        result = executor.execute(stored, query)
+        assert result.partitions_scanned == result.partitions_total
+
+    def test_no_false_negatives_under_pruning(self, executor, stored_range, simple_table):
+        # Every matching row must be found even though partitions are skipped.
+        for low in (0.0, 25.0, 50.0, 99.0):
+            query = Query(predicate=between("x", low, low + 10.0))
+            result = executor.execute(stored_range, query)
+            expected = int(query.predicate.evaluate(simple_table.columns).sum())
+            assert result.rows_matched == expected
+
+    def test_impossible_query_scans_nothing(self, executor, stored_range):
+        query = Query(predicate=between("x", 1e6, 2e6))
+        result = executor.execute(stored_range, query)
+        assert result.partitions_scanned == 0
+        assert result.rows_matched == 0
+        assert result.accessed_fraction == 0.0
+
+    def test_fractions_sum_to_one(self, executor, stored_range):
+        query = Query(predicate=between("x", 10.0, 20.0))
+        result = executor.execute(stored_range, query)
+        assert result.accessed_fraction + result.skipped_fraction == pytest.approx(1.0)
+
+    def test_elapsed_positive(self, executor, stored_range):
+        result = executor.execute(stored_range, Query(predicate=eq("y", 3)))
+        assert result.elapsed_seconds > 0
+
+    def test_bytes_read_consistent(self, executor, stored_range):
+        query = Query(predicate=between("x", 10.0, 20.0))
+        result = executor.execute(stored_range, query)
+        assert 0 < result.bytes_read <= stored_range.total_bytes
+
+
+class TestFullScan:
+    def test_scan_reads_all_rows(self, executor, stored_range, simple_table):
+        result = executor.full_scan(stored_range)
+        assert result.rows_scanned == simple_table.num_rows
+        assert result.bytes_read == stored_range.total_bytes
+        assert result.elapsed_seconds > 0

@@ -1,0 +1,150 @@
+"""Tests for incremental batch ingestion (§III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import RangeLayout, RangeLayoutBuilder
+from repro.queries import Query, between
+from repro.storage import PartitionStore, QueryExecutor, Table
+from repro.storage.ingest import IncrementalStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PartitionStore(tmp_path / "store")
+
+
+@pytest.fixture
+def incremental(store, simple_schema):
+    layout = RangeLayout("x", np.array([25.0, 50.0, 75.0]))
+    return IncrementalStore(store, simple_schema, layout)
+
+
+def make_batch(simple_schema, rng, n=500):
+    return Table(
+        simple_schema,
+        {
+            "x": rng.uniform(0.0, 100.0, size=n),
+            "y": rng.integers(0, 50, size=n).astype(np.int64),
+            "color": rng.integers(0, 3, size=n).astype(np.int32),
+        },
+    )
+
+
+class TestIngest:
+    def test_empty_batch_noop(self, incremental, simple_schema):
+        empty = Table(
+            simple_schema,
+            {"x": np.empty(0), "y": np.empty(0), "color": np.empty(0, dtype=np.int32)},
+        )
+        assert incremental.ingest(empty) == 0
+        assert incremental.num_partitions == 0
+
+    def test_schema_mismatch_rejected(self, incremental):
+        from repro.storage import ColumnSpec, Schema
+
+        other = Table(Schema(columns=(ColumnSpec("z", "numeric"),)), {"z": np.zeros(3)})
+        with pytest.raises(ValueError, match="schema"):
+            incremental.ingest(other)
+
+    def test_batches_accumulate(self, incremental, simple_schema, rng):
+        for _ in range(3):
+            incremental.ingest(make_batch(simple_schema, rng))
+        assert incremental.total_rows == 1500
+        assert incremental.batches_ingested == 3
+
+    def test_partition_ids_globally_unique(self, incremental, simple_schema, rng):
+        incremental.ingest(make_batch(simple_schema, rng))
+        incremental.ingest(make_batch(simple_schema, rng))
+        ids = [p.partition_id for p in incremental.stored().partitions]
+        assert len(ids) == len(set(ids))
+
+    def test_existing_partitions_untouched(self, incremental, simple_schema, rng):
+        incremental.ingest(make_batch(simple_schema, rng))
+        first_paths = {p.path: p.path.stat().st_mtime for p in incremental.stored().partitions}
+        incremental.ingest(make_batch(simple_schema, rng))
+        for path, mtime in first_paths.items():
+            assert path.exists()
+            assert path.stat().st_mtime == mtime
+
+    def test_queries_see_all_batches(self, incremental, simple_schema, rng, store):
+        batches = [make_batch(simple_schema, rng) for _ in range(3)]
+        for batch in batches:
+            incremental.ingest(batch)
+        merged = Table.concat(batches)
+        executor = QueryExecutor(store)
+        query = Query(predicate=between("x", 10.0, 30.0))
+        result = executor.execute(incremental.stored(), query)
+        expected = int(query.predicate.evaluate(merged.columns).sum())
+        assert result.rows_matched == expected
+
+    def test_skipping_still_works_per_batch(self, incremental, simple_schema, rng, store):
+        for _ in range(3):
+            incremental.ingest(make_batch(simple_schema, rng))
+        executor = QueryExecutor(store)
+        result = executor.execute(
+            incremental.stored(), Query(predicate=between("x", 10.0, 20.0))
+        )
+        # The layout ranges on x, so each batch contributes prunable parts.
+        assert result.partitions_scanned < result.partitions_total
+
+
+class TestFragmentation:
+    def test_fresh_store(self, incremental):
+        assert incremental.fragmentation(1000) == 1.0
+
+    def test_grows_with_batches(self, incremental, simple_schema, rng):
+        for _ in range(4):
+            incremental.ingest(make_batch(simple_schema, rng))
+        # 16 partitions for 2000 rows vs ideal 2 at 1000 rows/partition.
+        assert incremental.fragmentation(1000) > 4.0
+
+
+class TestConsolidate:
+    def test_reduces_partition_count(self, incremental, simple_schema, rng):
+        for _ in range(4):
+            incremental.ingest(make_batch(simple_schema, rng))
+        fragmented = incremental.num_partitions
+        new_layout = RangeLayoutBuilder("x").build(
+            make_batch(simple_schema, rng, 2000), [], 4, rng
+        )
+        incremental.consolidate(new_layout)
+        assert incremental.num_partitions <= 4 < fragmented
+
+    def test_preserves_rows(self, incremental, simple_schema, rng, store):
+        batches = [make_batch(simple_schema, rng) for _ in range(3)]
+        for batch in batches:
+            incremental.ingest(batch)
+        new_layout = RangeLayoutBuilder("y").build(batches[0], [], 4, rng)
+        result = incremental.consolidate(new_layout)
+        assert result.rows_moved == 1500
+        assert incremental.total_rows == 1500
+        merged = Table.concat(batches)
+        restored = store.read_all(incremental.stored(), simple_schema)
+        assert np.sort(restored["x"]).tolist() == pytest.approx(
+            np.sort(merged["x"]).tolist()
+        )
+
+    def test_old_batch_files_removed(self, incremental, simple_schema, rng, store):
+        incremental.ingest(make_batch(simple_schema, rng))
+        old_paths = [p.path for p in incremental.stored().partitions]
+        new_layout = RangeLayoutBuilder("x").build(
+            make_batch(simple_schema, rng), [], 4, rng
+        )
+        incremental.consolidate(new_layout)
+        assert not any(path.exists() for path in old_paths)
+
+    def test_ingestion_continues_after_consolidation(
+        self, incremental, simple_schema, rng
+    ):
+        incremental.ingest(make_batch(simple_schema, rng))
+        new_layout = RangeLayoutBuilder("x").build(
+            make_batch(simple_schema, rng), [], 4, rng
+        )
+        incremental.consolidate(new_layout)
+        incremental.ingest(make_batch(simple_schema, rng))
+        ids = [p.partition_id for p in incremental.stored().partitions]
+        assert len(ids) == len(set(ids))
+        assert incremental.total_rows == 1000

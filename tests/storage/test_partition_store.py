@@ -1,0 +1,97 @@
+"""Tests for the on-disk partition store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import RangeLayout, RoundRobinLayout
+from repro.storage import PartitionStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PartitionStore(tmp_path / "store")
+
+
+class TestMaterialize:
+    def test_roundtrip_preserves_rows(self, store, simple_table):
+        layout = RoundRobinLayout(4)
+        stored = store.materialize(simple_table, layout)
+        restored = store.read_all(stored, simple_table.schema)
+        assert restored.num_rows == simple_table.num_rows
+        assert np.sort(restored["x"]).tolist() == np.sort(simple_table["x"]).tolist()
+
+    def test_partition_count_and_sizes(self, store, simple_table):
+        stored = store.materialize(simple_table, RoundRobinLayout(4))
+        assert len(stored.partitions) == 4
+        assert stored.total_rows == simple_table.num_rows
+        assert all(p.row_count == 250 for p in stored.partitions)
+        assert all(p.byte_size > 0 for p in stored.partitions)
+
+    def test_files_exist_on_disk(self, store, simple_table):
+        stored = store.materialize(simple_table, RoundRobinLayout(2))
+        for partition in stored.partitions:
+            assert partition.path.exists()
+
+    def test_metadata_matches_partitions(self, store, simple_table):
+        stored = store.materialize(simple_table, RoundRobinLayout(4))
+        assert stored.metadata.num_partitions == 4
+        assert stored.metadata.total_rows == simple_table.num_rows
+
+    def test_empty_partitions_omitted(self, store, simple_table):
+        # Boundaries far above the data: everything lands in partition 0.
+        layout = RangeLayout("x", np.array([1e9, 2e9]))
+        stored = store.materialize(simple_table, layout)
+        assert len(stored.partitions) == 1
+        assert stored.partitions[0].row_count == simple_table.num_rows
+
+    def test_rematerialize_overwrites(self, store, simple_table):
+        layout = RoundRobinLayout(2)
+        store.materialize(simple_table, layout)
+        stored = store.materialize(simple_table, layout)
+        assert len(stored.partitions) == 2
+
+    def test_compression_reduces_size(self, tmp_path, simple_table):
+        # Constant columns compress extremely well; compare both modes.
+        compressed = PartitionStore(tmp_path / "c", compress=True)
+        raw = PartitionStore(tmp_path / "r", compress=False)
+        layout = RoundRobinLayout(1)
+        constant = simple_table.take(np.zeros(1000, dtype=np.int64))
+        size_compressed = compressed.materialize(constant, layout).total_bytes
+        size_raw = raw.materialize(constant, layout).total_bytes
+        assert size_compressed < size_raw
+
+
+class TestReads:
+    def test_read_partition_columns(self, store, simple_table):
+        stored = store.materialize(simple_table, RoundRobinLayout(4))
+        columns = store.read_partition(stored.partitions[0])
+        assert set(columns) == set(simple_table.schema.names())
+        assert len(columns["x"]) == 250
+
+    def test_partition_by_id(self, store, simple_table):
+        stored = store.materialize(simple_table, RoundRobinLayout(4))
+        assert stored.partition_by_id(2).partition_id == 2
+        with pytest.raises(KeyError):
+            stored.partition_by_id(99)
+
+
+class TestCleanup:
+    def test_delete_layout(self, store, simple_table):
+        stored = store.materialize(simple_table, RoundRobinLayout(2))
+        store.delete_layout(stored)
+        for partition in stored.partitions:
+            assert not partition.path.exists()
+
+    def test_delete_missing_layout_is_noop(self, store, simple_table):
+        stored = store.materialize(simple_table, RoundRobinLayout(2))
+        store.delete_layout(stored)
+        store.delete_layout(stored)  # idempotent
+
+    def test_disk_usage_tracks_files(self, store, simple_table):
+        assert store.disk_usage() == 0
+        stored = store.materialize(simple_table, RoundRobinLayout(2))
+        assert store.disk_usage() == stored.total_bytes
+        store.delete_layout(stored)
+        assert store.disk_usage() == 0

@@ -1,0 +1,154 @@
+"""Tests for Schema, ColumnSpec and the columnar Table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import ColumnSpec, Schema, Table
+
+
+class TestColumnSpec:
+    def test_numeric_spec(self):
+        spec = ColumnSpec("x", "numeric")
+        assert spec.cardinality is None
+
+    def test_categorical_requires_vocabulary(self):
+        with pytest.raises(ValueError, match="vocabulary"):
+            ColumnSpec("c", "categorical")
+
+    def test_numeric_rejects_vocabulary(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            ColumnSpec("x", "numeric", ("a",))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown column kind"):
+            ColumnSpec("x", "text")
+
+    def test_encode_decode_roundtrip(self):
+        spec = ColumnSpec("c", "categorical", ("a", "b", "c"))
+        assert spec.encode("b") == 1
+        assert spec.decode(1) == "b"
+        assert spec.cardinality == 3
+
+    def test_encode_unknown_value(self):
+        spec = ColumnSpec("c", "categorical", ("a",))
+        with pytest.raises(KeyError, match="not in vocabulary"):
+            spec.encode("z")
+
+    def test_encode_numeric_column_is_type_error(self):
+        spec = ColumnSpec("x", "numeric")
+        with pytest.raises(TypeError):
+            spec.encode("a")
+        with pytest.raises(TypeError):
+            spec.decode(0)
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(columns=(ColumnSpec("x", "numeric"), ColumnSpec("x", "numeric")))
+
+    def test_lookup_and_containment(self, simple_schema):
+        assert "x" in simple_schema
+        assert "missing" not in simple_schema
+        assert simple_schema["color"].kind == "categorical"
+        with pytest.raises(KeyError, match="no column"):
+            simple_schema["missing"]
+
+    def test_names_order(self, simple_schema):
+        assert simple_schema.names() == ["x", "y", "color"]
+
+    def test_kind_partitions(self, simple_schema):
+        assert simple_schema.numeric_names() == ["x", "y"]
+        assert simple_schema.categorical_names() == ["color"]
+
+    def test_len_and_iter(self, simple_schema):
+        assert len(simple_schema) == 3
+        assert [spec.name for spec in simple_schema] == ["x", "y", "color"]
+
+
+class TestTable:
+    def test_missing_column_rejected(self, simple_schema):
+        with pytest.raises(ValueError, match="missing"):
+            Table(simple_schema, {"x": np.zeros(3), "y": np.zeros(3)})
+
+    def test_extra_column_rejected(self, simple_schema):
+        with pytest.raises(ValueError, match="not in schema"):
+            Table(
+                simple_schema,
+                {
+                    "x": np.zeros(3),
+                    "y": np.zeros(3),
+                    "color": np.zeros(3, dtype=np.int32),
+                    "zz": np.zeros(3),
+                },
+            )
+
+    def test_unequal_lengths_rejected(self, simple_schema):
+        with pytest.raises(ValueError, match="unequal"):
+            Table(
+                simple_schema,
+                {
+                    "x": np.zeros(3),
+                    "y": np.zeros(4),
+                    "color": np.zeros(3, dtype=np.int32),
+                },
+            )
+
+    def test_num_rows_and_len(self, simple_table):
+        assert simple_table.num_rows == 1000
+        assert len(simple_table) == 1000
+
+    def test_getitem_unknown_column(self, simple_table):
+        with pytest.raises(KeyError, match="no column"):
+            simple_table["missing"]
+
+    def test_take_materializes_rows(self, simple_table):
+        subset = simple_table.take(np.array([1, 5, 7]))
+        assert subset.num_rows == 3
+        assert subset["x"][0] == simple_table["x"][1]
+
+    def test_sample_size_and_validation(self, simple_table, rng):
+        sample = simple_table.sample(0.1, rng)
+        assert sample.num_rows == 100
+        with pytest.raises(ValueError):
+            simple_table.sample(0.0, rng)
+        with pytest.raises(ValueError):
+            simple_table.sample(1.5, rng)
+
+    def test_sample_always_at_least_one_row(self, simple_table, rng):
+        assert simple_table.sample(1e-9, rng).num_rows == 1
+
+    def test_sample_without_replacement(self, simple_table, rng):
+        sample = simple_table.sample(1.0, rng)
+        assert sample.num_rows == simple_table.num_rows
+        assert np.sort(sample["x"]).tolist() == np.sort(simple_table["x"]).tolist()
+
+    def test_head(self, simple_table):
+        assert simple_table.head(5).num_rows == 5
+        assert simple_table.head(10_000).num_rows == 1000
+
+    def test_select_view(self, simple_table):
+        view = simple_table.select(["x", "y"])
+        assert set(view) == {"x", "y"}
+
+    def test_memory_bytes_positive(self, simple_table):
+        assert simple_table.memory_bytes() > 0
+
+    def test_concat_roundtrip(self, simple_table):
+        first = simple_table.take(np.arange(400))
+        second = simple_table.take(np.arange(400, 1000))
+        merged = Table.concat([first, second])
+        assert merged.num_rows == 1000
+        assert np.array_equal(merged["x"], simple_table["x"])
+
+    def test_concat_schema_mismatch(self, simple_table, simple_schema):
+        other_schema = Schema(columns=(ColumnSpec("x", "numeric"),))
+        other = Table(other_schema, {"x": np.zeros(2)})
+        with pytest.raises(ValueError, match="different schemas"):
+            Table.concat([simple_table, other])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValueError, match="zero tables"):
+            Table.concat([])

@@ -1,0 +1,93 @@
+"""Smoke tests for the example scripts.
+
+Full example runs take tens of seconds each, so the default check compiles
+every script and executes the fast ones end to end; the slow ones are
+exercised via their importable helper functions at reduced scale.
+"""
+
+from __future__ import annotations
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {
+        "quickstart.py",
+        "workload_drift.py",
+        "telemetry_monitoring.py",
+        "custom_layout.py",
+        "storage_budget.py",
+        "streaming_ingest.py",
+        "index_tuning.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("script", ["storage_budget.py", "index_tuning.py"])
+def test_fast_examples_run(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_workload_drift_helpers():
+    """Exercise the drift example's building blocks at tiny scale."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        import workload_drift
+
+        rng = np.random.default_rng(0)
+        bundle = workload_drift.build_rotating_bundle(rng)
+        assert bundle.table.num_rows == workload_drift.NUM_ROWS
+        assert len(bundle.templates) == workload_drift.NUM_COLUMNS
+        stream = bundle.workload(50, 2, rng)
+        from repro.core import RunLedger
+
+        ledger = RunLedger()
+        for query in stream:
+            ledger.record(0.1, 0.0, "l", switched=False)
+        rows = workload_drift.per_segment_costs(stream, ledger)
+        assert len(rows) == 2
+        assert all(cost == pytest.approx(0.1) for _, _, _, cost in rows)
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+def test_custom_layout_builder():
+    """The custom builder from the example honours the LayoutBuilder API."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        import custom_layout
+
+        from repro.queries import Query, between
+        from repro.workloads import tpch
+
+        rng = np.random.default_rng(0)
+        bundle = tpch.load(2_000, rng)
+        builder = custom_layout.HotColumnSortBuilder(bundle.default_sort_column)
+        workload = [Query(predicate=between("l_quantity", 1.0, 10.0))] * 5
+        layout = builder.build(bundle.table, workload, 4, rng)
+        assert layout.column == "l_quantity"
+        fallback = builder.build(bundle.table, [], 4, rng)
+        assert fallback.column == bundle.default_sort_column
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))

@@ -1,0 +1,65 @@
+"""Tests for the DatasetBundle contract and the zipf helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries import between
+from repro.storage import ColumnSpec, Schema, Table
+from repro.workloads.dataset import DatasetBundle, zipf_codes
+from repro.workloads.templates import QueryTemplate
+
+
+def make_bundle(rng):
+    schema = Schema(columns=(ColumnSpec("t", "numeric"),))
+    table = Table(schema, {"t": rng.uniform(0, 10, 200)})
+    template = QueryTemplate("win", lambda rng: between("t", 1.0, 2.0))
+    return DatasetBundle(
+        name="mini", table=table, templates=(template,), default_sort_column="t"
+    )
+
+
+class TestZipfCodes:
+    def test_domain(self, rng):
+        codes = zipf_codes(5_000, 10, rng)
+        assert codes.min() >= 0
+        assert codes.max() < 10
+
+    def test_heavy_head(self, rng):
+        codes = zipf_codes(20_000, 20, rng, exponent=1.2)
+        counts = np.bincount(codes, minlength=20)
+        assert counts[0] > counts[10] > 0
+
+    def test_exponent_controls_skew(self, rng):
+        flat = zipf_codes(20_000, 10, np.random.default_rng(1), exponent=0.1)
+        steep = zipf_codes(20_000, 10, np.random.default_rng(1), exponent=2.0)
+        flat_share = np.mean(flat == 0)
+        steep_share = np.mean(steep == 0)
+        assert steep_share > flat_share
+
+    def test_cardinality_validation(self, rng):
+        with pytest.raises(ValueError):
+            zipf_codes(10, 0, rng)
+
+    def test_dtype(self, rng):
+        assert zipf_codes(10, 3, rng).dtype == np.int32
+
+
+class TestDatasetBundle:
+    def test_workload_respects_min_segment_length(self, rng):
+        bundle = make_bundle(rng)
+        stream = bundle.workload(100, 4, rng, min_segment_length=10)
+        starts = [start for start, _ in stream.segments] + [100]
+        lengths = np.diff(starts)
+        assert all(length >= 10 for length in lengths)
+
+    def test_workload_single_template(self, rng):
+        bundle = make_bundle(rng)
+        stream = bundle.workload(30, 3, rng)
+        assert all(q.template == "win" for q in stream)
+
+    def test_template_lookup_error(self, rng):
+        bundle = make_bundle(rng)
+        with pytest.raises(KeyError, match="no template"):
+            bundle.template_by_name("missing")

@@ -1,0 +1,145 @@
+"""Tests for the three synthetic evaluation datasets.
+
+Each dataset must satisfy the same contract: a schema-consistent table,
+templates whose queries (a) evaluate without errors, (b) reference only
+schema columns, (c) are selective (they don't match everything), and a
+default sort column suitable for the initial range layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import telemetry, tpcds, tpch
+
+MODULES = {"tpch": tpch, "tpcds": tpcds, "telemetry": telemetry}
+EXPECTED_TEMPLATE_COUNTS = {"tpch": 13, "tpcds": 17, "telemetry": 10}
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return {
+        name: module.load(5_000, np.random.default_rng(7))
+        for name, module in MODULES.items()
+    }
+
+
+@pytest.mark.parametrize("name", list(MODULES))
+class TestDatasetContract:
+    def test_row_count(self, bundles, name):
+        assert bundles[name].table.num_rows == 5_000
+
+    def test_template_count_matches_paper(self, bundles, name):
+        assert len(bundles[name].templates) == EXPECTED_TEMPLATE_COUNTS[name]
+
+    def test_sort_column_in_schema(self, bundles, name):
+        bundle = bundles[name]
+        assert bundle.default_sort_column in bundle.table.schema
+
+    def test_templates_reference_schema_columns(self, bundles, name):
+        bundle = bundles[name]
+        rng = np.random.default_rng(0)
+        names = set(bundle.table.schema.names())
+        for template in bundle.templates:
+            for _ in range(5):
+                query = template.instantiate(rng)
+                assert query.columns() <= names, template.name
+
+    def test_template_queries_evaluate(self, bundles, name):
+        bundle = bundles[name]
+        rng = np.random.default_rng(1)
+        for template in bundle.templates:
+            query = template.instantiate(rng)
+            mask = query.evaluate(bundle.table.columns)
+            assert mask.dtype == bool
+            assert len(mask) == bundle.table.num_rows
+
+    def test_templates_are_selective_on_average(self, bundles, name):
+        """Queries should usually match a strict subset of rows."""
+        bundle = bundles[name]
+        rng = np.random.default_rng(2)
+        selectivities = []
+        for template in bundle.templates:
+            for _ in range(5):
+                query = template.instantiate(rng)
+                selectivities.append(query.evaluate(bundle.table.columns).mean())
+        assert np.mean(selectivities) < 0.5
+
+    def test_some_queries_match_rows(self, bundles, name):
+        bundle = bundles[name]
+        rng = np.random.default_rng(3)
+        matched = 0
+        for template in bundle.templates:
+            for _ in range(5):
+                query = template.instantiate(rng)
+                if query.evaluate(bundle.table.columns).any():
+                    matched += 1
+        assert matched >= len(bundle.templates)  # most draws hit something
+
+    def test_workload_generation(self, bundles, name):
+        stream = bundles[name].workload(300, 5, np.random.default_rng(4))
+        assert len(stream) == 300
+        assert len(stream.segments) == 5
+
+    def test_template_lookup(self, bundles, name):
+        bundle = bundles[name]
+        first = bundle.templates[0]
+        assert bundle.template_by_name(first.name) is first
+        with pytest.raises(KeyError):
+            bundle.template_by_name("nope")
+
+
+class TestTpchSpecifics:
+    def test_date_ordering_invariants(self, bundles):
+        table = bundles["tpch"].table
+        assert (table["o_orderdate"] <= table["l_shipdate"]).all()
+        assert (table["l_shipdate"] <= table["l_receiptdate"]).all()
+
+    def test_date_domain(self, bundles):
+        table = bundles["tpch"].table
+        assert table["l_shipdate"].min() >= tpch.DATE_MIN
+        assert table["l_receiptdate"].max() <= tpch.DATE_MAX
+
+    def test_extendedprice_correlates_with_quantity(self, bundles):
+        table = bundles["tpch"].table
+        correlation = np.corrcoef(table["l_quantity"], table["l_extendedprice"])[0, 1]
+        assert correlation > 0.5
+
+    def test_excluded_templates_absent(self, bundles):
+        names = {t.name for t in bundles["tpch"].templates}
+        assert "tpch-q9" not in names
+        assert "tpch-q18" not in names
+
+
+class TestTpcdsSpecifics:
+    def test_derived_date_columns_consistent(self, bundles):
+        table = bundles["tpcds"].table
+        assert ((table["d_year"] - 1998) == table["ss_sold_date"] // 365).all()
+        assert (table["d_moy"] >= 1).all() and (table["d_moy"] <= 12).all()
+        assert (table["d_dow"] >= 0).all() and (table["d_dow"] <= 6).all()
+
+    def test_price_chain(self, bundles):
+        table = bundles["tpcds"].table
+        assert (table["ss_sales_price"] <= table["ss_list_price"] + 1e-9).all()
+        assert (table["ss_wholesale_cost"] <= table["ss_list_price"] + 1e-9).all()
+
+
+class TestTelemetrySpecifics:
+    def test_arrival_skewed_recent(self, bundles):
+        table = bundles["telemetry"].table
+        midpoint = (telemetry.TIME_MIN + telemetry.TIME_MAX) / 2
+        assert (table["arrival_time"] > midpoint).mean() > 0.5
+
+    def test_collector_heavy_tailed(self, bundles):
+        table = bundles["telemetry"].table
+        counts = np.bincount(table["collector"])
+        assert counts.max() > 5 * max(counts[counts > 0].min(), 1)
+
+    def test_error_codes_only_on_failures(self, bundles):
+        table = bundles["telemetry"].table
+        schema = table.schema
+        failed = schema["status"].encode("FAILED")
+        errors = table["error_code"]
+        assert (errors[table["status"] != failed] == 0).all()
+        assert (errors[table["status"] == failed] > 0).all()

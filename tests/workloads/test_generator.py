@@ -1,0 +1,104 @@
+"""Tests for segmented workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries import between
+from repro.workloads import generate_stream, segment_lengths
+from repro.workloads.templates import QueryTemplate
+
+
+def toy_templates(n=4):
+    return tuple(
+        QueryTemplate(f"t{i}", lambda rng, i=i: between("x", float(i), float(i + 1)))
+        for i in range(n)
+    )
+
+
+class TestSegmentLengths:
+    def test_sum_equals_total(self, rng):
+        lengths = segment_lengths(1000, 7, rng)
+        assert sum(lengths) == 1000
+        assert len(lengths) == 7
+
+    def test_min_length_respected(self, rng):
+        lengths = segment_lengths(100, 10, rng, min_segment_length=5)
+        assert all(length >= 5 for length in lengths)
+        assert sum(lengths) == 100
+
+    def test_single_segment(self, rng):
+        assert segment_lengths(50, 1, rng) == [50]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            segment_lengths(10, 0, rng)
+        with pytest.raises(ValueError):
+            segment_lengths(5, 10, rng, min_segment_length=1)
+
+    def test_lengths_vary(self, rng):
+        lengths = segment_lengths(10_000, 10, rng)
+        assert len(set(lengths)) > 1  # "arbitrary amount of time"
+
+
+class TestGenerateStream:
+    def test_stream_size(self, rng):
+        stream = generate_stream(toy_templates(), 500, 6, rng)
+        assert len(stream) == 500
+
+    def test_segment_annotations(self, rng):
+        stream = generate_stream(toy_templates(), 500, 6, rng)
+        assert len(stream.segments) == 6
+        assert stream.segments[0][0] == 0
+        starts = [start for start, _ in stream.segments]
+        assert starts == sorted(starts)
+
+    def test_queries_match_segment_template(self, rng):
+        stream = generate_stream(toy_templates(), 300, 5, rng)
+        for index, query in enumerate(stream):
+            assert query.template == stream.segment_of(index)
+
+    def test_no_consecutive_duplicate_templates(self, rng):
+        stream = generate_stream(toy_templates(), 1000, 12, rng)
+        names = [name for _, name in stream.segments]
+        for previous, current in zip(names, names[1:]):
+            assert previous != current
+
+    def test_single_template_allowed(self, rng):
+        (template,) = toy_templates(1)
+        stream = generate_stream([template], 100, 3, rng)
+        assert all(q.template == "t0" for q in stream)
+
+    def test_timestamps_increase(self, rng):
+        stream = generate_stream(toy_templates(), 100, 4, rng)
+        times = [q.timestamp for q in stream]
+        assert times == sorted(times)
+
+    def test_empty_templates_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_stream([], 100, 4, rng)
+
+    def test_deterministic_given_seed(self):
+        streams = []
+        for _ in range(2):
+            stream = generate_stream(
+                toy_templates(), 200, 5, np.random.default_rng(42)
+            )
+            streams.append([(q.template, q.predicate.cache_key()) for q in stream])
+        assert streams[0] == streams[1]
+
+
+class TestQueryTemplate:
+    def test_instantiate_sets_metadata(self, rng):
+        template = toy_templates(1)[0]
+        query = template.instantiate(rng, timestamp=5.0)
+        assert query.template == "t0"
+        assert query.timestamp == 5.0
+
+    def test_sample_batch(self, rng):
+        template = toy_templates(1)[0]
+        batch = template.sample_batch(10, rng, start_timestamp=100.0)
+        assert len(batch) == 10
+        assert batch[0].timestamp == 100.0
+        assert batch[9].timestamp == 109.0

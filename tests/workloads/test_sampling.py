@@ -1,0 +1,150 @@
+"""Tests for workload samplers: window, reservoir, time-biased reservoir."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.workloads import ReservoirSample, SlidingWindow, TimeBiasedReservoir
+
+
+class TestSlidingWindow:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_keeps_most_recent(self):
+        window = SlidingWindow(3)
+        for i in range(10):
+            window.add(i)
+        assert window.snapshot() == [7, 8, 9]
+        assert len(window) == 3
+
+    def test_below_capacity(self):
+        window = SlidingWindow(5)
+        window.add("a")
+        assert window.snapshot() == ["a"]
+        assert len(window) == 1
+
+    def test_order_preserved(self):
+        window = SlidingWindow(4)
+        for item in "abcd":
+            window.add(item)
+        assert window.snapshot() == ["a", "b", "c", "d"]
+
+
+class TestReservoirSample:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(0, np.random.default_rng(0))
+
+    def test_fills_to_capacity(self):
+        reservoir = ReservoirSample(5, np.random.default_rng(0))
+        for i in range(3):
+            reservoir.add(i)
+        assert sorted(reservoir.snapshot()) == [0, 1, 2]
+
+    def test_never_exceeds_capacity(self):
+        reservoir = ReservoirSample(5, np.random.default_rng(0))
+        for i in range(100):
+            reservoir.add(i)
+            assert len(reservoir) <= 5
+
+    def test_items_seen_counter(self):
+        reservoir = ReservoirSample(2, np.random.default_rng(0))
+        for i in range(7):
+            reservoir.add(i)
+        assert reservoir.items_seen == 7
+
+    def test_approximately_uniform_inclusion(self):
+        """Every item should appear with probability ~k/n over many runs."""
+        n, k, runs = 40, 8, 600
+        counts = Counter()
+        for seed in range(runs):
+            reservoir = ReservoirSample(k, np.random.default_rng(seed))
+            for i in range(n):
+                reservoir.add(i)
+            counts.update(reservoir.snapshot())
+        expected = runs * k / n  # = 120
+        for i in range(n):
+            assert 0.6 * expected < counts[i] < 1.5 * expected
+
+    def test_old_and_new_items_both_survive(self):
+        reservoir = ReservoirSample(10, np.random.default_rng(3))
+        for i in range(1000):
+            reservoir.add(i)
+        sample = reservoir.snapshot()
+        assert any(item < 500 for item in sample)
+        assert any(item >= 500 for item in sample)
+
+
+class TestTimeBiasedReservoir:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeBiasedReservoir(0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            TimeBiasedReservoir(5, np.random.default_rng(0), time_constant=0)
+
+    def test_fills_to_capacity(self):
+        reservoir = TimeBiasedReservoir(5, np.random.default_rng(0))
+        for i in range(3):
+            reservoir.add(i)
+        assert len(reservoir) == 3
+
+    def test_never_exceeds_capacity(self):
+        reservoir = TimeBiasedReservoir(5, np.random.default_rng(0))
+        for i in range(200):
+            reservoir.add(i)
+            assert len(reservoir) <= 5
+
+    def test_bias_toward_recent(self):
+        """Mean sampled index must exceed the stream midpoint."""
+        means = []
+        for seed in range(30):
+            reservoir = TimeBiasedReservoir(
+                20, np.random.default_rng(seed), time_constant=200.0
+            )
+            for i in range(2000):
+                reservoir.add(i)
+            means.append(np.mean(reservoir.snapshot()))
+        assert np.mean(means) > 1300  # uniform would give ~1000
+
+    def test_retains_some_history(self):
+        """Unlike a sliding window, old items keep nonzero probability."""
+        hit_old = 0
+        for seed in range(50):
+            reservoir = TimeBiasedReservoir(
+                20, np.random.default_rng(seed), time_constant=1000.0
+            )
+            for i in range(2000):
+                reservoir.add(i)
+            if any(item < 1000 for item in reservoir.snapshot()):
+                hit_old += 1
+        assert hit_old > 10
+
+    def test_snapshot_ordered_by_arrival(self):
+        reservoir = TimeBiasedReservoir(10, np.random.default_rng(0))
+        for i in range(100):
+            reservoir.add(i)
+        sample = reservoir.snapshot()
+        assert sample == sorted(sample)
+
+    def test_explicit_timestamps(self):
+        reservoir = TimeBiasedReservoir(
+            4, np.random.default_rng(0), time_constant=10.0
+        )
+        # Items with huge timestamps should dominate the sample.
+        for i in range(20):
+            reservoir.add(f"old-{i}", timestamp=0.0)
+        for i in range(4):
+            reservoir.add(f"new-{i}", timestamp=10_000.0)
+        sample = reservoir.snapshot()
+        assert all(item.startswith("new") for item in sample)
+
+    def test_numerically_stable_for_large_timestamps(self):
+        reservoir = TimeBiasedReservoir(3, np.random.default_rng(0))
+        reservoir.add("a", timestamp=1e12)
+        reservoir.add("b", timestamp=1e12 + 1)
+        assert len(reservoir) == 2
