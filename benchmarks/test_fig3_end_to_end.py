@@ -14,7 +14,6 @@ target.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments import figure3_end_to_end, measure_alpha
 

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.experiments import figure4_gap_to_optimal
 
-from _common import BENCH_QUERIES, BENCH_ROWS, BENCH_SEGMENTS, once, report
+from _common import BENCH_ROWS, once, report
 
 # Figure 4 needs the paper's slow-drift regime: segments long enough for an
 # α=80 reorganization to amortize (the paper has ~1500-query segments).

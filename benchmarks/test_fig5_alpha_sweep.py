@@ -8,7 +8,6 @@ the algorithm adapts its strategy in discrete jumps.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments import figure5_alpha_sweep
 

@@ -7,7 +7,6 @@ to ε — the property that makes the default (ε=0.08) safe to ship.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments import figure6_epsilon_sweep
 

@@ -15,7 +15,6 @@ Target sizes are scaled ×256 down from the paper's (4 MB–64 MB instead of
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments import table1_alpha_measurement
 

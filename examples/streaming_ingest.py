@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core import CostEvaluator
 from repro.layouts import RangeLayoutBuilder
-from repro.storage import IncrementalStore, PartitionStore, QueryExecutor, Table
+from repro.storage import IncrementalStore, PartitionStore, QueryExecutor
 from repro.workloads import telemetry
 
 BATCHES = 12

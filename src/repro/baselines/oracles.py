@@ -18,7 +18,7 @@ layout per template from the queries of that template.
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 
 import numpy as np
 

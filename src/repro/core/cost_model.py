@@ -8,8 +8,22 @@ default 80).
 
 :class:`CostEvaluator` is the oracle every decision component consults.  It
 estimates ``c(s, q)`` purely from partition-level metadata (never touching
-row data at decision time, matching §VI-A1) and memoizes aggressively: layout
-metadata by ``layout_id`` and per-query costs by ``(layout_id, predicate)``.
+row data at decision time, matching §VI-A1) and memoizes aggressively:
+layout metadata and its compiled :class:`~repro.layouts.zonemaps.ZoneMapIndex`
+by ``layout_id``, and per-query costs in a per-layout dict keyed by the
+predicate's structural identity (so retiring a layout is an O(1) pop).
+
+Two evaluation paths back the same numbers:
+
+* the **compiled fast path** — uncached costs are computed by the columnar
+  zone-map engine, which prunes all partitions of a layout at once and can
+  batch a whole query sample into one ``(num_queries, num_partitions)``
+  matrix product (:meth:`CostEvaluator.cost_vector`,
+  :meth:`CostEvaluator.cost_matrix`);
+* the **scalar oracle** — ``Predicate.may_match`` looped over
+  ``PartitionMetadata``, kept as the reference semantics.  The engine falls
+  back to it per node for predicates it cannot lower, and the test suite
+  asserts exact agreement between the two paths.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ import numpy as np
 
 from ..layouts.base import DataLayout
 from ..layouts.metadata import LayoutMetadata
+from ..layouts.zonemaps import ZoneMapIndex
 from ..queries.query import Query
 from typing import TYPE_CHECKING
 
@@ -53,7 +68,8 @@ class CostEvaluator:
     def __init__(self, table: Table):
         self.table = table
         self._metadata: dict[str, LayoutMetadata] = {}
-        self._query_costs: dict[tuple[str, tuple], float] = {}
+        self._zonemaps: dict[str, ZoneMapIndex] = {}
+        self._query_costs: dict[str, dict[tuple, float]] = {}
 
     def metadata(self, layout: DataLayout) -> LayoutMetadata:
         """Layout's partition metadata on the evaluator's table (cached)."""
@@ -63,22 +79,67 @@ class CostEvaluator:
             self._metadata[layout.layout_id] = cached
         return cached
 
+    def zone_maps(self, layout: DataLayout) -> ZoneMapIndex:
+        """Layout's compiled zone-map index (cached)."""
+        cached = self._zonemaps.get(layout.layout_id)
+        if cached is None:
+            cached = ZoneMapIndex(self.metadata(layout))
+            self._zonemaps[layout.layout_id] = cached
+        return cached
+
     def query_cost(self, layout: DataLayout, query: Query) -> float:
         """Fraction of rows accessed by ``query`` under ``layout``; in [0, 1]."""
-        key = (layout.layout_id, query.cache_key())
-        cached = self._query_costs.get(key)
+        costs = self._query_costs.setdefault(layout.layout_id, {})
+        key = query.cache_key()
+        cached = costs.get(key)
         if cached is None:
-            cached = self.metadata(layout).accessed_fraction(query.predicate)
-            self._query_costs[key] = cached
+            cached = float(self.zone_maps(layout).accessed_fraction(query.predicate))
+            costs[key] = cached
         return cached
 
     def cost_vector(self, layout: DataLayout, queries: Sequence[Query]) -> np.ndarray:
         """Vector of query costs for a layout over a query sample.
 
         This is the representation Algorithm 5 (layout admission) compares
-        with normalized L1 distance.
+        with normalized L1 distance.  Uncached entries are evaluated in one
+        batched pruning-matrix pass over all partitions.
         """
-        return np.array([self.query_cost(layout, q) for q in queries], dtype=np.float64)
+        costs = self._query_costs.setdefault(layout.layout_id, {})
+        keys = [query.cache_key() for query in queries]
+        out = np.empty(len(queries), dtype=np.float64)
+        missing: dict[tuple, list[int]] = {}
+        for index, key in enumerate(keys):
+            cached = costs.get(key)
+            if cached is None:
+                missing.setdefault(key, []).append(index)
+            else:
+                out[index] = cached
+        if missing:
+            predicates = [queries[positions[0]].predicate for positions in missing.values()]
+            fractions = self.zone_maps(layout).accessed_fractions(predicates)
+            for (key, positions), fraction in zip(missing.items(), fractions):
+                value = float(fraction)
+                costs[key] = value
+                out[positions] = value
+        return out
+
+    def cost_matrix(
+        self, layouts: Sequence[DataLayout], queries: Sequence[Query]
+    ) -> np.ndarray:
+        """``(num_layouts, num_queries)`` cost matrix over a query sample.
+
+        One batched zone-map pass per layout — the workhorse behind layout
+        admission and state-space pruning.
+        """
+        if not layouts:
+            return np.zeros((0, len(queries)), dtype=np.float64)
+        return np.stack([self.cost_vector(layout, queries) for layout in layouts])
+
+    def costs_for_query(
+        self, layouts: Sequence[DataLayout], query: Query
+    ) -> dict[str, float]:
+        """``c(s, q)`` for one query across many layouts, keyed by layout id."""
+        return {layout.layout_id: self.query_cost(layout, query) for layout in layouts}
 
     def average_cost(self, layout: DataLayout, queries: Sequence[Query]) -> float:
         """Mean query cost over ``queries`` (0.0 for an empty sample)."""
@@ -87,12 +148,11 @@ class CostEvaluator:
         return float(self.cost_vector(layout, queries).mean())
 
     def forget(self, layout_id: str) -> None:
-        """Drop cached state for a retired layout to bound memory."""
+        """Drop cached state for a retired layout to bound memory: O(1)."""
         self._metadata.pop(layout_id, None)
-        stale = [key for key in self._query_costs if key[0] == layout_id]
-        for key in stale:
-            del self._query_costs[key]
+        self._zonemaps.pop(layout_id, None)
+        self._query_costs.pop(layout_id, None)
 
     def cache_sizes(self) -> tuple[int, int]:
         """(#layout metadata entries, #query-cost entries) — for tests."""
-        return len(self._metadata), len(self._query_costs)
+        return len(self._metadata), sum(len(c) for c in self._query_costs.values())

@@ -10,11 +10,12 @@ state-management operations:
   admission policies from §IV-C are also provided: initialize the newcomer's
   counter to the **median** of the live counters, or **replay** the phase's
   queries against it (the caller supplies the replay costs).
-* **Remove** (``remove_state``): the state's counter is forced to ``alpha``
-  so it can never be switched to this phase; if that empties the active set,
-  a new phase begins over the surviving states; if the *current* state was
-  removed, the algorithm jumps to a random live state, exactly as when a
-  counter fills.
+* **Remove** (``remove_state``): the state is dropped from the state set,
+  the active set, and the counter map (the invariant
+  ``set(counters) ⊆ set(states)`` always holds); if that empties the active
+  set, a new phase begins over the surviving states; if the *current* state
+  was removed, the algorithm jumps to a random live state, exactly as when
+  a counter fills.
 
 Theorem IV.1: the competitive ratio is ``2·H(|S_max|) ≤ 2(1 + ln|S_max|)``
 where ``S_max`` is the largest state set over the stream — asymptotically
@@ -152,7 +153,12 @@ class DynamicUMTS:
             raise ValueError("cannot remove the last remaining state")
         del self.states[state]
         self.active.discard(state)
-        self.counters[state] = self.alpha
+        # Drop every trace of the state: a stale counter / weight entry would
+        # resurrect a key for a state that no longer exists (and linger until
+        # the next phase reset).  Invariant: set(counters) ⊆ set(states).
+        self.counters.pop(state, None)
+        self.last_phase_weights.pop(state, None)
+        self.current_phase.costs.pop(state, None)
         self.changes.append(StateChange("remove", state, self.step))
         if not self.active:
             self._reset_states()

@@ -165,23 +165,34 @@ class LayoutManager:
 
     # --------------------------------------------------------------- admission
     def admit_state(self, candidate: DataLayout) -> bool:
-        """Algorithm 5: admit iff min distance to every state exceeds ε."""
+        """Algorithm 5: admit iff min distance to every state exceeds ε.
+
+        All existing states' cost vectors are evaluated as one batched cost
+        matrix (one zone-map pruning pass per layout) and the ε comparison
+        reduces over a single ``(num_states, num_queries)`` array.
+        """
         sample = self.admission_sample.snapshot()
         if not sample:
             return False
         candidate_costs = self.evaluator.cost_vector(candidate, sample)
-        distances = [
-            self._distance(candidate_costs, self.evaluator.cost_vector(existing, sample))
-            for existing in self.layouts.values()
-        ]
-        if not distances:
+        if not self.layouts:
             return True
-        return min(distances) > self.config.epsilon
+        existing = self.evaluator.cost_matrix(list(self.layouts.values()), sample)
+        distances = np.abs(existing - candidate_costs[None, :]).mean(axis=1)
+        return float(distances.min()) > self.config.epsilon
 
     @staticmethod
     def _distance(costs_a: np.ndarray, costs_b: np.ndarray) -> float:
-        """Normalized L1 distance between two query-cost vectors."""
-        return float(np.abs(costs_a - costs_b).sum() / len(costs_a))
+        """Normalized L1 distance between two query-cost vectors.
+
+        Scalar reference form of the batched ``np.abs(...).mean(axis=...)``
+        expressions in :meth:`admit_state` and :meth:`_prune_similar`; keep
+        the three in sync.  An empty sample carries no evidence that two
+        layouts differ, so the distance is 0.0 by convention.
+        """
+        if len(costs_a) == 0:
+            return 0.0
+        return float(np.abs(costs_a - costs_b).mean())
 
     # ----------------------------------------------------------------- pruning
     def _maybe_prune(self, events: LayoutManagerEvents, protected: Sequence[str]) -> None:
@@ -194,10 +205,9 @@ class LayoutManager:
         protected_set = set(protected)
         removable = [lid for lid in self.layouts if lid not in protected_set]
         # Evict the worst performers on the recent sample until within cap.
-        removable.sort(
-            key=lambda lid: self.evaluator.average_cost(self.layouts[lid], sample),
-            reverse=True,
-        )
+        matrix = self.evaluator.cost_matrix([self.layouts[lid] for lid in removable], sample)
+        means = dict(zip(removable, matrix.mean(axis=1))) if removable else {}
+        removable.sort(key=lambda lid: means[lid], reverse=True)
         while len(self.layouts) > cap and removable:
             victim = removable.pop(0)
             del self.layouts[victim]
@@ -210,14 +220,17 @@ class LayoutManager:
             return
         protected_set = set(protected)
         ids = list(self.layouts)
-        vectors = {lid: self.evaluator.cost_vector(self.layouts[lid], sample) for lid in ids}
-        means = {lid: float(vectors[lid].mean()) for lid in ids}
+        matrix = self.evaluator.cost_matrix([self.layouts[lid] for lid in ids], sample)
+        # Pairwise normalized-L1 distances in one broadcasted pass.
+        pairwise = np.abs(matrix[:, None, :] - matrix[None, :, :]).mean(axis=2)
+        means = dict(zip(ids, matrix.mean(axis=1)))
         victims: set[str] = set()
         for i, first in enumerate(ids):
-            for second in ids[i + 1 :]:
+            for j in range(i + 1, len(ids)):
+                second = ids[j]
                 if first in victims or second in victims:
                     continue
-                if self._distance(vectors[first], vectors[second]) > self.config.epsilon:
+                if pairwise[i, j] > self.config.epsilon:
                     continue
                 # Keep the better performer; never evict protected layouts.
                 worse = first if means[first] >= means[second] else second

@@ -19,7 +19,7 @@ additions/removals from the manager into the reorganizer's state space.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -130,16 +130,19 @@ class OREO:
             initial_layout.layout_id, self.config.reorganizer_config(), self.rng
         )
         self.ledger = RunLedger()
-        self.state_space_sizes: list[int] = []
+        # Running sum/count (not a per-query list) so million-query streams
+        # keep O(1) memory for the Figure 6 state-space-size metric.
+        self._state_space_total = 0
+        self._state_space_samples = 0
         self._phase_queries: list[Query] = []
 
     # ------------------------------------------------------------------ stream
     def process(self, query: Query) -> StepResult:
         """Process one query; returns the step's full accounting."""
-        costs = {
-            layout_id: self.evaluator.query_cost(self.manager.get(layout_id), query)
-            for layout_id in self.reorganizer.layout_ids()
-        }
+        costs = self.evaluator.costs_for_query(
+            [self.manager.get(layout_id) for layout_id in self.reorganizer.layout_ids()],
+            query,
+        )
         step = self.reorganizer.observe(costs)
         if step.decision.phase_reset:
             self._phase_queries.clear()
@@ -166,7 +169,8 @@ class OREO:
 
         switched = step.reorg_started is not None
         self.ledger.record(service_cost, movement_cost, effective, switched)
-        self.state_space_sizes.append(self.manager.num_states)
+        self._state_space_total += self.manager.num_states
+        self._state_space_samples += 1
         return StepResult(
             query=query,
             effective_layout=effective,
@@ -197,8 +201,13 @@ class OREO:
         """The layout queries are currently serviced on."""
         return self.manager.get(self.reorganizer.effective)
 
+    @property
+    def state_space_samples(self) -> int:
+        """Number of queries whose state-space size has been accumulated."""
+        return self._state_space_samples
+
     def average_state_space_size(self) -> float:
         """Mean state-space size over the processed stream (Figure 6 metric)."""
-        if not self.state_space_sizes:
+        if self._state_space_samples == 0:
             return float(self.manager.num_states)
-        return float(np.mean(self.state_space_sizes))
+        return self._state_space_total / self._state_space_samples

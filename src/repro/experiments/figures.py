@@ -27,7 +27,7 @@ from ..storage.partition_store import PartitionStore
 from ..storage.reorg import reorganize
 from ..workloads import telemetry, tpcds, tpch
 from ..workloads.dataset import DatasetBundle
-from .harness import ExperimentHarness, HarnessConfig, MethodResult, make_builder
+from .harness import ExperimentHarness, HarnessConfig, make_builder
 from .physical import replay_physical
 
 __all__ = [

@@ -86,6 +86,7 @@ def replay_physical(
                 )
                 reorg_seconds += reorg_result.elapsed_seconds
                 num_switches += 1
+                executor.forget(current_id)  # its files are gone from disk
                 current_id = target_id
             if index % sample_stride == 0:
                 outcome = executor.execute(stored, query)

@@ -16,6 +16,7 @@ from .metadata import (
 )
 from .qdtree import QdTreeBuilder, QdTreeLayout, QdTreeNode, extract_cut_predicates
 from .range_layout import RangeLayout, RangeLayoutBuilder, equal_frequency_boundaries
+from .zonemaps import ZoneMapIndex, compile_zone_maps, prune_matrix
 from .zorder import ZOrderLayout, ZOrderLayoutBuilder, morton_interleave
 
 __all__ = [
@@ -35,11 +36,14 @@ __all__ = [
     "RoundRobinLayoutBuilder",
     "ZOrderLayout",
     "ZOrderLayoutBuilder",
+    "ZoneMapIndex",
     "build_layout_metadata",
     "build_partition_metadata",
+    "compile_zone_maps",
     "equal_frequency_boundaries",
     "eval_skipped",
     "extract_cut_predicates",
     "morton_interleave",
+    "prune_matrix",
     "top_queried_columns",
 ]

@@ -6,11 +6,25 @@ same information a Parquet footer or a Snowflake micro-partition header
 exposes.  Query cost estimation (`fraction of rows accessed`) touches only
 this metadata, never the underlying data, exactly as the paper's OREO
 prototype does (§VI-A1).
+
+Two evaluation paths consume this metadata:
+
+* the **scalar oracle** defined here — :meth:`LayoutMetadata.accessed_fraction`
+  loops over partitions asking ``Predicate.may_match`` per
+  :class:`PartitionMetadata`.  It is the reference semantics: simple,
+  obviously faithful to the paper, and the ground truth the fast path is
+  tested against;
+* the **compiled fast path** — :class:`~repro.layouts.zonemaps.ZoneMapIndex`
+  compiles a :class:`LayoutMetadata` into dense per-column min/max arrays
+  and packed distinct-set bitmaps, and prunes all partitions (and whole
+  query batches) with vectorized NumPy ops.  The hot decision loops
+  (cost evaluator, layout admission, executor planning) run on it; its
+  masks are asserted to agree exactly with the scalar oracle.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np

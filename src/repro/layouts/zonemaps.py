@@ -1,0 +1,521 @@
+"""Columnar zone-map cost engine: vectorized partition pruning.
+
+The scalar path estimates ``c(s, q)`` by walking every partition in a
+Python loop and asking the predicate tree ``may_match`` per
+:class:`~repro.layouts.metadata.PartitionMetadata`.  That is faithful to
+the paper's prototype (§VI-A1) but becomes the dominant cost once the
+LAYOUT MANAGER grows the state space: every admission test and every
+D-UMTS step needs ``c(s, q)`` for many (layout, query) pairs.
+
+:class:`ZoneMapIndex` compiles a :class:`~repro.layouts.metadata.LayoutMetadata`
+into dense columnar arrays — per-column ``min``/``max`` vectors of shape
+``(num_partitions,)``, a row-count vector, and packed ``uint64`` bitmaps
+for the distinct sets (≤ ``DISTINCT_SET_CAP`` values per partition) — the
+same representation real zone-map / micro-partition systems keep in their
+catalog.  A predicate "compiler" then lowers the existing ``Predicate``
+AST (``Comparison``, ``Between``, ``In``, ``And``, ``Or``, ``Not``) to
+vectorized may-match / matches-all masks over *all partitions at once*,
+and a batched entry point produces the full ``(num_queries,
+num_partitions)`` pruning matrix in one shot.
+
+The compiled path is an exact drop-in for the scalar oracle: for every
+supported predicate node the masks are bit-for-bit identical to looping
+``predicate.may_match`` / ``predicate.matches_all`` over the partitions
+(asserted by the equivalence test suite).  Nodes the compiler does not
+understand — user-defined ``Predicate`` subclasses, non-numeric zone
+boundaries — fall back to the scalar loop for that node only, so the
+engine is never *less* general than the oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..queries.predicates import (
+    AlwaysFalse,
+    AlwaysTrue,
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+    Predicate,
+)
+from .metadata import LayoutMetadata
+
+__all__ = ["ZoneMapIndex", "compile_zone_maps", "prune_matrix"]
+
+_WORD_BITS = 64
+
+
+class _Unsupported(Exception):
+    """Internal: this node cannot be vectorized; use the scalar oracle."""
+
+
+def _exact_float(value) -> float:
+    """``value`` as a float64, or ``_Unsupported`` if the cast is lossy.
+
+    Integers at or beyond 2**53 do not round-trip through float64; comparing
+    their casts would make pruning *unsound* (may_match False where the
+    scalar oracle says True), so such values take the scalar fallback.
+    The comparison below is exact: Python compares int/float without
+    intermediate rounding once numpy scalars are unwrapped via ``item()``.
+    """
+    if hasattr(value, "item"):
+        value = value.item()
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        raise _Unsupported(value) from None
+    if result != value:
+        raise _Unsupported(value)
+    return result
+
+
+class _ColumnZones:
+    """Dense per-column zone maps across all partitions of one layout."""
+
+    __slots__ = (
+        "mins",
+        "maxs",
+        "has_stats",
+        "has_distinct",
+        "bitmap",
+        "value_index",
+        "all_stats",
+        "any_distinct",
+        "all_distinct",
+    )
+
+    def __init__(
+        self,
+        mins: np.ndarray,
+        maxs: np.ndarray,
+        has_stats: np.ndarray,
+        has_distinct: np.ndarray,
+        bitmap: np.ndarray | None,
+        value_index: dict,
+    ):
+        self.mins = mins
+        self.maxs = maxs
+        self.has_stats = has_stats
+        self.has_distinct = has_distinct
+        #: ``(num_partitions, num_words)`` uint64; bit ``i`` of a row is set
+        #: iff ``value_index``'s value ``i`` is in that partition's distinct set.
+        self.bitmap = bitmap
+        self.value_index = value_index
+        # Fast-path flags: metadata built from real tables has stats for
+        # every column of every (non-empty) partition, and numeric columns
+        # carry no distinct sets — skipping the masking ops for those cases
+        # roughly halves the per-predicate numpy work.
+        self.all_stats = bool(has_stats.all())
+        self.any_distinct = bool(has_distinct.any())
+        self.all_distinct = bool(has_distinct.all())
+
+
+def _pack_value_set(values, value_index: dict, num_words: int) -> np.ndarray:
+    """Pack a set of values into a uint64 bitmap over the column's union."""
+    packed = np.zeros(num_words, dtype=np.uint64)
+    positions = [value_index[v] for v in values if v in value_index]
+    if positions:
+        pos = np.asarray(positions, dtype=np.int64)
+        bits = np.left_shift(np.uint64(1), (pos % _WORD_BITS).astype(np.uint64))
+        np.bitwise_or.at(packed, pos // _WORD_BITS, bits)
+    return packed
+
+
+def _compile_column(partitions, name: str) -> _ColumnZones | None:
+    """Build one column's dense zones; None when min/max are non-numeric."""
+    count = len(partitions)
+    min_values: list = [0.0] * count
+    max_values: list = [0.0] * count
+    has_stats = np.zeros(count, dtype=bool)
+    has_distinct = np.zeros(count, dtype=bool)
+    distinct_sets: list[tuple[int, frozenset]] = []
+    for index, partition in enumerate(partitions):
+        stats = partition.stats.get(name)
+        if stats is None:
+            continue
+        try:
+            min_values[index] = _exact_float(stats.min)
+            max_values[index] = _exact_float(stats.max)
+        except _Unsupported:
+            # Non-numeric or float64-lossy boundaries: scalar oracle territory.
+            return None
+        has_stats[index] = True
+        if stats.distinct is not None:
+            has_distinct[index] = True
+            distinct_sets.append((index, stats.distinct))
+    mins = np.asarray(min_values, dtype=np.float64)
+    maxs = np.asarray(max_values, dtype=np.float64)
+
+    bitmap = None
+    value_index: dict = {}
+    if distinct_sets:
+        union = frozenset().union(*(distinct for _, distinct in distinct_sets))
+        sorted_ok = True
+        try:
+            ordered = sorted(union)
+        except TypeError:
+            ordered = list(union)
+            sorted_ok = False
+        value_index = {value: position for position, value in enumerate(ordered)}
+        num_words = (len(value_index) + _WORD_BITS - 1) // _WORD_BITS
+        # One scatter for the whole column: (partition, bit-position) pairs
+        # OR-ed into the flattened bitmap in a single ufunc pass.
+        row = np.repeat(
+            np.fromiter((index for index, _ in distinct_sets), dtype=np.int64),
+            np.fromiter((len(distinct) for _, distinct in distinct_sets), dtype=np.int64),
+        )
+        try:
+            if not sorted_ok:
+                raise _Unsupported(name)
+            # Numeric unions (dictionary codes): bit positions by binary
+            # search, no per-value dict lookups.  Every member must round-trip
+            # through float64 exactly, else searchsorted could collapse
+            # adjacent values and misassign bits — the dict path is exact.
+            union_array = np.array(
+                [_exact_float(value) for value in ordered], dtype=np.float64
+            )
+            values = np.concatenate(
+                [
+                    np.fromiter(distinct, dtype=np.float64, count=len(distinct))
+                    for _, distinct in distinct_sets
+                ]
+            )
+            pos = np.searchsorted(union_array, values)
+        except (_Unsupported, TypeError, ValueError):
+            pos = np.asarray(
+                [
+                    value_index[value]
+                    for _, distinct in distinct_sets
+                    for value in distinct
+                ],
+                dtype=np.int64,
+            )
+        flat = np.zeros(count * num_words, dtype=np.uint64)
+        bits = np.left_shift(np.uint64(1), (pos % _WORD_BITS).astype(np.uint64))
+        np.bitwise_or.at(flat, row * num_words + pos // _WORD_BITS, bits)
+        bitmap = flat.reshape(count, num_words)
+    return _ColumnZones(mins, maxs, has_stats, has_distinct, bitmap, value_index)
+
+
+class ZoneMapIndex:
+    """Compiled zone maps for one layout: all-partition vectorized pruning.
+
+    The public surface mirrors :class:`~repro.layouts.metadata.LayoutMetadata`
+    but every operation is a NumPy expression over all partitions at once:
+
+    * :meth:`may_match_mask` — one boolean per partition (the paper's
+      ``BID IN (...)`` rewrite comes straight from its True positions);
+    * :meth:`accessed_fraction` / :meth:`accessed_fractions` — the cost
+      oracle ``c(s, q)``, scalar and batched;
+    * :meth:`prune_matrix` — the full ``(num_queries, num_partitions)``
+      boolean matrix for a query sample, used by Algorithm 5 admission.
+    """
+
+    #: sentinel distinguishing "not compiled yet" from "not compilable"
+    _UNCOMPILED = object()
+    #: sentinel for columns whose zone boundaries cannot be vectorized
+    _NOT_COMPILABLE = object()
+
+    def __init__(self, metadata: LayoutMetadata):
+        self.metadata = metadata
+        partitions = metadata.partitions
+        self.num_partitions = len(partitions)
+        self.row_counts = np.array(
+            [partition.row_count for partition in partitions], dtype=np.float64
+        )
+        self.total_rows = float(self.row_counts.sum())
+        # Columns compile lazily, on first reference by a predicate: wide
+        # fact tables carry dozens of columns while workloads touch a few.
+        self._columns: dict[str, object] = {}
+        self._may_cache: dict[tuple, np.ndarray] = {}
+        self._all_cache: dict[tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------- compilation
+    def _column(self, name: str) -> _ColumnZones | None:
+        """Zones for ``name``; raises ``_Unsupported`` for non-numeric ones.
+
+        ``None`` means the column appears in no partition's stats, which the
+        scalar oracle treats as "no information": may_match True, matches_all
+        False, for every partition.
+        """
+        zones = self._columns.get(name, self._UNCOMPILED)
+        if zones is self._UNCOMPILED:
+            partitions = self.metadata.partitions
+            if any(name in partition.stats for partition in partitions):
+                zones = _compile_column(partitions, name)
+                if zones is None:
+                    zones = self._NOT_COMPILABLE
+            else:
+                zones = None
+            self._columns[name] = zones
+        if zones is None:
+            return None
+        if zones is self._NOT_COMPILABLE:
+            raise _Unsupported(name)
+        return zones
+
+    def _const(self, fill: bool) -> np.ndarray:
+        return np.full(self.num_partitions, fill, dtype=bool)
+
+    def _membership(self, zones: _ColumnZones, value) -> np.ndarray:
+        """Per-partition: is ``value`` in the partition's distinct set?"""
+        member = np.zeros(self.num_partitions, dtype=bool)
+        if zones.bitmap is None:
+            return member
+        position = zones.value_index.get(value)
+        if position is None:
+            return member
+        word = zones.bitmap[:, position // _WORD_BITS]
+        bit = np.uint64(1) << np.uint64(position % _WORD_BITS)
+        np.not_equal(word & bit, 0, out=member)
+        return member
+
+    def _comparison_mask(self, node: Comparison, want_all: bool) -> np.ndarray:
+        zones = self._column(node.column)
+        if zones is None:
+            return self._const(not want_all)
+        value = _exact_float(node.value)
+        mins, maxs = zones.mins, zones.maxs
+        op = node.op
+        if not want_all:
+            if op == "==":
+                if not zones.any_distinct:
+                    mask = (mins <= value) & (value <= maxs)
+                elif zones.all_distinct:
+                    mask = self._membership(zones, node.value)
+                else:
+                    in_range = (mins <= value) & (value <= maxs)
+                    mask = np.where(
+                        zones.has_distinct, self._membership(zones, node.value), in_range
+                    )
+            elif op == "!=":
+                mask = ~((mins == value) & (maxs == value))
+            elif op == "<":
+                mask = mins < value
+            elif op == "<=":
+                mask = mins <= value
+            elif op == ">":
+                mask = maxs > value
+            else:  # ">="
+                mask = maxs >= value
+            if zones.all_stats:
+                return mask
+            return mask | ~zones.has_stats
+        if op == "==":
+            mask = (mins == value) & (maxs == value)
+        elif op == "!=":
+            if not zones.any_distinct:
+                mask = (value < mins) | (value > maxs)
+            elif zones.all_distinct:
+                mask = ~self._membership(zones, node.value)
+            else:
+                outside = (value < mins) | (value > maxs)
+                mask = np.where(
+                    zones.has_distinct, ~self._membership(zones, node.value), outside
+                )
+        elif op == "<":
+            mask = maxs < value
+        elif op == "<=":
+            mask = maxs <= value
+        elif op == ">":
+            mask = mins > value
+        else:  # ">="
+            mask = mins >= value
+        if zones.all_stats:
+            return mask
+        return mask & zones.has_stats
+
+    def _between_mask(self, node: Between, want_all: bool) -> np.ndarray:
+        zones = self._column(node.column)
+        if zones is None:
+            return self._const(not want_all)
+        low, high = _exact_float(node.low), _exact_float(node.high)
+        if not want_all:
+            mask = (zones.maxs >= low) & (zones.mins <= high)
+            if zones.all_stats:
+                return mask
+            return mask | ~zones.has_stats
+        mask = (zones.mins >= low) & (zones.maxs <= high)
+        if zones.all_stats:
+            return mask
+        return mask & zones.has_stats
+
+    @staticmethod
+    def _in_values(node: In) -> np.ndarray:
+        """The In values as an exact, sorted float64 array (for min/max tests).
+
+        Only the min/max branches need this; the pure-bitmap paths test
+        membership by hash and never convert, so a lossy value there costs
+        nothing.
+        """
+        try:
+            ordered_values = sorted(node.values)
+        except TypeError:
+            raise _Unsupported(node) from None
+        return np.array([_exact_float(v) for v in ordered_values], dtype=np.float64)
+
+    def _in_mask(self, node: In, want_all: bool) -> np.ndarray:
+        zones = self._column(node.column)
+        if zones is None:
+            return self._const(not want_all)
+        if not want_all:
+            if zones.all_distinct:
+                packed = _pack_value_set(
+                    node.values, zones.value_index, zones.bitmap.shape[1]
+                )
+                mask = (zones.bitmap & packed[None, :]).any(axis=1)
+            else:
+                # Min/max branch: any value inside [min, max].
+                values = self._in_values(node)
+                inside = (zones.mins[:, None] <= values[None, :]) & (
+                    values[None, :] <= zones.maxs[:, None]
+                )
+                mask = inside.any(axis=1)
+                if zones.any_distinct:
+                    packed = _pack_value_set(
+                        node.values, zones.value_index, zones.bitmap.shape[1]
+                    )
+                    intersects = (zones.bitmap & packed[None, :]).any(axis=1)
+                    mask = np.where(zones.has_distinct, intersects, mask)
+            if zones.all_stats:
+                return mask
+            return mask | ~zones.has_stats
+        if zones.all_distinct:
+            packed = _pack_value_set(node.values, zones.value_index, zones.bitmap.shape[1])
+            mask = ((zones.bitmap & ~packed[None, :]) == 0).all(axis=1)
+        else:
+            values = self._in_values(node)
+            mask = (zones.mins == zones.maxs) & np.isin(zones.mins, values)
+            if zones.any_distinct:
+                packed = _pack_value_set(
+                    node.values, zones.value_index, zones.bitmap.shape[1]
+                )
+                subset = ((zones.bitmap & ~packed[None, :]) == 0).all(axis=1)
+                mask = np.where(zones.has_distinct, subset, mask)
+        if zones.all_stats:
+            return mask
+        return mask & zones.has_stats
+
+    def _scalar_mask(self, predicate: Predicate, want_all: bool) -> np.ndarray:
+        """Reference-oracle fallback for nodes the compiler can't lower."""
+        partitions = self.metadata.partitions
+        fn = predicate.matches_all if want_all else predicate.may_match
+        return np.fromiter((fn(p) for p in partitions), dtype=bool, count=len(partitions))
+
+    def _mask(self, predicate: Predicate, want_all: bool) -> np.ndarray:
+        """Lower a predicate to one side of its (may_match, matches_all) pair.
+
+        Only the requested side is computed: ``Not`` flips to the other side
+        for its child, everything else stays on one side, so a Not-free tree
+        does half the work of computing both masks.
+        """
+        node_type = type(predicate)
+        try:
+            if node_type is Comparison:
+                return self._comparison_mask(predicate, want_all)
+            if node_type is Between:
+                return self._between_mask(predicate, want_all)
+            if node_type is In:
+                return self._in_mask(predicate, want_all)
+        except _Unsupported:
+            return self._scalar_mask(predicate, want_all)
+        if node_type is And or node_type is Or:
+            # And: may = ∧ may, all = ∧ all; Or: may = ∨ may, all = ∨ all.
+            combine = np.ndarray.__and__ if node_type is And else np.ndarray.__or__
+            mask = self._mask(predicate.children[0], want_all)
+            for child in predicate.children[1:]:
+                mask = combine(mask, self._mask(child, want_all))
+            return mask
+        if node_type is Not:
+            return ~self._mask(predicate.child, not want_all)
+        if node_type is AlwaysTrue:
+            return self._const(True)
+        if node_type is AlwaysFalse:
+            return self._const(False)
+        # Unknown Predicate subclass: defer to its own (scalar) semantics.
+        return self._scalar_mask(predicate, want_all)
+
+    # ------------------------------------------------------------ entry points
+    #: Mask-cache bound: repeat-predicate workloads (the executor re-running
+    #: the same queries) stay fully cached; template streams that mint a new
+    #: predicate per query cannot grow the cache without limit.
+    MASK_CACHE_CAP = 1024
+
+    def _cache_put(self, cache: dict, key: tuple, mask: np.ndarray) -> np.ndarray:
+        if len(cache) >= self.MASK_CACHE_CAP:
+            cache.clear()
+        cache[key] = mask
+        return mask
+
+    def masks(self, predicate: Predicate) -> tuple[np.ndarray, np.ndarray]:
+        """(may_match, matches_all) boolean masks over all partitions."""
+        return self.may_match_mask(predicate), self.matches_all_mask(predicate)
+
+    def may_match_mask(self, predicate: Predicate) -> np.ndarray:
+        """Boolean per partition: may any of its rows satisfy ``predicate``?"""
+        key = predicate.cache_key()
+        cached = self._may_cache.get(key)
+        if cached is None:
+            cached = self._cache_put(self._may_cache, key, self._mask(predicate, False))
+        return cached
+
+    def matches_all_mask(self, predicate: Predicate) -> np.ndarray:
+        """Boolean per partition: do all of its rows satisfy ``predicate``?"""
+        key = predicate.cache_key()
+        cached = self._all_cache.get(key)
+        if cached is None:
+            cached = self._cache_put(self._all_cache, key, self._mask(predicate, True))
+        return cached
+
+    def relevant_partition_ids(self, predicate: Predicate) -> set[int]:
+        """Ids of partitions that cannot be skipped (the BID IN rewrite)."""
+        mask = self.may_match_mask(predicate)
+        partitions = self.metadata.partitions
+        return {partitions[i].partition_id for i in np.flatnonzero(mask)}
+
+    def accessed_fraction(self, predicate: Predicate) -> float:
+        """Vectorized ``c(s, q)``: fraction of rows that must be read.
+
+        Computed without touching the mask cache: the cost-evaluation path
+        memoizes the resulting float upstream (per layout, per predicate),
+        so caching the mask here would be write-only memory growth.
+        """
+        if self.total_rows == 0.0:
+            return 0.0
+        mask = self._mask(predicate, False)
+        return float(self.row_counts @ mask) / self.total_rows
+
+    def prune_matrix(self, predicates: Sequence[Predicate]) -> np.ndarray:
+        """Full ``(num_queries, num_partitions)`` may-match matrix.
+
+        Masks are computed fresh (no cache writes) — see
+        :meth:`accessed_fraction` for why.
+        """
+        if not predicates:
+            return np.zeros((0, self.num_partitions), dtype=bool)
+        return np.stack([self._mask(p, False) for p in predicates])
+
+    def accessed_fractions(self, predicates: Sequence[Predicate]) -> np.ndarray:
+        """Batched ``c(s, q)`` over a query sample, in one matrix product."""
+        if not predicates:
+            return np.zeros(0, dtype=np.float64)
+        if self.total_rows == 0.0:
+            return np.zeros(len(predicates), dtype=np.float64)
+        matrix = self.prune_matrix(predicates)
+        return (matrix.astype(np.float64) @ self.row_counts) / self.total_rows
+
+
+def compile_zone_maps(metadata: LayoutMetadata) -> ZoneMapIndex:
+    """Compile a layout's metadata into a :class:`ZoneMapIndex`."""
+    return ZoneMapIndex(metadata)
+
+
+def prune_matrix(metadata: LayoutMetadata, predicates: Sequence[Predicate]) -> np.ndarray:
+    """One-shot ``(num_queries, num_partitions)`` pruning matrix."""
+    return ZoneMapIndex(metadata).prune_matrix(predicates)

@@ -19,7 +19,6 @@ layout — repairs; OREO decides *when* that is worth α.
 
 from __future__ import annotations
 
-from pathlib import Path
 
 import numpy as np
 

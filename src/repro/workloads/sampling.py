@@ -22,7 +22,7 @@ import itertools
 import math
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Any, Generic, TypeVar
+from typing import Generic, TypeVar
 
 import numpy as np
 

@@ -86,3 +86,48 @@ class TestCostEvaluator:
         evaluator.query_cost(drop, query)
         evaluator.forget(drop.layout_id)
         assert evaluator.cache_sizes() == (1, 1)
+
+    def test_forget_is_single_dict_pop(self, simple_table):
+        """Regression: forget used to scan the whole query-cost cache."""
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        queries = [Query(predicate=between("x", float(i), float(i + 1))) for i in range(20)]
+        evaluator.cost_vector(layout, queries)
+        # The cache is keyed per layout: one pop drops all 20 entries at once.
+        assert set(evaluator._query_costs) == {layout.layout_id}
+        assert len(evaluator._query_costs[layout.layout_id]) == 20
+        evaluator.forget(layout.layout_id)
+        assert evaluator.cache_sizes() == (0, 0)
+
+    def test_cost_matrix_rows_match_cost_vectors(self, simple_table, rng):
+        evaluator = CostEvaluator(simple_table)
+        layouts = [RoundRobinLayout(4), RangeLayoutBuilder("x").build(simple_table, [], 8, rng)]
+        queries = [Query(predicate=between("x", float(i * 9), float(i * 9 + 12))) for i in range(6)]
+        matrix = evaluator.cost_matrix(layouts, queries)
+        assert matrix.shape == (2, 6)
+        for row, layout in zip(matrix, layouts):
+            np.testing.assert_array_equal(row, evaluator.cost_vector(layout, queries))
+
+    def test_cost_matrix_empty_layouts(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        queries = [Query(predicate=between("x", 0.0, 1.0))]
+        assert evaluator.cost_matrix([], queries).shape == (0, 1)
+
+    def test_cost_vector_matches_unvectorized_metadata_walk(self, simple_table, rng):
+        """The compiled fast path must equal the scalar oracle's numbers."""
+        evaluator = CostEvaluator(simple_table)
+        layout = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        queries = [Query(predicate=between("x", float(i * 7), float(i * 7 + 5))) for i in range(10)]
+        vector = evaluator.cost_vector(layout, queries)
+        metadata = evaluator.metadata(layout)
+        expected = np.array([metadata.accessed_fraction(q.predicate) for q in queries])
+        np.testing.assert_array_equal(vector, expected)
+
+    def test_costs_for_query_matches_query_cost(self, simple_table, rng):
+        evaluator = CostEvaluator(simple_table)
+        layouts = [RoundRobinLayout(4), RangeLayoutBuilder("x").build(simple_table, [], 8, rng)]
+        query = Query(predicate=between("x", 5.0, 25.0))
+        costs = evaluator.costs_for_query(layouts, query)
+        assert costs == {
+            layout.layout_id: evaluator.query_cost(layout, query) for layout in layouts
+        }

@@ -149,6 +149,38 @@ class TestRemoveState:
             decision = algorithm.observe({"a": 1.0, "c": 0.0})
             assert decision.switched_to == "c"
 
+    def test_remove_leaves_no_stale_counter(self):
+        """Regression: removal used to set counters[state] = alpha *after*
+        deleting the state, resurrecting a counter for a dead state."""
+        algorithm = make(initial_state="a")
+        algorithm.observe({"a": 0.3, "b": 0.3, "c": 0.3})
+        algorithm.remove_state("b")
+        assert "b" not in algorithm.counters
+        assert "b" not in algorithm.last_phase_weights
+        assert set(algorithm.counters) <= set(algorithm.states)
+
+    def test_counters_subset_of_states_across_operations(self):
+        algorithm = make(initial_state="a", alpha=2.0)
+        algorithm.observe({"a": 0.9, "b": 0.9, "c": 0.9})
+        algorithm.add_state("d")
+        algorithm.remove_state("b")
+        algorithm.observe({"a": 0.9, "c": 0.9, "d": 0.9})  # may reset the phase
+        algorithm.remove_state("d")
+        algorithm.observe({"a": 0.5, "c": 0.5})
+        assert set(algorithm.counters) <= set(algorithm.states)
+        assert set(algorithm.last_phase_weights) <= set(algorithm.states)
+
+    def test_removed_state_not_resurrected_by_phase_reset(self):
+        """A state removed mid-phase must not reappear in the next phase's
+        skip weights (its recorded costs are purged on removal)."""
+        algorithm = make(states=("a", "b", "c"), initial_state="a", alpha=1.0)
+        algorithm.observe({"a": 0.4, "b": 0.4, "c": 0.4})
+        algorithm.remove_state("b")
+        # Exhaust the surviving counters to force a phase reset.
+        algorithm.observe({"a": 0.7, "c": 0.7})
+        assert "b" not in algorithm.last_phase_weights
+        assert set(algorithm.counters) == set(algorithm.states)
+
 
 class TestDifferentialAgainstBLS:
     """Without state updates, Algorithm 4 must behave exactly like BLS."""

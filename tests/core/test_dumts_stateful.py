@@ -87,6 +87,12 @@ class DUMTSMachine(RuleBasedStateMachine):
                 assert counter is None or counter >= ALPHA
 
     @invariant()
+    def counters_subset_of_states(self):
+        """Removal must not resurrect counter entries for dead states."""
+        assert set(self.algorithm.counters) <= set(self.algorithm.states)
+        assert set(self.algorithm.last_phase_weights) <= set(self.algorithm.states)
+
+    @invariant()
     def active_never_empty(self):
         assert self.algorithm.active
 

@@ -140,6 +140,29 @@ class TestAdmission:
         b = np.array([1.0, 0.0, 0.5, 0.5])
         assert LayoutManager._distance(a, b) == pytest.approx(0.5)
 
+    def test_distance_empty_vectors_is_zero(self):
+        """Regression: empty cost vectors used to raise ZeroDivisionError."""
+        empty = np.array([], dtype=np.float64)
+        assert LayoutManager._distance(empty, empty) == 0.0
+
+    def test_admission_matches_pairwise_scalar_distances(self, simple_table, rng):
+        """Batched admission must agree with the per-layout scalar distances."""
+        manager, evaluator = make_manager(simple_table, rng, epsilon=0.08)
+        manager.register(RoundRobinLayout(8))
+        manager.register(RangeLayoutBuilder("y").build(simple_table, [], 8, rng))
+        for _ in range(12):
+            manager.admission_sample.add(x_query(rng))
+        candidate = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        sample = manager.admission_sample.snapshot()
+        candidate_costs = evaluator.cost_vector(candidate, sample)
+        scalar_min = min(
+            LayoutManager._distance(
+                candidate_costs, evaluator.cost_vector(existing, sample)
+            )
+            for existing in manager.layouts.values()
+        )
+        assert manager.admit_state(candidate) == (scalar_min > manager.config.epsilon)
+
 
 class TestPruning:
     def test_max_states_cap_enforced(self, simple_table, rng):

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import OREO, CostEvaluator, OreoConfig
@@ -60,7 +59,17 @@ class TestProcess:
         stream = generate_stream(drifting_templates(), 100, 4, rng)
         oreo.run(stream)
         assert oreo.ledger.num_queries == 100
-        assert len(oreo.state_space_sizes) == 100
+        assert oreo.state_space_samples == 100
+
+    def test_state_space_accounting_is_constant_memory(self, oreo_setup, rng):
+        """Regression: the Figure 6 metric must not grow a per-query list."""
+        oreo, _ = oreo_setup
+        stream = generate_stream(drifting_templates(), 120, 4, rng)
+        oreo.run(stream)
+        assert not hasattr(oreo, "state_space_sizes")
+        assert oreo.state_space_samples == 120
+        assert oreo.average_state_space_size() >= 1.0
+        assert oreo.average_state_space_size() == oreo._state_space_total / 120
 
     def test_total_cost_decomposition(self, oreo_setup, rng):
         oreo, _ = oreo_setup

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.layouts import RangeLayoutBuilder, RoundRobinLayout
@@ -77,3 +76,31 @@ class TestFullScan:
         assert result.rows_scanned == simple_table.num_rows
         assert result.bytes_read == stored_range.total_bytes
         assert result.elapsed_seconds > 0
+
+
+class TestZoneMapCache:
+    def test_index_cache_bounded_across_many_layouts(self, executor, simple_table, rng):
+        """Regression: retired layouts must not accumulate compiled indices."""
+        for _ in range(QueryExecutor.ZONEMAP_CACHE_CAP + 5):
+            layout = RoundRobinLayout(4)
+            stored = executor.store.materialize(simple_table, layout)
+            executor.execute(stored, Query(predicate=between("x", 0.0, 5.0)))
+        assert len(executor._zonemaps) <= QueryExecutor.ZONEMAP_CACHE_CAP
+
+    def test_forget_drops_index(self, executor, stored_range):
+        executor.execute(stored_range, Query(predicate=between("x", 0.0, 5.0)))
+        layout_id = stored_range.layout.layout_id
+        assert layout_id in executor._zonemaps
+        executor.forget(layout_id)
+        assert layout_id not in executor._zonemaps
+
+    def test_recompiles_when_metadata_replaced(self, executor, simple_table, rng):
+        layout = RangeLayoutBuilder("x").build(simple_table, [], 8, rng)
+        first = executor.store.materialize(simple_table, layout)
+        executor.execute(first, Query(predicate=between("x", 0.0, 5.0)))
+        index_before = executor._zonemaps[layout.layout_id]
+        second = executor.store.materialize(simple_table, layout)
+        executor.execute(second, Query(predicate=between("x", 0.0, 5.0)))
+        index_after = executor._zonemaps[layout.layout_id]
+        assert index_after is not index_before
+        assert index_after.metadata is second.metadata
