@@ -14,7 +14,13 @@ import numpy as np
 import pytest
 
 from repro.core import CostEvaluator, DynamicUMTS
-from repro.layouts import QdTreeBuilder, ZOrderLayoutBuilder, ZoneMapIndex
+from repro.layouts import (
+    CompiledWorkload,
+    QdTreeBuilder,
+    ZOrderLayoutBuilder,
+    ZoneMapIndex,
+    compute_reorg_delta_from_assignments,
+)
 from repro.layouts.metadata import build_layout_metadata
 from repro.workloads import tpch
 
@@ -180,3 +186,134 @@ def _timed(fn) -> float:
     start = time.perf_counter()
     fn()
     return time.perf_counter() - start
+
+
+ZONEMAP_LAYOUTS = 8  # state-space size the admission loop scores against
+
+
+def _workload_compiler_setup(bundle):
+    """8 distinct 64-query samples and an 8-layout state space, all warmed."""
+    metadata, batches = _zonemap_setup(bundle)
+    indexes = [ZoneMapIndex(metadata)]
+    for seed in range(1, ZONEMAP_LAYOUTS):
+        assignment = np.random.default_rng(100 + seed).integers(
+            0, ZONEMAP_PARTITIONS, size=bundle.table.num_rows
+        )
+        indexes.append(ZoneMapIndex(build_layout_metadata(bundle.table, assignment)))
+    for index in indexes:  # compile every column once: steady-state shape
+        for predicates in batches:
+            index.prune_matrix(predicates)
+    return indexes, batches
+
+
+def test_compiled_workload_speedup_over_per_predicate(bundle):
+    """Acceptance: ≥3× over the PR 1 per-predicate ``prune_matrix`` path at
+    256 partitions × 64-query samples.
+
+    Measured the way Algorithm 5 runs: each admission sample is scored
+    against the whole state space (candidate + existing layouts), so the
+    sample is compiled once per batch — charged to the compiled side —
+    and evaluated against every layout's index.  The per-predicate side
+    pays one ``_mask`` recursion per query per layout.
+    """
+    indexes, batches = _workload_compiler_setup(bundle)
+
+    # Exactness first: the gate must never trade correctness for speed.
+    for predicates in batches[:2]:
+        compiled = CompiledWorkload(predicates)
+        for index in indexes[:2]:
+            np.testing.assert_array_equal(
+                compiled.prune_matrix(index), index.prune_matrix(predicates)
+            )
+
+    def measure() -> float:
+        start = time.perf_counter()
+        for predicates in batches:
+            for index in indexes:
+                index.prune_matrix(predicates)
+        per_predicate = time.perf_counter() - start
+        start = time.perf_counter()
+        for predicates in batches:
+            compiled = CompiledWorkload(predicates)  # compile charged here
+            for index in indexes:
+                compiled.prune_matrix(index)
+        batched = time.perf_counter() - start
+        print(
+            f"\nworkload-compiled pruning speedup over {len(batches)} samples x "
+            f"{len(indexes)} layouts: {per_predicate / batched:.1f}x "
+            f"(per-predicate {per_predicate * 1e3:.1f} ms, "
+            f"compiled {batched * 1e3:.2f} ms)"
+        )
+        return per_predicate / batched
+
+    # Best of three rounds: one scheduler hiccup must not fail the gate.
+    speedup = max(measure() for _ in range(3))
+    assert speedup >= 3.0
+
+
+def test_apply_reorg_beats_full_recompile(bundle):
+    """Acceptance: incremental index maintenance beats recompiling from
+    scratch when fewer than 10% of partitions change.
+
+    The incremental side pays the whole pipeline — delta computation from
+    the assignments, ``apply_reorg`` carrying, and one batched evaluation
+    on the migrated index; the full side recompiles the new metadata
+    lazily through the same evaluation.
+    """
+    metadata, batches = _zonemap_setup(bundle)
+    assignment = np.random.default_rng(7).integers(
+        0, ZONEMAP_PARTITIONS, size=bundle.table.num_rows
+    )
+    assert build_layout_metadata(bundle.table, assignment).partitions == metadata.partitions
+    index = ZoneMapIndex(metadata)
+    for predicates in batches:  # steady state: columns compiled pre-reorg
+        index.prune_matrix(predicates)
+
+    # Reorganize 16 of 256 partitions (6.25% < 10%): shuffle rows among them.
+    touched = list(range(16))
+    new_assignment = assignment.copy()
+    member = np.isin(assignment, touched)
+    new_assignment[member] = np.random.default_rng(3).choice(
+        touched, size=int(member.sum())
+    )
+    new_metadata = build_layout_metadata(bundle.table, new_assignment)
+    compiled = CompiledWorkload(batches[0])
+
+    delta = compute_reorg_delta_from_assignments(
+        metadata, new_metadata, assignment, new_assignment
+    )
+    assert 0 < delta.change_fraction < 0.10
+    np.testing.assert_array_equal(  # exactness of the incremental path
+        compiled.prune_matrix(index.apply_reorg(delta)),
+        compiled.prune_matrix(ZoneMapIndex(new_metadata)),
+    )
+
+    def measure() -> tuple[float, float]:
+        rounds = 20
+        start = time.perf_counter()
+        for _ in range(rounds):
+            step_delta = compute_reorg_delta_from_assignments(
+                metadata, new_metadata, assignment, new_assignment
+            )
+            migrated = index.apply_reorg(step_delta)
+            compiled.prune_matrix(migrated)
+        incremental = (time.perf_counter() - start) / rounds
+        start = time.perf_counter()
+        for _ in range(rounds):
+            fresh = ZoneMapIndex(new_metadata)
+            compiled.prune_matrix(fresh)
+        full = (time.perf_counter() - start) / rounds
+        return incremental, full
+
+    # Best of five 20-round averages: each side is already averaged, so a
+    # shared-runner scheduling hiccup must hit all five rounds to flip the
+    # comparison (the measured margin is ~1.4x on an idle machine).
+    results = [measure() for _ in range(5)]
+    ratio = max(full / incremental for incremental, full in results)
+    incremental, full = min(results, key=lambda pair: pair[0] / pair[1])
+    print(
+        f"\nincremental apply_reorg at {delta.change_fraction:.1%} change: "
+        f"{incremental * 1e3:.2f} ms vs full recompile {full * 1e3:.2f} ms "
+        f"({ratio:.2f}x)"
+    )
+    assert ratio > 1.0

@@ -13,17 +13,23 @@ layout metadata and its compiled :class:`~repro.layouts.zonemaps.ZoneMapIndex`
 by ``layout_id``, and per-query costs in a per-layout dict keyed by the
 predicate's structural identity (so retiring a layout is an O(1) pop).
 
-Two evaluation paths back the same numbers:
+Three evaluation tiers back the same numbers:
 
-* the **compiled fast path** — uncached costs are computed by the columnar
-  zone-map engine, which prunes all partitions of a layout at once and can
-  batch a whole query sample into one ``(num_queries, num_partitions)``
-  matrix product (:meth:`CostEvaluator.cost_vector`,
-  :meth:`CostEvaluator.cost_matrix`);
+* the **workload-compiled fast path** — uncached costs are computed by
+  compiling the query sample once
+  (:class:`~repro.layouts.workload_compiler.CompiledWorkload`, memoized
+  per sample in a bounded LRU) and evaluating it against each layout's
+  zone-map index in one column-wise pass; the compile cost amortizes
+  across the whole state space in :meth:`CostEvaluator.cost_matrix` and
+  the admission loop;
+* the **per-predicate zone-map path** — one vectorized ``_mask``
+  recursion per predicate, used by single-query costing
+  (:meth:`CostEvaluator.query_cost`) and by the compiled path for residue
+  nodes it cannot batch;
 * the **scalar oracle** — ``Predicate.may_match`` looped over
-  ``PartitionMetadata``, kept as the reference semantics.  The engine falls
-  back to it per node for predicates it cannot lower, and the test suite
-  asserts exact agreement between the two paths.
+  ``PartitionMetadata``, kept as the reference semantics.  The engine
+  falls back to it per node for predicates it cannot lower, and the test
+  suite asserts exact agreement between all tiers.
 """
 
 from __future__ import annotations
@@ -35,7 +41,9 @@ import numpy as np
 
 from ..layouts.base import DataLayout
 from ..layouts.metadata import LayoutMetadata
+from ..layouts.workload_compiler import CompiledWorkload
 from ..layouts.zonemaps import ZoneMapIndex
+from ..utils import lru_get, lru_put
 from ..queries.query import Query
 from typing import TYPE_CHECKING
 
@@ -65,11 +73,17 @@ class CostModel:
 class CostEvaluator:
     """Metadata-backed, memoizing implementation of ``c(s, q)``."""
 
+    #: Compiled-workload LRU bound: admission and pruning re-evaluate the
+    #: same sample against many layouts, but samples churn as the stream
+    #: drifts — keep the recent ones, never grow without limit.
+    COMPILED_CACHE_CAP = 32
+
     def __init__(self, table: Table):
         self.table = table
         self._metadata: dict[str, LayoutMetadata] = {}
         self._zonemaps: dict[str, ZoneMapIndex] = {}
         self._query_costs: dict[str, dict[tuple, float]] = {}
+        self._compiled: dict[tuple, CompiledWorkload] = {}
 
     def metadata(self, layout: DataLayout) -> LayoutMetadata:
         """Layout's partition metadata on the evaluator's table (cached)."""
@@ -97,12 +111,32 @@ class CostEvaluator:
             costs[key] = cached
         return cached
 
+    def compiled_workload(
+        self, predicates: Sequence, key: tuple | None = None
+    ) -> CompiledWorkload:
+        """Compile a predicate sample for batched evaluation (LRU-cached).
+
+        ``key`` is the sample's structural identity (the tuple of predicate
+        cache keys); callers that already hold the keys pass them to avoid
+        recomputing.  One compiled sample serves every layout it is
+        evaluated against — the admission loop's dominant reuse pattern.
+        """
+        if key is None:
+            key = tuple(predicate.cache_key() for predicate in predicates)
+        cached = lru_get(self._compiled, key)
+        if cached is None:
+            cached = lru_put(
+                self._compiled, key, CompiledWorkload(predicates), self.COMPILED_CACHE_CAP
+            )
+        return cached
+
     def cost_vector(self, layout: DataLayout, queries: Sequence[Query]) -> np.ndarray:
         """Vector of query costs for a layout over a query sample.
 
         This is the representation Algorithm 5 (layout admission) compares
-        with normalized L1 distance.  Uncached entries are evaluated in one
-        batched pruning-matrix pass over all partitions.
+        with normalized L1 distance.  Uncached entries are evaluated by
+        compiling the missing sub-sample once (LRU-memoized across layouts)
+        and running its column-wise batched pass over all partitions.
         """
         costs = self._query_costs.setdefault(layout.layout_id, {})
         keys = [query.cache_key() for query in queries]
@@ -116,7 +150,8 @@ class CostEvaluator:
                 out[index] = cached
         if missing:
             predicates = [queries[positions[0]].predicate for positions in missing.values()]
-            fractions = self.zone_maps(layout).accessed_fractions(predicates)
+            compiled = self.compiled_workload(predicates, key=tuple(missing))
+            fractions = compiled.accessed_fractions(self.zone_maps(layout))
             for (key, positions), fraction in zip(missing.items(), fractions):
                 value = float(fraction)
                 costs[key] = value
@@ -128,8 +163,10 @@ class CostEvaluator:
     ) -> np.ndarray:
         """``(num_layouts, num_queries)`` cost matrix over a query sample.
 
-        One batched zone-map pass per layout — the workhorse behind layout
-        admission and state-space pruning.
+        The workhorse behind layout admission and state-space pruning: the
+        sample is compiled once (the per-layout :meth:`cost_vector` calls
+        share it through the compiled-workload LRU) and each layout pays
+        only the column-wise batched evaluation.
         """
         if not layouts:
             return np.zeros((0, len(queries)), dtype=np.float64)

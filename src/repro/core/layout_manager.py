@@ -167,9 +167,12 @@ class LayoutManager:
     def admit_state(self, candidate: DataLayout) -> bool:
         """Algorithm 5: admit iff min distance to every state exceeds ε.
 
-        All existing states' cost vectors are evaluated as one batched cost
-        matrix (one zone-map pruning pass per layout) and the ε comparison
-        reduces over a single ``(num_states, num_queries)`` array.
+        The admission sample is compiled once
+        (:class:`~repro.layouts.workload_compiler.CompiledWorkload`,
+        memoized inside the evaluator) and evaluated against the candidate
+        and every existing state in one column-wise batched pass per
+        layout; the ε comparison reduces over a single
+        ``(num_states, num_queries)`` array.
         """
         sample = self.admission_sample.snapshot()
         if not sample:

@@ -86,7 +86,10 @@ def replay_physical(
                 )
                 reorg_seconds += reorg_result.elapsed_seconds
                 num_switches += 1
-                executor.forget(current_id)  # its files are gone from disk
+                # The old files are gone from disk; its compiled index is
+                # carried forward incrementally for the partitions the
+                # reorg left untouched (falls back to lazy recompile).
+                executor.apply_reorg(current_id, stored, reorg_result.delta)
                 current_id = target_id
             if index % sample_stride == 0:
                 outcome = executor.execute(stored, query)

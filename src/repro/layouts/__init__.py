@@ -16,11 +16,20 @@ from .metadata import (
 )
 from .qdtree import QdTreeBuilder, QdTreeLayout, QdTreeNode, extract_cut_predicates
 from .range_layout import RangeLayout, RangeLayoutBuilder, equal_frequency_boundaries
-from .zonemaps import ZoneMapIndex, compile_zone_maps, prune_matrix
+from .workload_compiler import CompiledWorkload, compile_workload
+from .zonemaps import (
+    ReorgDelta,
+    ZoneMapIndex,
+    compile_zone_maps,
+    compute_reorg_delta,
+    compute_reorg_delta_from_assignments,
+    prune_matrix,
+)
 from .zorder import ZOrderLayout, ZOrderLayoutBuilder, morton_interleave
 
 __all__ = [
     "ColumnStats",
+    "CompiledWorkload",
     "DataLayout",
     "HashLayout",
     "HashLayoutBuilder",
@@ -32,6 +41,7 @@ __all__ = [
     "QdTreeNode",
     "RangeLayout",
     "RangeLayoutBuilder",
+    "ReorgDelta",
     "RoundRobinLayout",
     "RoundRobinLayoutBuilder",
     "ZOrderLayout",
@@ -39,7 +49,10 @@ __all__ = [
     "ZoneMapIndex",
     "build_layout_metadata",
     "build_partition_metadata",
+    "compile_workload",
     "compile_zone_maps",
+    "compute_reorg_delta",
+    "compute_reorg_delta_from_assignments",
     "equal_frequency_boundaries",
     "eval_skipped",
     "extract_cut_predicates",

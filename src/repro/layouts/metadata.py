@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -79,15 +80,24 @@ class LayoutMetadata:
 
     partitions: tuple[PartitionMetadata, ...]
 
-    @property
+    @cached_property
     def total_rows(self) -> int:
-        """Total number of rows across partitions."""
+        """Total number of rows across partitions (cached; immutable)."""
         return sum(p.row_count for p in self.partitions)
 
     @property
     def num_partitions(self) -> int:
         """Number of (non-empty) partitions."""
         return len(self.partitions)
+
+    @cached_property
+    def partition_ids(self) -> np.ndarray:
+        """Partition ids in partition order (cached; immutable)."""
+        return np.fromiter(
+            (p.partition_id for p in self.partitions),
+            dtype=np.int64,
+            count=len(self.partitions),
+        )
 
     def relevant_partitions(self, predicate) -> list[PartitionMetadata]:
         """Partitions that cannot be skipped for ``predicate`` (sound)."""

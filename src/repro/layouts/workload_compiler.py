@@ -1,0 +1,536 @@
+"""Workload compiler: one column-wise pass for a whole query sample.
+
+The per-predicate zone-map path (:meth:`ZoneMapIndex.prune_matrix`) is
+already vectorized *across partitions*, but it still recurses ``_mask``
+once per predicate: evaluating a D-UMTS admission sample against a
+candidate layout costs ``O(|sample|)`` AST walks, each issuing a handful
+of small NumPy calls.  At 64-query samples over dozens of candidate
+layouts, that per-call overhead is the dominant cost of Algorithm 5's
+admission loop.
+
+:class:`CompiledWorkload` removes it by compiling the *sample itself*,
+once, independent of any layout:
+
+1. every query predicate is flattened into its top-level conjunction
+   (``And`` trees; a bare atom is a one-conjunct conjunction);
+2. supported atomic conjuncts — ``Comparison``, ``Between``, ``In`` —
+   are grouped by ``(column, operator)`` and their constants stacked
+   into dense float64 arrays;
+3. anything else (``Or``/``Not`` subtrees, user-defined predicates,
+   non-numeric or float64-lossy constants) becomes *residue*: it is
+   evaluated through the per-predicate ``ZoneMapIndex`` path, node by
+   node, exactly as before;
+4. the AND-reduction over each query's conjuncts is *pre-planned*: the
+   atom→query ownership of all groups is concatenated, argsorted, and
+   segmented once at compile time, so evaluation folds every group's
+   mask block into the query rows with a single ``logical_and.reduceat``
+   instead of one fancy-indexed update per group.
+
+Evaluating the compiled workload against a layout's
+:class:`~repro.layouts.zonemaps.ZoneMapIndex` then produces the full
+``(num_queries, num_partitions)`` may-match or matches-all matrix in a
+handful of broadcasted comparisons — one ``(num_atoms, num_partitions)``
+mask per group plus the single fused reduction — instead of one
+``_mask`` recursion per query.  Because every group kernel mirrors the
+corresponding ``ZoneMapIndex`` branch operation for operation, the
+output is bit-for-bit identical to both the per-predicate path and the
+scalar ``may_match``/``matches_all`` oracle (asserted by the
+equivalence and property test suites).
+
+Conjunction semantics make the reduction exact: for ``And`` nodes both
+``may_match`` and ``matches_all`` distribute over children as logical
+AND, so batching the supported conjuncts and folding residue conjuncts
+in afterwards loses nothing.
+
+The compiled object also supports *incremental revalidation*: after a
+reorganization described by a :class:`~repro.layouts.zonemaps.ReorgDelta`,
+:meth:`CompiledWorkload.revalidate` copies matrix columns for carried
+partitions from the prior result and re-evaluates only the changed
+partitions' columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..queries.predicates import (
+    AlwaysFalse,
+    AlwaysTrue,
+    And,
+    Between,
+    Comparison,
+    In,
+    Predicate,
+)
+from .zonemaps import (
+    ReorgDelta,
+    ZoneMapIndex,
+    _ColumnZones,
+    _pack_value_set,
+    _Unsupported,
+    _WORD_BITS,
+)
+
+__all__ = ["CompiledWorkload", "compile_workload"]
+
+
+def _maybe_exact_float(value) -> float | None:
+    """``value`` as an exactly-representable float64, else None.
+
+    Non-raising twin of :func:`repro.layouts.zonemaps._exact_float` for
+    the compile loop, where unsupported constants are the common,
+    expected branch rather than an exception.
+    """
+    if hasattr(value, "item"):
+        value = value.item()
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        return None
+    # NaN also lands here (nan != nan): NaN constants take the residue path.
+    return result if result == value else None
+
+
+class _AtomGroup:
+    """All supported atoms of one ``(column, kind)`` across the sample.
+
+    ``kind`` is a comparison operator (``"<"`` .. ``"!="``), ``"between"``
+    or ``"in"``.  ``owners`` maps each atom to the query row it belongs
+    to; atoms are appended in query order, so ``owners`` is sorted within
+    the group.
+
+    ``freeze`` dedups the constants: workload streams dwell on one
+    template for whole segments, so a 64-query sample routinely repeats
+    the same handful of constants (a 5-value dimension column can only
+    produce 5 distinct equality atoms).  Kernels run over the *unique*
+    constants and the result block is expanded back to atom rows with
+    one boolean gather (``inverse``), which is far cheaper than the
+    duplicate comparisons it replaces.
+    """
+
+    __slots__ = (
+        "column",
+        "kind",
+        "owners",
+        "nodes",
+        "values",
+        "lows",
+        "highs",
+        "raw",
+        "unodes",
+        "inverse",
+    )
+
+    def __init__(self, column: str, kind: str):
+        self.column = column
+        self.kind = kind
+        self.owners: list[int] = []
+        #: original AST nodes, for the per-predicate fallback path
+        self.nodes: list[Predicate] = []
+        self.values: list[float] = []  # comparisons
+        self.lows: list[float] = []  # betweens
+        self.highs: list[float] = []
+        self.raw: list = []  # original ==/!= constants, for membership tests
+
+    def freeze(self) -> None:
+        # First-occurrence-order dedup (a dict, no sort): slots keep the
+        # original relative order, so "no duplicates" means the expansion
+        # gather is the identity and can be skipped outright.
+        if self.kind == "between":
+            keys = list(zip(self.lows, self.highs))
+        elif self.kind == "in":
+            keys = [node.values for node in self.nodes]
+        else:
+            keys = self.values
+        slots: dict = {}
+        first: list[int] = []
+        inverse: list[int] = []
+        for position, key in enumerate(keys):
+            slot = slots.get(key)
+            if slot is None:
+                slot = slots[key] = len(first)
+                first.append(position)
+            inverse.append(slot)
+        if self.kind == "between":
+            self.lows = np.asarray([self.lows[i] for i in first], dtype=np.float64)
+            self.highs = np.asarray([self.highs[i] for i in first], dtype=np.float64)
+        elif self.kind != "in":
+            self.values = np.asarray([self.values[i] for i in first], dtype=np.float64)
+            self.raw = [self.raw[i] for i in first]
+        self.unodes = [self.nodes[i] for i in first]
+        if len(first) == len(self.nodes):
+            self.inverse = None
+        else:
+            self.inverse = np.asarray(inverse, dtype=np.int64)
+
+
+def _sliced_zones(zones: _ColumnZones, positions: np.ndarray) -> _ColumnZones:
+    """Restrict a column's zone arrays to a subset of partition positions."""
+    return _ColumnZones(
+        zones.mins[positions],
+        zones.maxs[positions],
+        zones.has_stats[positions],
+        zones.has_distinct[positions],
+        None if zones.bitmap is None else zones.bitmap[positions],
+        zones.value_index,
+    )
+
+
+class CompiledWorkload:
+    """A query sample compiled for batched zone-map evaluation.
+
+    The compilation is layout-independent: one ``CompiledWorkload`` can
+    be evaluated against any number of :class:`ZoneMapIndex` instances
+    (the layout-admission loop evaluates the same sample against every
+    candidate and every existing state, so the compile cost amortizes
+    across the whole state space).
+    """
+
+    def __init__(self, predicates: Sequence[Predicate]):
+        self.predicates = tuple(predicates)
+        self.num_queries = len(self.predicates)
+        groups: dict[tuple[str, str], _AtomGroup] = {}
+        #: (query row, node) pairs evaluated via the per-predicate path
+        self._residue: list[tuple[int, Predicate]] = []
+        #: query rows containing an AlwaysFalse conjunct: both masks False
+        self._false_rows: list[int] = []
+        for row, predicate in enumerate(self.predicates):
+            stack = [predicate]
+            while stack:
+                node = stack.pop()
+                if type(node) is And:
+                    stack.extend(reversed(node.children))
+                else:
+                    self._lower(row, node, groups)
+        self._groups = list(groups.values())
+        for group in self._groups:
+            group.freeze()
+        self._plan_reduction()
+
+    # -------------------------------------------------------------- compilation
+    def _lower(self, row: int, node: Predicate, groups: dict) -> None:
+        node_type = type(node)
+        if node_type is Comparison:
+            value = _maybe_exact_float(node.value)
+            if value is None:
+                self._residue.append((row, node))
+                return
+            key = (node.column, node.op)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = _AtomGroup(node.column, node.op)
+            group.owners.append(row)
+            group.nodes.append(node)
+            group.values.append(value)
+            group.raw.append(node.value)
+        elif node_type is Between:
+            low = _maybe_exact_float(node.low)
+            high = _maybe_exact_float(node.high)
+            if low is None or high is None:
+                self._residue.append((row, node))
+                return
+            key = (node.column, "between")
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = _AtomGroup(node.column, "between")
+            group.owners.append(row)
+            group.nodes.append(node)
+            group.lows.append(low)
+            group.highs.append(high)
+        elif node_type is In:
+            key = (node.column, "in")
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = _AtomGroup(node.column, "in")
+            group.owners.append(row)
+            group.nodes.append(node)
+        elif node_type is AlwaysTrue:
+            pass  # identity of the conjunction
+        elif node_type is AlwaysFalse:
+            self._false_rows.append(row)
+        else:
+            # Or / Not / unknown subclasses: exact via the per-predicate path.
+            self._residue.append((row, node))
+
+    def _plan_reduction(self) -> None:
+        """Pre-plan the fused AND-reduction over all groups' atoms.
+
+        Group mask blocks are concatenated in group order at evaluation
+        time.  Here the concatenated atom→query ownership is sorted and
+        cut into *depth layers*: layer 0 holds each query's first atom,
+        layer ``d`` its ``d``-th further atom.  Within a layer every
+        query appears at most once, so evaluation folds each layer with
+        one duplicate-free fancy-indexed ``&=`` — a couple of large
+        NumPy ops per layer (conjunctions are shallow: layers ≈ max
+        conjuncts per query) instead of one update per group or a slow
+        ``reduceat`` over ragged segments.
+        """
+        owners_list: list[int] = []
+        for group in self._groups:
+            owners_list.extend(group.owners)
+        self._num_atoms = len(owners_list)
+        self._layers: list[tuple[np.ndarray, np.ndarray]] = []
+        if not self._num_atoms:
+            self._base_rows = self._target_rows = None
+            return
+        owners = np.asarray(owners_list, dtype=np.int64)
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_owners)) + 1))
+        sizes = np.diff(np.append(starts, self._num_atoms))
+        #: row index into the *unsorted* stacked block matrix of each
+        #: query's first atom (order[...] composes the sort at plan time)
+        self._base_rows = order[starts]
+        self._target_rows = sorted_owners[starts]
+        owner_rank = np.repeat(np.arange(len(starts)), sizes)
+        depth = np.arange(self._num_atoms) - starts[owner_rank]
+        for level in range(1, int(sizes.max())):
+            in_level = depth == level
+            self._layers.append((owner_rank[in_level], order[in_level]))
+
+    # --------------------------------------------------------------- evaluation
+    def prune_matrix(self, index: ZoneMapIndex) -> np.ndarray:
+        """``(num_queries, num_partitions)`` may-match matrix for ``index``."""
+        return self._evaluate(index, want_all=False)
+
+    def matches_all_matrix(self, index: ZoneMapIndex) -> np.ndarray:
+        """``(num_queries, num_partitions)`` matches-all matrix for ``index``."""
+        return self._evaluate(index, want_all=True)
+
+    def matrices(self, index: ZoneMapIndex) -> tuple[np.ndarray, np.ndarray]:
+        """(may-match, matches-all) matrices in one call."""
+        return self.prune_matrix(index), self.matches_all_matrix(index)
+
+    def accessed_fractions(self, index: ZoneMapIndex) -> np.ndarray:
+        """Batched ``c(s, q)`` over the sample: one matrix product."""
+        if self.num_queries == 0:
+            return np.zeros(0, dtype=np.float64)
+        if index.total_rows == 0.0:
+            return np.zeros(self.num_queries, dtype=np.float64)
+        matrix = self.prune_matrix(index)
+        return (matrix.astype(np.float64) @ index.row_counts) / index.total_rows
+
+    def revalidate(
+        self,
+        index: ZoneMapIndex,
+        delta: ReorgDelta,
+        prior: np.ndarray,
+        want_all: bool = False,
+    ) -> np.ndarray:
+        """Update a previously computed matrix after a reorganization.
+
+        ``prior`` must be the matrix this workload produced against the
+        pre-reorg index (with the same ``want_all``); ``index`` is the
+        post-reorg index (typically ``old_index.apply_reorg(delta)``).
+        Columns of carried partitions are copied; only the changed
+        partitions are re-evaluated.
+        """
+        if prior.shape != (self.num_queries, len(delta.old_metadata.partitions)):
+            raise ValueError(
+                f"prior matrix shape {prior.shape} does not match "
+                f"({self.num_queries}, {len(delta.old_metadata.partitions)})"
+            )
+        if index.metadata is not delta.new_metadata:
+            raise ValueError("index was not built from the delta's new metadata")
+        out = np.empty((self.num_queries, index.num_partitions), dtype=bool)
+        out[:, delta.carried_new] = prior[:, delta.carried_old]
+        if len(delta.changed):
+            positions = np.asarray(delta.changed, dtype=np.int64)
+            out[:, positions] = self._evaluate(index, want_all, positions)
+        return out
+
+    def _evaluate(
+        self,
+        index: ZoneMapIndex,
+        want_all: bool,
+        positions: np.ndarray | None = None,
+    ) -> np.ndarray:
+        num_cols = index.num_partitions if positions is None else len(positions)
+        out = np.ones((self.num_queries, num_cols), dtype=bool)
+        if self._num_atoms:
+            blocks = [
+                self._group_matrix(group, index, want_all, num_cols, positions)
+                for group in self._groups
+            ]
+            stacked = np.vstack(blocks) if len(blocks) > 1 else blocks[0]
+            reduced = stacked[self._base_rows]
+            for owner_ranks, atom_rows in self._layers:
+                reduced[owner_ranks] &= stacked[atom_rows]
+            out[self._target_rows] = reduced
+        for row in self._false_rows:
+            out[row] = False
+        for row, node in self._residue:
+            mask = index._mask(node, want_all)
+            if positions is not None:
+                mask = mask[positions]
+            out[row] &= mask
+        return out
+
+    def _group_matrix(
+        self,
+        group: _AtomGroup,
+        index: ZoneMapIndex,
+        want_all: bool,
+        num_cols: int,
+        positions: np.ndarray | None,
+    ) -> np.ndarray:
+        """``(num_atoms_in_group, num_partitions)`` mask block for one group.
+
+        Kernels and fallbacks run over the group's *unique* constants;
+        the block is expanded back to one row per atom at the end.
+        """
+        try:
+            zones = index._column(group.column)
+        except _Unsupported:
+            block = self._fallback_matrix(group, index, want_all, positions)
+        else:
+            if zones is None:
+                # Column in no partition's stats: may_match is vacuously True
+                # (no-op under AND); matches_all is False for every partition.
+                block = np.full((len(group.unodes), num_cols), not want_all, dtype=bool)
+            else:
+                if positions is not None:
+                    zones = _sliced_zones(zones, positions)
+                if group.kind == "in" and not zones.all_distinct:
+                    # Mixed or absent distinct sets: the per-atom path handles
+                    # the min/max branch and the per-partition mixing exactly.
+                    block = self._fallback_matrix(group, index, want_all, positions)
+                else:
+                    block = self._group_mask(group, zones, want_all)
+        if group.inverse is not None:
+            block = block[group.inverse]
+        return block
+
+    @staticmethod
+    def _fallback_matrix(
+        group: _AtomGroup,
+        index: ZoneMapIndex,
+        want_all: bool,
+        positions: np.ndarray | None,
+    ) -> np.ndarray:
+        rows = [index._mask(node, want_all) for node in group.unodes]
+        block = np.stack(rows) if len(rows) > 1 else rows[0][None, :]
+        if positions is not None:
+            block = block[:, positions]
+        return block
+
+    # ------------------------------------------------------------ group kernels
+    def _group_mask(
+        self, group: _AtomGroup, zones: _ColumnZones, want_all: bool
+    ) -> np.ndarray:
+        """``(num_atoms, num_partitions)`` mask for one group.
+
+        Each branch is the broadcasted form of the matching
+        ``ZoneMapIndex`` branch; keep the two in sync.
+        """
+        if group.kind == "in":
+            mask = self._in_group_mask(group, zones, want_all)
+        elif group.kind == "between":
+            lows = group.lows[:, None]
+            highs = group.highs[:, None]
+            if not want_all:
+                mask = (zones.maxs[None, :] >= lows) & (zones.mins[None, :] <= highs)
+            else:
+                mask = (zones.mins[None, :] >= lows) & (zones.maxs[None, :] <= highs)
+        else:
+            mask = self._comparison_group_mask(group, zones, want_all)
+        if zones.all_stats:
+            return mask
+        if not want_all:
+            return mask | ~zones.has_stats[None, :]
+        return mask & zones.has_stats[None, :]
+
+    def _comparison_group_mask(
+        self, group: _AtomGroup, zones: _ColumnZones, want_all: bool
+    ) -> np.ndarray:
+        mins = zones.mins[None, :]
+        maxs = zones.maxs[None, :]
+        values = group.values[:, None]
+        op = group.kind
+        if not want_all:
+            if op == "==":
+                if not zones.any_distinct:
+                    return (mins <= values) & (values <= maxs)
+                member = self._member_matrix(group, zones)
+                if zones.all_distinct:
+                    return member
+                in_range = (mins <= values) & (values <= maxs)
+                return np.where(zones.has_distinct[None, :], member, in_range)
+            if op == "!=":
+                return ~((mins == values) & (maxs == values))
+            if op == "<":
+                return mins < values
+            if op == "<=":
+                return mins <= values
+            if op == ">":
+                return maxs > values
+            return maxs >= values  # ">="
+        if op == "==":
+            return (mins == values) & (maxs == values)
+        if op == "!=":
+            if not zones.any_distinct:
+                return (values < mins) | (values > maxs)
+            member = self._member_matrix(group, zones)
+            if zones.all_distinct:
+                return ~member
+            outside = (values < mins) | (values > maxs)
+            return np.where(zones.has_distinct[None, :], ~member, outside)
+        if op == "<":
+            return maxs < values
+        if op == "<=":
+            return maxs <= values
+        if op == ">":
+            return mins > values
+        return mins >= values  # ">="
+
+    @staticmethod
+    def _member_matrix(group: _AtomGroup, zones: _ColumnZones) -> np.ndarray:
+        """``member[a, p]``: is atom ``a``'s constant in partition ``p``'s
+        distinct set?  One bitmap gather for all atoms with known codes."""
+        num_parts = len(zones.mins)
+        member = np.zeros((len(group.raw), num_parts), dtype=bool)
+        if zones.bitmap is None:
+            return member
+        rows: list[int] = []
+        codes: list[int] = []
+        value_index = zones.value_index
+        for atom, value in enumerate(group.raw):
+            position = value_index.get(value)
+            if position is not None:
+                rows.append(atom)
+                codes.append(position)
+        if not rows:
+            return member
+        code_array = np.asarray(codes, dtype=np.int64)
+        words = zones.bitmap[:, code_array // _WORD_BITS]  # (parts, found)
+        bits = np.left_shift(np.uint64(1), (code_array % _WORD_BITS).astype(np.uint64))
+        member[np.asarray(rows, dtype=np.int64)] = ((words & bits[None, :]) != 0).T
+        return member
+
+    @staticmethod
+    def _in_group_mask(
+        group: _AtomGroup, zones: _ColumnZones, want_all: bool
+    ) -> np.ndarray:
+        """Bitmap kernels for IN atoms; only called when every partition
+        carries a distinct set (``zones.all_distinct``)."""
+        num_words = zones.bitmap.shape[1]
+        packed = np.empty((len(group.unodes), num_words), dtype=np.uint64)
+        for atom, node in enumerate(group.unodes):
+            packed[atom] = _pack_value_set(node.values, zones.value_index, num_words)
+        num_parts = len(zones.mins)
+        if not want_all:
+            mask = np.zeros((len(group.unodes), num_parts), dtype=bool)
+            for word in range(num_words):
+                mask |= (zones.bitmap[:, word][None, :] & packed[:, word][:, None]) != 0
+            return mask
+        mask = np.ones((len(group.unodes), num_parts), dtype=bool)
+        for word in range(num_words):
+            mask &= (zones.bitmap[:, word][None, :] & ~packed[:, word][:, None]) == 0
+        return mask
+
+
+def compile_workload(predicates: Sequence[Predicate]) -> CompiledWorkload:
+    """Compile a query sample's predicates for batched evaluation."""
+    return CompiledWorkload(predicates)

@@ -11,16 +11,27 @@ Pruning runs on the compiled zone-map engine
 (:class:`~repro.layouts.zonemaps.ZoneMapIndex`): each stored layout's
 metadata is compiled once and reused, so the per-query planning step is a
 single vectorized pass over all partitions instead of a Python loop.
+Batch execution (:meth:`QueryExecutor.execute_batch`) goes further and
+plans a whole query list with one
+:class:`~repro.layouts.workload_compiler.CompiledWorkload` pass, reading
+each surviving partition at most once for the batch.
+
+After a reorganization, :meth:`QueryExecutor.apply_reorg` migrates the
+old layout's compiled index incrementally (carrying the partitions the
+reorg did not touch) instead of recompiling the new layout from scratch.
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..layouts.zonemaps import ZoneMapIndex
+from ..layouts.workload_compiler import CompiledWorkload
+from ..layouts.zonemaps import ReorgDelta, ZoneMapIndex
+from ..utils import lru_get, lru_put
 from ..queries.query import Query
 from .partition import StoredLayout
 from .partition_store import PartitionStore
@@ -76,20 +87,43 @@ class QueryExecutor:
     def _zone_maps(self, stored: StoredLayout) -> ZoneMapIndex:
         """Compiled zone maps for a stored layout (bounded per-id cache)."""
         key = stored.layout.layout_id
-        cached = self._zonemaps.get(key)
+        cached = lru_get(self._zonemaps, key)
         if cached is not None and cached.metadata is stored.metadata:
-            self._zonemaps[key] = self._zonemaps.pop(key)  # refresh LRU order
             return cached
         self._zonemaps.pop(key, None)
-        while len(self._zonemaps) >= self.ZONEMAP_CACHE_CAP:
-            self._zonemaps.pop(next(iter(self._zonemaps)))
-        cached = ZoneMapIndex(stored.metadata)
-        self._zonemaps[key] = cached
-        return cached
+        return lru_put(
+            self._zonemaps, key, ZoneMapIndex(stored.metadata), self.ZONEMAP_CACHE_CAP
+        )
 
     def forget(self, layout_id: str) -> None:
         """Drop the compiled index for a retired layout (O(1))."""
         self._zonemaps.pop(layout_id, None)
+
+    def apply_reorg(
+        self, old_layout_id: str, new_stored: StoredLayout, delta: ReorgDelta | None
+    ) -> None:
+        """Migrate the cached index across a reorganization, incrementally.
+
+        If the old layout's index is cached and ``delta`` was computed
+        against its metadata, the new layout's index is derived by
+        :meth:`ZoneMapIndex.apply_reorg` — recompiling only the partitions
+        the reorg touched — and cached under the new id.  Otherwise this
+        degrades to :meth:`forget` (the next query compiles lazily).
+        """
+        cached = self._zonemaps.pop(old_layout_id, None)
+        if (
+            cached is None
+            or delta is None
+            or cached.metadata is not delta.old_metadata
+            or delta.new_metadata is not new_stored.metadata
+        ):
+            return
+        lru_put(
+            self._zonemaps,
+            new_stored.layout.layout_id,
+            cached.apply_reorg(delta),
+            self.ZONEMAP_CACHE_CAP,
+        )
 
     def execute(self, stored: StoredLayout, query: Query) -> QueryResult:
         """Run one query: prune partitions by metadata, scan the rest."""
@@ -118,6 +152,75 @@ class QueryExecutor:
             bytes_read=bytes_read,
             elapsed_seconds=elapsed,
         )
+
+    def execute_batch(
+        self, stored: StoredLayout, queries: Sequence[Query]
+    ) -> list[QueryResult]:
+        """Run a query batch with one compiled planning pass.
+
+        The whole batch is planned by a single
+        :class:`~repro.layouts.workload_compiler.CompiledWorkload`
+        evaluation (one column-wise pass instead of one per query), and
+        each surviving partition file is read at most once for the batch.
+        Decompressed partitions are released as soon as no later query in
+        the batch needs them, so peak memory is bounded by the still-live
+        working set rather than the whole table.
+
+        Per-query counters (rows, partitions, bytes) match
+        :meth:`execute` exactly.  ``elapsed_seconds`` charges each query
+        its own read+filter work plus an equal share of the shared
+        planning pass, so batch totals remain comparable to summed
+        :meth:`execute` timings; a shared partition read is timed against
+        the first query that needs it.
+        """
+        if not queries:
+            return []
+        planning_start = time.perf_counter()
+        index = self._zone_maps(stored)
+        matrix = CompiledWorkload([q.predicate for q in queries]).prune_matrix(index)
+        position_ids = index.metadata.partition_ids
+        by_id = {partition.partition_id: partition for partition in stored.partitions}
+        remaining_uses = dict(
+            zip(position_ids.tolist(), matrix.sum(axis=0, dtype=np.int64).tolist())
+        )
+        planning_share = (time.perf_counter() - planning_start) / len(queries)
+        columns_cache: dict[int, dict[str, np.ndarray]] = {}
+        results: list[QueryResult] = []
+        for row, query in zip(matrix, queries):
+            start = time.perf_counter()
+            rows_matched = 0
+            rows_scanned = 0
+            bytes_read = 0
+            partitions_scanned = 0
+            for position in np.flatnonzero(row):
+                partition_id = int(position_ids[position])
+                partition = by_id.get(partition_id)
+                if partition is None:
+                    continue
+                columns = columns_cache.get(partition_id)
+                if columns is None:
+                    columns = self.store.read_partition(partition)
+                    columns_cache[partition_id] = columns
+                mask = query.predicate.evaluate(columns)
+                rows_matched += int(np.count_nonzero(mask))
+                rows_scanned += partition.row_count
+                bytes_read += partition.byte_size
+                partitions_scanned += 1
+                remaining_uses[partition_id] -= 1
+                if remaining_uses[partition_id] <= 0:
+                    columns_cache.pop(partition_id, None)
+            results.append(
+                QueryResult(
+                    rows_matched=rows_matched,
+                    rows_scanned=rows_scanned,
+                    total_rows=stored.total_rows,
+                    partitions_scanned=partitions_scanned,
+                    partitions_total=len(stored.partitions),
+                    bytes_read=bytes_read,
+                    elapsed_seconds=time.perf_counter() - start + planning_share,
+                )
+            )
+        return results
 
     def full_scan(self, stored: StoredLayout) -> ScanResult:
         """Read every partition end to end (Table I's full-table scan)."""

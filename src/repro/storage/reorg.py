@@ -5,6 +5,13 @@ Reproduces the four reorganization steps the paper times for Table I:
 according to the new layout's mapping, 3) repartition the rows by BID, and
 4) compress and write the new partition files.  The measured elapsed time
 over a matching full scan is exactly the α the cost model consumes.
+
+Because the pipeline holds both the old and the new row→partition
+assignment, it also knows — without comparing any statistics — exactly
+which partitions the rewrite touched.  That knowledge ships with the
+result as a :class:`~repro.layouts.zonemaps.ReorgDelta`, so downstream
+consumers (the executor's compiled zone-map cache, cost caches) can
+update incrementally instead of recompiling the new layout from scratch.
 """
 
 from __future__ import annotations
@@ -12,7 +19,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..layouts.base import DataLayout
+from ..layouts.zonemaps import ReorgDelta, compute_reorg_delta_from_assignments
 from .partition import StoredLayout
 from .partition_store import PartitionStore
 from .table import Schema
@@ -29,6 +39,9 @@ class ReorgResult:
     bytes_written: int
     rows_moved: int
     partitions_written: int
+    #: which partitions the reorg touched (None when row counts diverge,
+    #: e.g. a layout change that also drops or duplicates rows)
+    delta: ReorgDelta | None = None
 
 
 def reorganize(
@@ -52,11 +65,31 @@ def reorganize(
     elapsed = time.perf_counter() - start
     if not keep_old and stored.layout.layout_id != new_layout.layout_id:
         store.delete_layout(stored)
+    # read_all concatenates rows in stored-partition order, so the old
+    # assignment over that same row order is one repeat away.
+    delta = None
+    if len(assignment) == stored.total_rows:
+        old_assignment = np.repeat(
+            np.fromiter(
+                (p.partition_id for p in stored.partitions),
+                dtype=np.int64,
+                count=len(stored.partitions),
+            ),
+            np.fromiter(
+                (p.row_count for p in stored.partitions),
+                dtype=np.int64,
+                count=len(stored.partitions),
+            ),
+        )
+        delta = compute_reorg_delta_from_assignments(
+            stored.metadata, new_stored.metadata, old_assignment, assignment
+        )
     result = ReorgResult(
         elapsed_seconds=elapsed,
         bytes_read=bytes_read,
         bytes_written=new_stored.total_bytes,
         rows_moved=new_stored.total_rows,
         partitions_written=len(new_stored.partitions),
+        delta=delta,
     )
     return new_stored, result

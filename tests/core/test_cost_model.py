@@ -131,3 +131,76 @@ class TestCostEvaluator:
         assert costs == {
             layout.layout_id: evaluator.query_cost(layout, query) for layout in layouts
         }
+
+
+class TestCacheChurn:
+    """Eviction behavior under reorg churn: a long run that generates and
+    retires layouts must keep every evaluator cache bounded."""
+
+    def test_forget_under_generate_retire_churn(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        queries = [Query(predicate=between("x", float(i * 3), float(i * 3 + 5))) for i in range(8)]
+        survivors = []
+        for round_index in range(30):
+            layout = RoundRobinLayout(2 + round_index % 5)
+            evaluator.cost_vector(layout, queries)
+            survivors.append(layout.layout_id)
+            if len(survivors) > 3:  # retire beyond a 3-state space
+                evaluator.forget(survivors.pop(0))
+        metadata_entries, cost_entries = evaluator.cache_sizes()
+        assert metadata_entries == 3
+        assert cost_entries == 3 * len(queries)
+        assert set(evaluator._zonemaps) == set(survivors)
+
+    def test_forget_unknown_layout_is_noop(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        evaluator.forget("never-seen")
+        assert evaluator.cache_sizes() == (0, 0)
+
+    def test_forgotten_layout_recomputes_identically(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        query = Query(predicate=between("x", 10.0, 30.0))
+        before = evaluator.query_cost(layout, query)
+        evaluator.forget(layout.layout_id)
+        assert evaluator.query_cost(layout, query) == before
+
+    def test_compiled_workload_cache_bounded_lru(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        hot = [Query(predicate=between("x", 0.0, 5.0))]
+        evaluator.cost_vector(layout, hot)
+        hot_key = (hot[0].cache_key(),)
+        assert hot_key in evaluator._compiled
+        for i in range(CostEvaluator.COMPILED_CACHE_CAP + 10):
+            fresh_layout = RoundRobinLayout(3)
+            # A fresh single-query sample per round: mints compiled entries.
+            evaluator.cost_vector(
+                fresh_layout, [Query(predicate=between("y", float(i), float(i) + 0.5))]
+            )
+            # Evaluating the hot sample against a *new* layout re-reads the
+            # compiled entry (costs are uncached there), refreshing its
+            # LRU recency.
+            evaluator.cost_vector(fresh_layout, hot)
+        assert len(evaluator._compiled) <= CostEvaluator.COMPILED_CACHE_CAP
+        assert hot_key in evaluator._compiled  # LRU keeps the hot sample
+
+    def test_compiled_workload_shared_across_layouts(self, simple_table, rng):
+        """cost_matrix compiles the sample once for the whole state space."""
+        evaluator = CostEvaluator(simple_table)
+        queries = [Query(predicate=between("x", float(i * 9), float(i * 9 + 4))) for i in range(6)]
+        layouts = [RoundRobinLayout(4), RoundRobinLayout(8),
+                   RangeLayoutBuilder("x").build(simple_table, [], 8, rng)]
+        evaluator.cost_matrix(layouts, queries)
+        assert len(evaluator._compiled) == 1
+
+    def test_forget_leaves_compiled_workloads_alone(self, simple_table):
+        """Compiled samples are layout-independent: retiring a layout must
+        not force recompiling the sample for the remaining states."""
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        queries = [Query(predicate=between("x", 0.0, 9.0))]
+        evaluator.cost_vector(layout, queries)
+        compiled_before = dict(evaluator._compiled)
+        evaluator.forget(layout.layout_id)
+        assert evaluator._compiled == compiled_before

@@ -181,3 +181,85 @@ class TestQdTreeLayoutRouting:
             assert partition.row_count == int(rows.sum())
             assert simple_table["x"][rows].min() >= partition.stats["x"].min
             assert simple_table["x"][rows].max() <= partition.stats["x"].max
+
+
+class TestSplitEdges:
+    """Edge cases of the greedy split loop: degenerate inputs, budget
+    boundaries, and merge-like single-leaf collapses."""
+
+    def test_empty_sample_gives_single_leaf(self, rng):
+        from repro.storage import ColumnSpec, Schema, Table
+
+        schema = Schema(columns=(ColumnSpec("x", "numeric"),))
+        empty = Table(schema, {"x": np.empty(0, dtype=np.float64)})
+        layout = QdTreeBuilder().build(empty, make_workload(rng), 8, rng)
+        assert layout.num_partitions == 1
+        assert layout.root.is_leaf
+
+    def test_single_partition_budget_never_splits(self, simple_table, rng):
+        layout = QdTreeBuilder().build(simple_table, make_workload(rng), 1, rng)
+        assert layout.num_partitions == 1
+        assert layout.assign(simple_table).max() == 0
+
+    def test_constant_data_has_no_beneficial_cut(self, rng):
+        from repro.storage import ColumnSpec, Schema, Table
+
+        schema = Schema(columns=(ColumnSpec("x", "numeric"),))
+        table = Table(schema, {"x": np.full(200, 7.0)})
+        workload = [Query(predicate=between("x", 0.0, 5.0)) for _ in range(10)]
+        layout = QdTreeBuilder().build(table, workload, 8, rng)
+        # Every cut puts all rows on one side: min_rows forbids the split.
+        assert layout.num_partitions == 1
+
+    def test_workload_outside_data_range_still_splits_nothing_usefully(self, simple_table, rng):
+        """Queries that never touch sample rows yield zero benefit: no split."""
+        workload = [Query(predicate=between("x", 1e6, 2e6)) for _ in range(5)]
+        layout = QdTreeBuilder().build(simple_table, workload, 8, rng)
+        assert layout.num_partitions == 1
+
+    def test_allowed_columns_restricts_builder_cuts(self, simple_table, rng):
+        workload = make_workload(rng)
+        layout = QdTreeBuilder(allowed_columns=["color"]).build(
+            simple_table, workload, 8, rng
+        )
+        stack = [layout.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            assert node.cut.columns() == frozenset({"color"})
+            stack.extend((node.true_child, node.false_child))
+
+    def test_partition_ids_are_dense_and_deterministic(self, simple_table, rng):
+        layout = QdTreeBuilder().build(simple_table, make_workload(rng), 8, rng)
+        leaf_ids = sorted(
+            node.partition_id
+            for node in _iter_leaves(layout.root)
+        )
+        assert leaf_ids == list(range(layout.num_partitions))
+
+    def test_exact_budget_stops_splitting(self, simple_table, rng):
+        """The loop must stop at exactly num_partitions leaves even when
+        more beneficial cuts remain on the heap."""
+        layout = QdTreeBuilder().build(simple_table, make_workload(rng), 3, rng)
+        assert layout.num_partitions <= 3
+
+    def test_tiny_sample_respects_min_leaf_rows(self, rng):
+        from repro.storage import ColumnSpec, Schema, Table
+
+        schema = Schema(columns=(ColumnSpec("x", "numeric"),))
+        table = Table(schema, {"x": np.array([1.0, 2.0, 3.0])})
+        workload = [Query(predicate=between("x", 0.0, 1.5))]
+        layout = QdTreeBuilder(min_leaf_fraction=1.0).build(table, workload, 3, rng)
+        counts = np.bincount(layout.assign(table), minlength=layout.num_partitions)
+        assert counts[counts > 0].min() >= 1
+
+
+def _iter_leaves(root):
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            yield node
+        else:
+            stack.extend((node.true_child, node.false_child))

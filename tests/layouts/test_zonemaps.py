@@ -332,3 +332,28 @@ def test_cost_entry_points_do_not_populate_mask_cache(sorted_metadata):
     index.accessed_fractions([between("x", 20.0, 30.0)])
     index.prune_matrix([between("x", 40.0, 50.0)])
     assert not index._may_cache and not index._all_cache
+
+
+def test_mask_cache_lru_keeps_hot_entries(sorted_metadata):
+    """Regression: the caches used to clear wholesale at the cap, evicting
+    the hot working set along with the one-off predicates.  Eviction is
+    now LRU: a predicate re-read between fresh insertions must survive a
+    stream of MASK_CACHE_CAP new predicates."""
+    index = ZoneMapIndex(sorted_metadata)
+    hot = between("x", 0.0, 10.0)
+    hot_mask = index.may_match_mask(hot)
+    for i in range(ZoneMapIndex.MASK_CACHE_CAP * 2):
+        index.may_match_mask(between("x", float(i), float(i) + 0.5))
+        assert index.may_match_mask(hot) is hot_mask  # still cached, same array
+    assert len(index._may_cache) <= ZoneMapIndex.MASK_CACHE_CAP
+
+
+def test_mask_cache_evicts_oldest_first(sorted_metadata):
+    index = ZoneMapIndex(sorted_metadata)
+    first = between("x", 0.0, 1.0)
+    index.may_match_mask(first)
+    # Fill to the cap without touching `first` again: it is the oldest.
+    for i in range(ZoneMapIndex.MASK_CACHE_CAP):
+        index.may_match_mask(between("y", float(i), float(i) + 0.5))
+    assert first.cache_key() not in index._may_cache
+    assert len(index._may_cache) <= ZoneMapIndex.MASK_CACHE_CAP
