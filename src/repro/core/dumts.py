@@ -21,6 +21,14 @@ Theorem IV.1: the competitive ratio is ``2·H(|S_max|) ≤ 2(1 + ln|S_max|)``
 where ``S_max`` is the largest state set over the stream — asymptotically
 optimal, matching the classic lower bound.  The ``smax`` property tracks this
 quantity so experiments and tests can check the bound.
+
+The algorithm is cost-oracle-agnostic: ``observe`` consumes a
+``state -> cost`` mapping and ``add_state``'s replay policy a cost list.
+In OREO both are produced by the stacked cost engine
+(:meth:`repro.core.cost_model.CostEvaluator.costs_for_query` /
+``cost_vector``), which prices the whole state space with one broadcasted
+``(layouts × queries × partitions)`` zone-map pass per step, so growing
+the state space does not multiply per-step Python overhead.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ The LAYOUT MANAGER (§V) is the *producer* of the dynamic state space.  It:
 4. optionally prunes the state space, removing layouts that have become
    redundant under the current query sample or exceed a state cap.
 
+Admission and both pruning passes price the sample against the whole
+state space through :meth:`CostEvaluator.cost_matrix`, which batches all
+layouts into one stacked ``(layouts × queries × partitions)`` zone-map
+tensor evaluation (see :mod:`repro.layouts.stacked`) rather than looping
+a compiled pass per layout.
+
 The manager is deliberately decoupled from the REORGANIZER: it emits
 :class:`LayoutManagerEvents` describing additions/removals, and the OREO
 controller forwards them as D-UMTS state-management operations.
@@ -169,10 +175,13 @@ class LayoutManager:
 
         The admission sample is compiled once
         (:class:`~repro.layouts.workload_compiler.CompiledWorkload`,
-        memoized inside the evaluator) and evaluated against the candidate
-        and every existing state in one column-wise batched pass per
-        layout; the ε comparison reduces over a single
-        ``(num_states, num_queries)`` array.
+        memoized inside the evaluator); the candidate is priced with one
+        column-wise pass and the *entire* existing state space with one
+        stacked ``(states × queries × partitions)`` tensor evaluation
+        (:meth:`CostEvaluator.cost_matrix` →
+        :class:`~repro.layouts.stacked.StackedStateSpace`); the ε
+        comparison reduces over a single ``(num_states, num_queries)``
+        array.
         """
         sample = self.admission_sample.snapshot()
         if not sample:

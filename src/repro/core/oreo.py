@@ -10,10 +10,15 @@
   reorganize, with the worst-case guarantee of Theorem IV.1.
 
 Per query, OREO (1) estimates ``c(s, q)`` for every layout in the state
-space from partition metadata, (2) lets the reorganizer decide, (3) charges
-the user the cost of servicing on the *effective* layout (which lags the
-decision by the background-reorg delay Δ), and (4) forwards any layout
-additions/removals from the manager into the reorganizer's state space.
+space from partition metadata — one stacked
+``(layouts × queries × partitions)`` pass over the whole state space via
+:meth:`CostEvaluator.costs_for_query`, not one evaluation per layout —
+(2) lets the reorganizer decide, (3) charges the user the cost of
+servicing on the *effective* layout (which lags the decision by the
+background-reorg delay Δ), and (4) forwards any layout
+additions/removals from the manager into the reorganizer's state space
+(``replay`` admission prices the newcomer's phase history with one
+batched cost-vector pass).
 """
 
 from __future__ import annotations
@@ -193,7 +198,11 @@ class OREO:
     def _replay_costs(self, layout: DataLayout) -> list[float] | None:
         if self.config.add_policy != "replay":
             return None
-        return [self.evaluator.query_cost(layout, q) for q in self._phase_queries]
+        if not self._phase_queries:
+            return []
+        # One batched pass over the phase's queries (compile once, one
+        # column-wise evaluation) instead of a per-query cost loop.
+        return self.evaluator.cost_vector(layout, self._phase_queries).tolist()
 
     # ------------------------------------------------------------------- views
     @property

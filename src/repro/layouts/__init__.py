@@ -16,6 +16,7 @@ from .metadata import (
 )
 from .qdtree import QdTreeBuilder, QdTreeLayout, QdTreeNode, extract_cut_predicates
 from .range_layout import RangeLayout, RangeLayoutBuilder, equal_frequency_boundaries
+from .stacked import StackedStateSpace
 from .workload_compiler import CompiledWorkload, compile_workload
 from .zonemaps import (
     ReorgDelta,
@@ -44,6 +45,7 @@ __all__ = [
     "ReorgDelta",
     "RoundRobinLayout",
     "RoundRobinLayoutBuilder",
+    "StackedStateSpace",
     "ZOrderLayout",
     "ZOrderLayoutBuilder",
     "ZoneMapIndex",

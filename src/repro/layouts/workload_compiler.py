@@ -47,6 +47,24 @@ reorganization described by a :class:`~repro.layouts.zonemaps.ReorgDelta`,
 :meth:`CompiledWorkload.revalidate` copies matrix columns for carried
 partitions from the prior result and re-evaluates only the changed
 partitions' columns.
+
+A compiled workload is the middle tier of a three-tier fallback chain,
+widest scope first:
+
+1. **stacked 3-D pass** — :class:`repro.layouts.stacked.StackedStateSpace`
+   evaluates one compiled workload against *every* layout in the state
+   space at once, emitting the ``(layouts × queries × partitions)``
+   tensor from the same group kernels run over the concatenated slabs;
+2. **per-layout compiled pass** (this module) — one
+   ``(queries × partitions)`` matrix per :class:`ZoneMapIndex`; the
+   stacked tier drops *residue layouts* (non-vectorizable columns) back
+   here, and single-layout callers (cost vectors, batch planning) start
+   here;
+3. **scalar oracle** — ``Predicate.may_match`` per partition; both fast
+   tiers fall back to it per node for *residue predicates*
+   (``Or``/``Not`` subtrees, unsupported nodes, lossy constants), and
+   every tier is asserted bit-for-bit equal to it by the equivalence and
+   property suites.
 """
 
 from __future__ import annotations
@@ -68,6 +86,7 @@ from .zonemaps import (
     ReorgDelta,
     ZoneMapIndex,
     _ColumnZones,
+    _fractions_from_matrix,
     _pack_value_set,
     _Unsupported,
     _WORD_BITS,
@@ -257,38 +276,61 @@ class CompiledWorkload:
     def _plan_reduction(self) -> None:
         """Pre-plan the fused AND-reduction over all groups' atoms.
 
-        Group mask blocks are concatenated in group order at evaluation
-        time.  Here the concatenated atom→query ownership is sorted and
-        cut into *depth layers*: layer 0 holds each query's first atom,
-        layer ``d`` its ``d``-th further atom.  Within a layer every
-        query appears at most once, so evaluation folds each layer with
-        one duplicate-free fancy-indexed ``&=`` — a couple of large
-        NumPy ops per layer (conjunctions are shallow: layers ≈ max
-        conjuncts per query) instead of one update per group or a slow
-        ``reduceat`` over ragged segments.
+        Group mask blocks — one row per *unique* atom — are concatenated
+        in group order at evaluation time.  Here the atom→query ownership
+        (over the logical, duplicate-bearing atoms) is sorted and cut
+        into *depth layers*: layer 0 holds each query's first atom, layer
+        ``d`` its ``d``-th further atom.  Within a layer every query
+        appears at most once, so evaluation folds each layer with one
+        duplicate-free fancy-indexed ``&=`` — a couple of large NumPy ops
+        per layer (conjunctions are shallow: layers ≈ max conjuncts per
+        query) instead of one update per group or a slow ``reduceat``
+        over ragged segments.  Every row index is composed with the
+        groups' dedup mapping at plan time, so duplicate atoms are never
+        materialized: the layer gathers read the unique row directly.
         """
         owners_list: list[int] = []
+        unique_rows_list: list[int] = []
+        offset = 0
         for group in self._groups:
             owners_list.extend(group.owners)
+            if group.inverse is None:
+                unique_rows_list.extend(range(offset, offset + len(group.unodes)))
+            else:
+                unique_rows_list.extend((group.inverse + offset).tolist())
+            offset += len(group.unodes)
         self._num_atoms = len(owners_list)
+        self._num_unique_atoms = offset
         self._layers: list[tuple[np.ndarray, np.ndarray]] = []
         if not self._num_atoms:
             self._base_rows = self._target_rows = None
             return
         owners = np.asarray(owners_list, dtype=np.int64)
+        unique_rows = np.asarray(unique_rows_list, dtype=np.int64)
         order = np.argsort(owners, kind="stable")
         sorted_owners = owners[order]
         starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_owners)) + 1))
         sizes = np.diff(np.append(starts, self._num_atoms))
-        #: row index into the *unsorted* stacked block matrix of each
-        #: query's first atom (order[...] composes the sort at plan time)
-        self._base_rows = order[starts]
+        #: row index into the stacked *unique* block matrix of each
+        #: query's first atom (order[...] composes the sort at plan time,
+        #: unique_rows[...] the dedup)
+        self._base_rows = unique_rows[order[starts]]
         self._target_rows = sorted_owners[starts]
+        #: True when every query owns at least one atom — the reduction
+        #: result then IS the output matrix (no scatter needed).
+        self._covers_all = len(starts) == self.num_queries
         owner_rank = np.repeat(np.arange(len(starts)), sizes)
         depth = np.arange(self._num_atoms) - starts[owner_rank]
         for level in range(1, int(sizes.max())):
             in_level = depth == level
-            self._layers.append((owner_rank[in_level], order[in_level]))
+            ranks = owner_rank[in_level]
+            # A layer touching every reduction row in order needs no
+            # scatter: ``None`` marks it for a single in-place AND pass
+            # instead of gather + AND + scatter.
+            full = len(ranks) == len(starts)
+            self._layers.append(
+                (None if full else ranks, unique_rows[order[in_level]])
+            )
 
     # --------------------------------------------------------------- evaluation
     def prune_matrix(self, index: ZoneMapIndex) -> np.ndarray:
@@ -305,12 +347,11 @@ class CompiledWorkload:
 
     def accessed_fractions(self, index: ZoneMapIndex) -> np.ndarray:
         """Batched ``c(s, q)`` over the sample: one matrix product."""
-        if self.num_queries == 0:
-            return np.zeros(0, dtype=np.float64)
-        if index.total_rows == 0.0:
+        if self.num_queries == 0 or index.total_rows == 0.0:
             return np.zeros(self.num_queries, dtype=np.float64)
-        matrix = self.prune_matrix(index)
-        return (matrix.astype(np.float64) @ index.row_counts) / index.total_rows
+        return _fractions_from_matrix(
+            self.prune_matrix(index), index.row_counts, index.total_rows
+        )
 
     def revalidate(
         self,
@@ -348,17 +389,35 @@ class CompiledWorkload:
         positions: np.ndarray | None = None,
     ) -> np.ndarray:
         num_cols = index.num_partitions if positions is None else len(positions)
-        out = np.ones((self.num_queries, num_cols), dtype=bool)
         if self._num_atoms:
-            blocks = [
-                self._group_matrix(group, index, want_all, num_cols, positions)
-                for group in self._groups
-            ]
-            stacked = np.vstack(blocks) if len(blocks) > 1 else blocks[0]
+            # Group kernels write straight into their slice of the block
+            # matrix: no per-group allocation, no vstack copy.
+            stacked = np.empty((self._num_unique_atoms, num_cols), dtype=bool)
+            offset = 0
+            for group in self._groups:
+                rows = len(group.unodes)
+                self._group_matrix(
+                    group,
+                    index,
+                    want_all,
+                    num_cols,
+                    positions,
+                    stacked[offset : offset + rows],
+                )
+                offset += rows
             reduced = stacked[self._base_rows]
             for owner_ranks, atom_rows in self._layers:
-                reduced[owner_ranks] &= stacked[atom_rows]
-            out[self._target_rows] = reduced
+                if owner_ranks is None:
+                    np.logical_and(reduced, stacked[atom_rows], out=reduced)
+                else:
+                    reduced[owner_ranks] &= stacked[atom_rows]
+            if self._covers_all:
+                out = reduced  # target rows are exactly 0..Q-1, in order
+            else:
+                out = np.ones((self.num_queries, num_cols), dtype=bool)
+                out[self._target_rows] = reduced
+        else:
+            out = np.ones((self.num_queries, num_cols), dtype=bool)
         for row in self._false_rows:
             out[row] = False
         for row, node in self._residue:
@@ -368,6 +427,13 @@ class CompiledWorkload:
             out[row] &= mask
         return out
 
+    @staticmethod
+    def _assign(out: np.ndarray | None, block: np.ndarray) -> np.ndarray:
+        if out is None:
+            return block
+        out[:] = block
+        return out
+
     def _group_matrix(
         self,
         group: _AtomGroup,
@@ -375,33 +441,38 @@ class CompiledWorkload:
         want_all: bool,
         num_cols: int,
         positions: np.ndarray | None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
-        """``(num_atoms_in_group, num_partitions)`` mask block for one group.
+        """``(num_unique_atoms_in_group, num_partitions)`` mask block.
 
         Kernels and fallbacks run over the group's *unique* constants;
-        the block is expanded back to one row per atom at the end.
+        duplicate atoms are never materialized — the pre-planned
+        reduction's row indices point straight at the unique rows.  With
+        ``out`` the block is written in place (a slice of the caller's
+        block matrix); the values are identical either way.
         """
         try:
             zones = index._column(group.column)
         except _Unsupported:
-            block = self._fallback_matrix(group, index, want_all, positions)
-        else:
-            if zones is None:
-                # Column in no partition's stats: may_match is vacuously True
-                # (no-op under AND); matches_all is False for every partition.
-                block = np.full((len(group.unodes), num_cols), not want_all, dtype=bool)
-            else:
-                if positions is not None:
-                    zones = _sliced_zones(zones, positions)
-                if group.kind == "in" and not zones.all_distinct:
-                    # Mixed or absent distinct sets: the per-atom path handles
-                    # the min/max branch and the per-partition mixing exactly.
-                    block = self._fallback_matrix(group, index, want_all, positions)
-                else:
-                    block = self._group_mask(group, zones, want_all)
-        if group.inverse is not None:
-            block = block[group.inverse]
-        return block
+            return self._assign(
+                out, self._fallback_matrix(group, index, want_all, positions)
+            )
+        if zones is None:
+            # Column in no partition's stats: may_match is vacuously True
+            # (no-op under AND); matches_all is False for every partition.
+            if out is None:
+                return np.full((len(group.unodes), num_cols), not want_all, dtype=bool)
+            out[:] = not want_all
+            return out
+        if positions is not None:
+            zones = _sliced_zones(zones, positions)
+        if group.kind == "in" and not zones.all_distinct:
+            # Mixed or absent distinct sets: the per-atom path handles
+            # the min/max branch and the per-partition mixing exactly.
+            return self._assign(
+                out, self._fallback_matrix(group, index, want_all, positions)
+            )
+        return self._group_mask(group, zones, want_all, out)
 
     @staticmethod
     def _fallback_matrix(
@@ -418,32 +489,46 @@ class CompiledWorkload:
 
     # ------------------------------------------------------------ group kernels
     def _group_mask(
-        self, group: _AtomGroup, zones: _ColumnZones, want_all: bool
+        self,
+        group: _AtomGroup,
+        zones: _ColumnZones,
+        want_all: bool,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """``(num_atoms, num_partitions)`` mask for one group.
 
         Each branch is the broadcasted form of the matching
-        ``ZoneMapIndex`` branch; keep the two in sync.
+        ``ZoneMapIndex`` branch; keep the two in sync.  ``out``, when
+        given, receives the result in place (the hot paths pass a slice
+        of the pre-allocated block matrix); the bits are identical.
         """
         if group.kind == "in":
-            mask = self._in_group_mask(group, zones, want_all)
+            mask = self._in_group_mask(group, zones, want_all, out)
         elif group.kind == "between":
             lows = group.lows[:, None]
             highs = group.highs[:, None]
             if not want_all:
-                mask = (zones.maxs[None, :] >= lows) & (zones.mins[None, :] <= highs)
+                mask = np.greater_equal(zones.maxs[None, :], lows, out=out)
+                mask &= zones.mins[None, :] <= highs
             else:
-                mask = (zones.mins[None, :] >= lows) & (zones.maxs[None, :] <= highs)
+                mask = np.greater_equal(zones.mins[None, :], lows, out=out)
+                mask &= zones.maxs[None, :] <= highs
         else:
-            mask = self._comparison_group_mask(group, zones, want_all)
+            mask = self._comparison_group_mask(group, zones, want_all, out)
         if zones.all_stats:
             return mask
         if not want_all:
-            return mask | ~zones.has_stats[None, :]
-        return mask & zones.has_stats[None, :]
+            mask |= ~zones.has_stats[None, :]
+            return mask
+        mask &= zones.has_stats[None, :]
+        return mask
 
     def _comparison_group_mask(
-        self, group: _AtomGroup, zones: _ColumnZones, want_all: bool
+        self,
+        group: _AtomGroup,
+        zones: _ColumnZones,
+        want_all: bool,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         mins = zones.mins[None, :]
         maxs = zones.maxs[None, :]
@@ -452,66 +537,93 @@ class CompiledWorkload:
         if not want_all:
             if op == "==":
                 if not zones.any_distinct:
-                    return (mins <= values) & (values <= maxs)
-                member = self._member_matrix(group, zones)
+                    mask = np.less_equal(mins, values, out=out)
+                    mask &= values <= maxs
+                    return mask
                 if zones.all_distinct:
-                    return member
+                    return self._member_matrix(group, zones, out)
+                member = self._member_matrix(group, zones)
                 in_range = (mins <= values) & (values <= maxs)
-                return np.where(zones.has_distinct[None, :], member, in_range)
+                return self._assign(
+                    out, np.where(zones.has_distinct[None, :], member, in_range)
+                )
             if op == "!=":
-                return ~((mins == values) & (maxs == values))
+                mask = np.equal(mins, values, out=out)
+                mask &= maxs == values
+                return np.logical_not(mask, out=mask)
             if op == "<":
-                return mins < values
+                return np.less(mins, values, out=out)
             if op == "<=":
-                return mins <= values
+                return np.less_equal(mins, values, out=out)
             if op == ">":
-                return maxs > values
-            return maxs >= values  # ">="
+                return np.greater(maxs, values, out=out)
+            return np.greater_equal(maxs, values, out=out)  # ">="
         if op == "==":
-            return (mins == values) & (maxs == values)
+            mask = np.equal(mins, values, out=out)
+            mask &= maxs == values
+            return mask
         if op == "!=":
             if not zones.any_distinct:
-                return (values < mins) | (values > maxs)
-            member = self._member_matrix(group, zones)
+                mask = np.less(values, mins, out=out)
+                mask |= values > maxs
+                return mask
             if zones.all_distinct:
-                return ~member
+                member = self._member_matrix(group, zones, out)
+                return np.logical_not(member, out=member)
+            member = self._member_matrix(group, zones)
             outside = (values < mins) | (values > maxs)
-            return np.where(zones.has_distinct[None, :], ~member, outside)
+            return self._assign(
+                out, np.where(zones.has_distinct[None, :], ~member, outside)
+            )
         if op == "<":
-            return maxs < values
+            return np.less(maxs, values, out=out)
         if op == "<=":
-            return maxs <= values
+            return np.less_equal(maxs, values, out=out)
         if op == ">":
-            return mins > values
-        return mins >= values  # ">="
+            return np.greater(mins, values, out=out)
+        return np.greater_equal(mins, values, out=out)  # ">="
 
     @staticmethod
-    def _member_matrix(group: _AtomGroup, zones: _ColumnZones) -> np.ndarray:
+    def _member_matrix(
+        group: _AtomGroup, zones: _ColumnZones, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """``member[a, p]``: is atom ``a``'s constant in partition ``p``'s
         distinct set?  One bitmap gather for all atoms with known codes."""
         num_parts = len(zones.mins)
-        member = np.zeros((len(group.raw), num_parts), dtype=bool)
-        if zones.bitmap is None:
-            return member
         rows: list[int] = []
         codes: list[int] = []
-        value_index = zones.value_index
-        for atom, value in enumerate(group.raw):
-            position = value_index.get(value)
-            if position is not None:
-                rows.append(atom)
-                codes.append(position)
+        if zones.bitmap is not None:
+            value_index = zones.value_index
+            for atom, value in enumerate(group.raw):
+                position = value_index.get(value)
+                if position is not None:
+                    rows.append(atom)
+                    codes.append(position)
+        if out is None:
+            member = np.zeros((len(group.raw), num_parts), dtype=bool)
+        else:
+            member = out
+            if len(rows) < len(group.raw):
+                member[:] = False  # rows without a known code stay all-False
         if not rows:
             return member
         code_array = np.asarray(codes, dtype=np.int64)
+        row_array = np.asarray(rows, dtype=np.int64)
+        if zones.unpacked is not None:
+            # Pre-expanded bitmap (stacked state space): pure bool gather.
+            member[row_array] = zones.unpacked[:, code_array].T
+            return member
         words = zones.bitmap[:, code_array // _WORD_BITS]  # (parts, found)
         bits = np.left_shift(np.uint64(1), (code_array % _WORD_BITS).astype(np.uint64))
-        member[np.asarray(rows, dtype=np.int64)] = ((words & bits[None, :]) != 0).T
+        member[row_array] = ((words & bits[None, :]) != 0).T
         return member
 
     @staticmethod
     def _in_group_mask(
-        group: _AtomGroup, zones: _ColumnZones, want_all: bool
+        group: _AtomGroup,
+        zones: _ColumnZones,
+        want_all: bool,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Bitmap kernels for IN atoms; only called when every partition
         carries a distinct set (``zones.all_distinct``)."""
@@ -520,12 +632,16 @@ class CompiledWorkload:
         for atom, node in enumerate(group.unodes):
             packed[atom] = _pack_value_set(node.values, zones.value_index, num_words)
         num_parts = len(zones.mins)
+        if out is None:
+            mask = np.empty((len(group.unodes), num_parts), dtype=bool)
+        else:
+            mask = out
         if not want_all:
-            mask = np.zeros((len(group.unodes), num_parts), dtype=bool)
+            mask[:] = False
             for word in range(num_words):
                 mask |= (zones.bitmap[:, word][None, :] & packed[:, word][:, None]) != 0
             return mask
-        mask = np.ones((len(group.unodes), num_parts), dtype=bool)
+        mask[:] = True
         for word in range(num_words):
             mask &= (zones.bitmap[:, word][None, :] & ~packed[:, word][:, None]) == 0
         return mask

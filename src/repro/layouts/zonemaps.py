@@ -26,8 +26,14 @@ understand — user-defined ``Predicate`` subclasses, non-numeric zone
 boundaries — fall back to the scalar loop for that node only, so the
 engine is never *less* general than the oracle.
 
-Three evaluation tiers share these compiled arrays:
+Evaluation tiers sharing these compiled arrays, widest scope first:
 
+* the **stacked state space** —
+  :class:`~repro.layouts.stacked.StackedStateSpace` pads every layout's
+  dense zone arrays into ``(layouts × partitions)`` slabs and runs the
+  batched kernels over the whole state space at once, emitting
+  ``(layouts × queries × partitions)`` tensors for admission, pruning
+  and cost-matrix batching;
 * the **batched fast path** —
   :class:`~repro.layouts.workload_compiler.CompiledWorkload` compiles a
   whole query sample (grouping atoms by column and operator) and produces
@@ -127,6 +133,7 @@ class _ColumnZones:
         "all_stats",
         "any_distinct",
         "all_distinct",
+        "unpacked",
     )
 
     def __init__(
@@ -146,6 +153,12 @@ class _ColumnZones:
         #: iff ``value_index``'s value ``i`` is in that partition's distinct set.
         self.bitmap = bitmap
         self.value_index = value_index
+        #: optional ``(num_partitions, num_values)`` bool expansion of the
+        #: bitmap.  The stacked state space materializes it (once per stack
+        #: version) so equality membership is one boolean gather instead of
+        #: replicated uint64 word arithmetic over the much wider stacked
+        #: partition axis; plain per-layout indexes leave it ``None``.
+        self.unpacked: np.ndarray | None = None
         # Fast-path flags: metadata built from real tables has stats for
         # every column of every (non-empty) partition, and numeric columns
         # carry no distinct sets — skipping the masking ops for those cases
@@ -153,6 +166,22 @@ class _ColumnZones:
         self.all_stats = bool(has_stats.all())
         self.any_distinct = bool(has_distinct.any())
         self.all_distinct = bool(has_distinct.all())
+
+
+def _fractions_from_matrix(
+    matrix: np.ndarray, row_counts: np.ndarray, total_rows: float
+) -> np.ndarray:
+    """Accessed fractions ``c(s, q)`` from a may-match matrix.
+
+    The one definition of the fraction arithmetic shared by every tier
+    (per-predicate, compiled, stacked, and the cost evaluator's caches):
+    keeping a single accumulation order and dtype is what makes the
+    cross-tier "floats are bit-for-bit equal" contract unbreakable (the
+    sums are exact anyway — row counts are integers below 2**53).
+    """
+    if total_rows == 0.0:
+        return np.zeros(len(matrix), dtype=np.float64)
+    return (matrix.astype(np.float64) @ row_counts) / total_rows
 
 
 def _pack_value_set(values, value_index: dict, num_words: int) -> np.ndarray:
@@ -543,12 +572,11 @@ class ZoneMapIndex:
 
     def accessed_fractions(self, predicates: Sequence[Predicate]) -> np.ndarray:
         """Batched ``c(s, q)`` over a query sample, in one matrix product."""
-        if not predicates:
-            return np.zeros(0, dtype=np.float64)
-        if self.total_rows == 0.0:
+        if not predicates or self.total_rows == 0.0:
             return np.zeros(len(predicates), dtype=np.float64)
-        matrix = self.prune_matrix(predicates)
-        return (matrix.astype(np.float64) @ self.row_counts) / self.total_rows
+        return _fractions_from_matrix(
+            self.prune_matrix(predicates), self.row_counts, self.total_rows
+        )
 
     # -------------------------------------------------- incremental maintenance
     def apply_reorg(self, delta: "ReorgDelta") -> "ZoneMapIndex":

@@ -79,10 +79,15 @@ class QueryExecutor:
     #: Retired layouts leave no retirement signal at this layer, so the
     #: compiled-index cache is LRU-bounded instead of unbounded.
     ZONEMAP_CACHE_CAP = 16
+    #: Batch plans repeat (replay drivers re-run the same sample across
+    #: layout switches); compiled workloads are layout-independent, so a
+    #: small LRU makes the compile cost a one-time charge per sample.
+    COMPILED_CACHE_CAP = 32
 
     def __init__(self, store: PartitionStore):
         self.store = store
         self._zonemaps: dict[str, ZoneMapIndex] = {}
+        self._compiled: dict[tuple, CompiledWorkload] = {}
 
     def _zone_maps(self, stored: StoredLayout) -> ZoneMapIndex:
         """Compiled zone maps for a stored layout (bounded per-id cache)."""
@@ -94,6 +99,19 @@ class QueryExecutor:
         return lru_put(
             self._zonemaps, key, ZoneMapIndex(stored.metadata), self.ZONEMAP_CACHE_CAP
         )
+
+    def _compiled_workload(self, queries: Sequence[Query]) -> CompiledWorkload:
+        """Compiled plan for a query batch (bounded LRU, layout-agnostic)."""
+        key = tuple(query.predicate.cache_key() for query in queries)
+        cached = lru_get(self._compiled, key)
+        if cached is None:
+            cached = lru_put(
+                self._compiled,
+                key,
+                CompiledWorkload([query.predicate for query in queries]),
+                self.COMPILED_CACHE_CAP,
+            )
+        return cached
 
     def forget(self, layout_id: str) -> None:
         """Drop the compiled index for a retired layout (O(1))."""
@@ -177,7 +195,7 @@ class QueryExecutor:
             return []
         planning_start = time.perf_counter()
         index = self._zone_maps(stored)
-        matrix = CompiledWorkload([q.predicate for q in queries]).prune_matrix(index)
+        matrix = self._compiled_workload(queries).prune_matrix(index)
         position_ids = index.metadata.partition_ids
         by_id = {partition.partition_id: partition for partition in stored.partitions}
         remaining_uses = dict(

@@ -15,6 +15,14 @@ time the per-batch partitioning fragments the layout (many small
 partitions, weaker clustering across batches), which is exactly what
 :meth:`IncrementalStore.consolidate` — a full reorganization into a new
 layout — repairs; OREO decides *when* that is worth α.
+
+An attached :class:`~repro.core.cost_model.CostEvaluator` is kept in sync
+with the materialized metadata: each append ships a
+:class:`~repro.layouts.zonemaps.ReorgDelta` (every pre-existing partition
+carried, only the new batch partitions changed) through
+:meth:`CostEvaluator.revalidate`, so cached query prices migrate
+surgically — zone-map kernels run only over the appended partitions —
+and a consolidation re-registers the rewritten snapshot wholesale.
 """
 
 from __future__ import annotations
@@ -29,10 +37,15 @@ from ..layouts.metadata import (
     build_partition_metadata,
     partition_row_indices,
 )
+from ..layouts.zonemaps import compute_reorg_delta
 from .partition import StoredLayout, StoredPartition
 from .partition_store import PartitionStore
 from .reorg import ReorgResult, reorganize
 from .table import Schema, Table
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from ..core.cost_model import CostEvaluator
 
 __all__ = ["IncrementalStore"]
 
@@ -40,14 +53,24 @@ __all__ = ["IncrementalStore"]
 class IncrementalStore:
     """Append-only materialization with batch-local partitioning."""
 
-    def __init__(self, store: PartitionStore, schema: Schema, layout: DataLayout):
+    def __init__(
+        self,
+        store: PartitionStore,
+        schema: Schema,
+        layout: DataLayout,
+        evaluator: CostEvaluator | None = None,
+    ):
         self.store = store
         self.schema = schema
         self.layout = layout
+        self.evaluator = evaluator
         self._partitions: list[StoredPartition] = []
         self._metadata: list[PartitionMetadata] = []
+        self._snapshot = LayoutMetadata(partitions=())
         self._next_partition_id = 0
         self._batches_ingested = 0
+        if evaluator is not None:
+            evaluator.register_metadata(layout.layout_id, self._snapshot)
 
     # ----------------------------------------------------------------- ingest
     def ingest(self, batch: Table) -> int:
@@ -71,6 +94,14 @@ class IncrementalStore:
             self._metadata.append(build_partition_metadata(batch, rows, partition_id))
             written += 1
         self._batches_ingested += 1
+        old_snapshot = self._snapshot
+        self._snapshot = LayoutMetadata(partitions=tuple(self._metadata))
+        if self.evaluator is not None:
+            # Every pre-existing partition object is carried verbatim, so
+            # the delta's changed set is exactly the appended partitions:
+            # cached prices migrate with kernel work on the new files only.
+            delta = compute_reorg_delta(old_snapshot, self._snapshot)
+            self.evaluator.revalidate(self.layout.layout_id, delta)
         return written
 
     # ------------------------------------------------------------------ views
@@ -78,7 +109,7 @@ class IncrementalStore:
         """Snapshot of the current materialization (queryable as-is)."""
         return StoredLayout(
             layout=self.layout,
-            metadata=LayoutMetadata(partitions=tuple(self._metadata)),
+            metadata=self._snapshot,
             partitions=tuple(self._partitions),
         )
 
@@ -126,10 +157,18 @@ class IncrementalStore:
             for file in incremental_dir.glob("*.npz"):
                 file.unlink()
             incremental_dir.rmdir()
+        old_layout_id = self.layout.layout_id
         self.layout = new_layout
         self._partitions = list(new_stored.partitions)
         self._metadata = list(new_stored.metadata.partitions)
+        self._snapshot = new_stored.metadata
         self._next_partition_id = (
             max((p.partition_id for p in self._partitions), default=-1) + 1
         )
+        if self.evaluator is not None:
+            # A consolidation rewrites every partition (usually under a new
+            # layout id): nothing is carryable, so re-register wholesale.
+            if old_layout_id != new_layout.layout_id:
+                self.evaluator.forget(old_layout_id)
+            self.evaluator.register_metadata(new_layout.layout_id, self._snapshot)
         return result

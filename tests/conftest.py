@@ -1,13 +1,27 @@
-"""Shared fixtures: small deterministic tables, schemas and streams."""
+"""Shared fixtures: small deterministic tables, schemas and streams.
+
+Also registers the hypothesis profiles: ``dev`` (default; no deadline so
+laptop hiccups never flake a property) and ``ci`` (pinned: derandomized
+fixed seed, explicit no-deadline, reproduction blobs printed).  CI selects
+with ``HYPOTHESIS_PROFILE=ci``; profiles load before test modules import,
+so per-test ``@settings`` inherit the pinned defaults.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.layouts.metadata import build_layout_metadata
 from repro.queries import Query, between, eq
 from repro.storage import ColumnSpec, Schema, Table
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", derandomize=True, deadline=None, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

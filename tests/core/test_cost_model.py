@@ -168,15 +168,22 @@ class TestCacheChurn:
     def test_compiled_workload_cache_bounded_lru(self, simple_table):
         evaluator = CostEvaluator(simple_table)
         layout = RoundRobinLayout(4)
-        hot = [Query(predicate=between("x", 0.0, 5.0))]
+        hot = [
+            Query(predicate=between("x", 0.0, 5.0)),
+            Query(predicate=between("y", 0.0, 5.0)),
+        ]
         evaluator.cost_vector(layout, hot)
-        hot_key = (hot[0].cache_key(),)
+        hot_key = tuple(q.cache_key() for q in hot)
         assert hot_key in evaluator._compiled
         for i in range(CostEvaluator.COMPILED_CACHE_CAP + 10):
             fresh_layout = RoundRobinLayout(3)
-            # A fresh single-query sample per round: mints compiled entries.
+            # A fresh two-query sample per round: mints compiled entries.
             evaluator.cost_vector(
-                fresh_layout, [Query(predicate=between("y", float(i), float(i) + 0.5))]
+                fresh_layout,
+                [
+                    Query(predicate=between("y", float(i), float(i) + 0.5)),
+                    Query(predicate=between("x", float(i), float(i) + 0.5)),
+                ],
             )
             # Evaluating the hot sample against a *new* layout re-reads the
             # compiled entry (costs are uncached there), refreshing its
@@ -184,6 +191,24 @@ class TestCacheChurn:
             evaluator.cost_vector(fresh_layout, hot)
         assert len(evaluator._compiled) <= CostEvaluator.COMPILED_CACHE_CAP
         assert hot_key in evaluator._compiled  # LRU keeps the hot sample
+
+    def test_single_query_compilations_stay_out_of_the_lru(self, simple_table):
+        """Per-stream-query misses must not churn the sample LRU: a long
+        stream of distinct single queries would otherwise evict the
+        expensive admission-sample compilations."""
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        sample = [
+            Query(predicate=between("x", 0.0, 5.0)),
+            Query(predicate=between("y", 0.0, 5.0)),
+        ]
+        evaluator.cost_matrix([layout], sample)
+        assert len(evaluator._compiled) == 1
+        for i in range(CostEvaluator.COMPILED_CACHE_CAP + 5):
+            evaluator.costs_for_query(
+                [layout], Query(predicate=between("x", float(i), float(i) + 0.25))
+            )
+        assert len(evaluator._compiled) == 1  # the sample is still compiled
 
     def test_compiled_workload_shared_across_layouts(self, simple_table, rng):
         """cost_matrix compiles the sample once for the whole state space."""
@@ -199,8 +224,133 @@ class TestCacheChurn:
         not force recompiling the sample for the remaining states."""
         evaluator = CostEvaluator(simple_table)
         layout = RoundRobinLayout(4)
-        queries = [Query(predicate=between("x", 0.0, 9.0))]
+        queries = [
+            Query(predicate=between("x", 0.0, 9.0)),
+            Query(predicate=between("y", 0.0, 9.0)),
+        ]
         evaluator.cost_vector(layout, queries)
         compiled_before = dict(evaluator._compiled)
+        assert compiled_before
         evaluator.forget(layout.layout_id)
         assert evaluator._compiled == compiled_before
+
+
+class TestRevalidate:
+    """Surgical cost-cache revalidation across reorganizations."""
+
+    def _reorg(self, evaluator, layout, table, seed):
+        """Shuffle rows among two partitions; return the delta."""
+        from repro.layouts import compute_reorg_delta_from_assignments
+        from repro.layouts.metadata import build_layout_metadata
+
+        old_metadata = evaluator.metadata(layout)
+        old_assignment = layout.assign(table)
+        new_assignment = old_assignment.copy()
+        member = np.isin(old_assignment, [0, 1])
+        new_assignment[member] = np.random.default_rng(seed).choice(
+            [0, 1], size=int(member.sum())
+        )
+        new_metadata = build_layout_metadata(table, new_assignment)
+        return compute_reorg_delta_from_assignments(
+            old_metadata, new_metadata, old_assignment, new_assignment
+        )
+
+    def test_revalidate_repriced_costs_match_oracle(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        queries = [
+            Query(predicate=between("x", float(i * 7), float(i * 7 + 9)))
+            for i in range(8)
+        ]
+        evaluator.cost_vector(layout, queries)
+        delta = self._reorg(evaluator, layout, simple_table, seed=3)
+        migrated = evaluator.revalidate(layout.layout_id, delta)
+        assert migrated == len(queries)
+        metadata = evaluator.metadata(layout)
+        assert metadata is delta.new_metadata
+        for query in queries:
+            cached = evaluator._query_costs[layout.layout_id][query.cache_key()]
+            assert cached == metadata.accessed_fraction(query.predicate)
+        # And the evaluator keeps serving the revalidated numbers.
+        fresh = CostEvaluator(simple_table)
+        fresh._metadata[layout.layout_id] = delta.new_metadata
+        np.testing.assert_array_equal(
+            evaluator.cost_vector(layout, queries),
+            fresh.cost_vector(layout, queries),
+        )
+
+    def test_revalidate_only_evaluates_changed_partitions(self, simple_table):
+        """An identity reorg (empty changed set) runs no zone-map kernels."""
+        from repro.layouts import compute_reorg_delta
+        from repro.layouts.metadata import build_layout_metadata
+
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        queries = [Query(predicate=between("x", 0.0, 50.0))]
+        before = evaluator.cost_vector(layout, queries).copy()
+        old_metadata = evaluator.metadata(layout)
+        new_metadata = build_layout_metadata(simple_table, layout.assign(simple_table))
+        delta = compute_reorg_delta(old_metadata, new_metadata)
+        assert delta.changed == ()
+        assert evaluator.revalidate(layout.layout_id, delta) == 1
+        np.testing.assert_array_equal(evaluator.cost_vector(layout, queries), before)
+        assert evaluator.metadata(layout) is new_metadata
+
+    def test_revalidate_with_stale_metadata_degrades_to_forget(self, simple_table):
+        from repro.layouts import compute_reorg_delta
+        from repro.layouts.metadata import build_layout_metadata
+
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        evaluator.query_cost(layout, Query(predicate=between("x", 0.0, 5.0)))
+        other = build_layout_metadata(simple_table, layout.assign(simple_table))
+        delta = compute_reorg_delta(other, other)  # not the evaluator's object
+        assert evaluator.revalidate(layout.layout_id, delta) == 0
+        # Costs/masks dropped wholesale, but pricing resumes from the
+        # delta's post-reorg metadata (stays registered).
+        assert evaluator.cache_sizes() == (1, 0)
+        assert evaluator._metadata[layout.layout_id] is delta.new_metadata
+
+    def test_revalidate_drops_entries_without_masks(self, simple_table):
+        """Cost floats whose mask was evicted cannot migrate: dropped, then
+        lazily re-derived — never served stale."""
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        queries = [
+            Query(predicate=between("x", float(i), float(i + 2))) for i in range(6)
+        ]
+        evaluator.cost_vector(layout, queries)
+        # Simulate eviction of half the mask store.
+        store = evaluator._masks[layout.layout_id]
+        for query in queries[:3]:
+            store.pop(query.cache_key())
+        delta = self._reorg(evaluator, layout, simple_table, seed=5)
+        assert evaluator.revalidate(layout.layout_id, delta) == 3
+        costs = evaluator._query_costs[layout.layout_id]
+        assert {q.cache_key() for q in queries[3:]} == set(costs)
+        metadata = evaluator.metadata(layout)
+        vector = evaluator.cost_vector(layout, queries)  # re-derives dropped half
+        expected = np.array([metadata.accessed_fraction(q.predicate) for q in queries])
+        np.testing.assert_array_equal(vector, expected)
+
+    def test_revalidate_refreshes_stacked_slab(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        queries = [Query(predicate=between("x", 0.0, 30.0))]
+        evaluator.cost_matrix([layout], queries)  # registers the stacked slab
+        assert layout.layout_id in evaluator._stacked
+        delta = self._reorg(evaluator, layout, simple_table, seed=9)
+        evaluator.revalidate(layout.layout_id, delta)
+        assert (
+            evaluator._stacked.index_for(layout.layout_id)
+            is evaluator._zonemaps[layout.layout_id]
+        )
+
+    def test_forget_discards_stacked_slab_and_masks(self, simple_table):
+        evaluator = CostEvaluator(simple_table)
+        layout = RoundRobinLayout(4)
+        evaluator.cost_matrix([layout], [Query(predicate=between("x", 0.0, 5.0))])
+        assert layout.layout_id in evaluator._stacked
+        evaluator.forget(layout.layout_id)
+        assert layout.layout_id not in evaluator._stacked
+        assert layout.layout_id not in evaluator._masks

@@ -172,3 +172,27 @@ class TestApplyReorg:
         query = Query(predicate=between("x", 10.0, 20.0))
         outcome = executor.execute(new_stored, query)
         assert outcome.rows_matched >= 0
+
+
+class TestCompiledPlanCache:
+    def test_batch_plan_compiled_once_per_sample(self, executor, stored_range):
+        queries = [Query(predicate=between("x", float(i * 9), float(i * 9 + 12))) for i in range(4)]
+        first = executor.execute_batch(stored_range, queries)
+        key = tuple(q.predicate.cache_key() for q in queries)
+        assert key in executor._compiled
+        compiled = executor._compiled[key]
+        second = executor.execute_batch(stored_range, queries)
+        assert executor._compiled[key] is compiled  # reused, not recompiled
+        for a, b in zip(first, second):
+            assert (a.rows_matched, a.rows_scanned, a.partitions_scanned) == (
+                b.rows_matched,
+                b.rows_scanned,
+                b.partitions_scanned,
+            )
+
+    def test_batch_plan_cache_bounded(self, executor, stored_range):
+        for i in range(QueryExecutor.COMPILED_CACHE_CAP + 8):
+            executor.execute_batch(
+                stored_range, [Query(predicate=between("x", float(i), float(i) + 0.5))]
+            )
+        assert len(executor._compiled) <= QueryExecutor.COMPILED_CACHE_CAP

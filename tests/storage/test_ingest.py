@@ -148,3 +148,66 @@ class TestConsolidate:
         ids = [p.partition_id for p in incremental.stored().partitions]
         assert len(ids) == len(set(ids))
         assert incremental.total_rows == 1000
+
+
+class TestEvaluatorSync:
+    """An attached CostEvaluator prices the live materialized metadata and
+    is revalidated surgically as batches append."""
+
+    def _build(self, store, simple_schema, simple_table):
+        from repro.core import CostEvaluator
+
+        layout = RangeLayout("x", np.array([25.0, 50.0, 75.0]))
+        evaluator = CostEvaluator(simple_table)
+        incremental = IncrementalStore(
+            store, simple_schema, layout, evaluator=evaluator
+        )
+        return incremental, evaluator, layout
+
+    def test_prices_track_appends(self, store, simple_schema, simple_table, rng):
+        incremental, evaluator, layout = self._build(store, simple_schema, simple_table)
+        query = Query(predicate=between("x", 10.0, 40.0))
+        assert evaluator.query_cost(layout, query) == 0.0  # nothing ingested yet
+        incremental.ingest(make_batch(simple_schema, rng))
+        key = query.cache_key()
+        cached = evaluator._query_costs[layout.layout_id]
+        # The cached entry was revalidated in place, not dropped...
+        assert key in cached
+        # ...and matches the scalar oracle on the *materialized* metadata.
+        expected = incremental.stored().metadata.accessed_fraction(query.predicate)
+        assert cached[key] == expected
+        assert evaluator.query_cost(layout, query) == expected
+        incremental.ingest(make_batch(simple_schema, rng, n=200))
+        expected = incremental.stored().metadata.accessed_fraction(query.predicate)
+        assert cached[key] == expected
+
+    def test_append_delta_touches_only_new_partitions(
+        self, store, simple_schema, simple_table, rng
+    ):
+        from repro.layouts import compute_reorg_delta
+
+        incremental, evaluator, layout = self._build(store, simple_schema, simple_table)
+        incremental.ingest(make_batch(simple_schema, rng))
+        before = incremental.stored().metadata
+        incremental.ingest(make_batch(simple_schema, rng, n=100))
+        after = incremental.stored().metadata
+        delta = compute_reorg_delta(before, after)
+        assert len(delta.carried_new) == len(before.partitions)
+        assert len(delta.changed) == len(after.partitions) - len(before.partitions)
+
+    def test_consolidate_reregisters_new_layout(
+        self, store, simple_schema, simple_table, rng
+    ):
+        incremental, evaluator, layout = self._build(store, simple_schema, simple_table)
+        incremental.ingest(make_batch(simple_schema, rng))
+        query = Query(predicate=between("x", 0.0, 30.0))
+        evaluator.query_cost(layout, query)
+        new_layout = RangeLayoutBuilder("x").build(
+            make_batch(simple_schema, rng), [], 4, rng
+        )
+        incremental.consolidate(new_layout)
+        assert layout.layout_id not in evaluator._metadata  # forgotten
+        registered = evaluator._metadata[new_layout.layout_id]
+        assert registered is incremental.stored().metadata
+        expected = registered.accessed_fraction(query.predicate)
+        assert evaluator.query_cost(new_layout, query) == expected
