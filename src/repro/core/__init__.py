@@ -2,7 +2,7 @@
 
 from .asymmetric import TwoStateCounterAlgorithm, WorkFunctionAlgorithm
 from .cost_model import CostEvaluator, CostModel
-from .dumts import DynamicUMTS, StateChange
+from .dumts import DynamicUMTS, MovementAmortizer, StateChange
 from .ledger import RunLedger, RunSummary
 from .layout_manager import LayoutManager, LayoutManagerConfig, LayoutManagerEvents
 from .mts import BLSAlgorithm, MTSDecision
@@ -16,6 +16,7 @@ from .nonuniform import (
 )
 from .offline import OfflineSolution, solve_offline
 from .oreo import OREO, OreoConfig, StepResult
+from .reorg_scheduler import ReorgScheduler, ScheduledStep
 from .reorganizer import Reorganizer, ReorganizerConfig, ReorgStep
 from .transition import GammaWeightedChooser, TransitionChooser, UniformChooser
 
@@ -29,6 +30,7 @@ __all__ = [
     "LayoutManagerConfig",
     "LayoutManagerEvents",
     "MTSDecision",
+    "MovementAmortizer",
     "MultiCopyDecision",
     "MultiCopyUMTS",
     "MultiTableOREO",
@@ -37,9 +39,11 @@ __all__ = [
     "OREO",
     "OfflineSolution",
     "OreoConfig",
+    "ReorgScheduler",
     "Reorganizer",
     "ReorganizerConfig",
     "ReorgStep",
+    "ScheduledStep",
     "RunLedger",
     "RunSummary",
     "StateChange",

@@ -45,6 +45,15 @@ forward with :meth:`ZoneMapIndex.apply_reorg`, migrates every stored mask
 by copying carried partitions' cells, and re-runs zone-map kernels only on
 the partitions the reorg touched — a surgical cost-cache revalidation
 instead of dropping the layout's cache wholesale via :meth:`forget`.
+Both physical producers of deltas drive it: :class:`IncrementalStore`
+revalidates on every streaming append, and the pipelined reorganization
+(:class:`~repro.core.reorg_scheduler.ReorgScheduler`) feeds each movement
+step's append-only partial commit through a *shadow* evaluator's
+``revalidate`` while the move is still in flight — compiling the new
+layout's index incrementally without the serving evaluator ever pricing
+the under-construction snapshot — and the final commit :meth:`adopt`\\ s
+the warm state in one move, so the new layout's index and caches are
+ready the instant the epoch flips.
 """
 
 from __future__ import annotations
@@ -133,6 +142,31 @@ class CostEvaluator:
             return
         self.forget(layout_id)
         self._metadata[layout_id] = metadata
+
+    def adopt(self, other: CostEvaluator, layout_id: str) -> None:
+        """Transplant ``layout_id``'s cached state from another evaluator.
+
+        The reorg scheduler warms a *shadow* evaluator during a pipelined
+        move (each partial commit revalidates the shadow, compiling the
+        new layout's zone maps incrementally) so that this evaluator's
+        pricing of the target stays untouched — and correct — while the
+        move is in flight.  At the final commit the shadow's state
+        (metadata, compiled index, masks, cached costs) is adopted here
+        in one move, replacing whatever pre-move estimate this evaluator
+        held.  Both evaluators must price the same table.
+        """
+        if other.table is not self.table:
+            raise ValueError("cannot adopt state priced against a different table")
+        metadata = other._metadata.get(layout_id)
+        if metadata is None:
+            return  # nothing to adopt; leave existing state untouched
+        self.forget(layout_id)
+        self._metadata[layout_id] = metadata
+        index = other._zonemaps.get(layout_id)
+        if index is not None:
+            self._zonemaps[layout_id] = index
+        self._query_costs[layout_id] = other._query_costs.pop(layout_id, {})
+        self._masks[layout_id] = other._masks.pop(layout_id, {})
 
     def zone_maps(self, layout: DataLayout) -> ZoneMapIndex:
         """Layout's compiled zone-map index (cached)."""
@@ -359,6 +393,12 @@ class CostEvaluator:
         whose mask was evicted cannot be migrated and are dropped
         (re-derived lazily) — the surgical alternative to forgetting the
         whole layout.  Returns the number of migrated query entries.
+
+        Called once per reorganization by streaming appends
+        (:meth:`IncrementalStore.ingest`) and once per *movement step* by
+        the async pipeline: :meth:`ReorgScheduler.tick` chains the
+        partial commits' append-only deltas through here, so each call's
+        kernel work is bounded by one step's partition budget.
         """
         old_index = self._zonemaps.get(layout_id)
         if old_index is None or old_index.metadata is not delta.old_metadata:

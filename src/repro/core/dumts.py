@@ -41,7 +41,53 @@ import numpy as np
 from .mts import MTSDecision, PhaseStats
 from .transition import TransitionChooser, UniformChooser
 
-__all__ = ["DynamicUMTS", "StateChange"]
+__all__ = ["DynamicUMTS", "MovementAmortizer", "StateChange"]
+
+
+class MovementAmortizer:
+    """Spread one reorganization's α over pipeline steps, truthfully.
+
+    The MTS analysis charges the full movement cost ``α`` the moment a
+    switch decision is made (Algorithm 3's counters know nothing about
+    *how* the move is executed).  The pipelined reorganization executes
+    that same move as bounded steps, and its physical ledger wants the
+    charge spread over them — but the competitive-ratio ledger is only
+    truthful if the installments sum to exactly the α the decision was
+    charged, no matter how the pipeline's work estimate wobbles while the
+    target partition count is still unknown.
+
+    :meth:`charge` converts a cumulative completed-work fraction into the
+    next installment, clamped monotone so a shrinking work estimate can
+    never issue a negative charge, and :meth:`settle` closes the ledger at
+    exactly ``α`` total on the final step.  ``charged`` after ``settle()``
+    is ``α`` bit-for-bit — asserted by the ledger-equality tests.
+    """
+
+    def __init__(self, alpha: float):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = float(alpha)
+        self._charged = 0.0
+
+    @property
+    def charged(self) -> float:
+        """Movement cost charged so far, in [0, α]."""
+        return self._charged
+
+    def charge(self, completed_fraction: float) -> float:
+        """Installment bringing the total to ``α · completed_fraction``."""
+        target = self.alpha * min(max(completed_fraction, 0.0), 1.0)
+        if target <= self._charged:
+            return 0.0
+        step = target - self._charged
+        self._charged = target
+        return step
+
+    def settle(self) -> float:
+        """Final installment; afterwards ``charged == alpha`` exactly."""
+        step = self.alpha - self._charged
+        self._charged = self.alpha
+        return max(0.0, step)
 
 
 class StateChange:

@@ -69,6 +69,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", type=Path, default=None, help="directory to write <experiment>.txt files"
     )
+    parser.add_argument(
+        "--async-reorg",
+        action="store_true",
+        help=(
+            "fig3 only: replay reorganizations through the pipelined "
+            "scheduler (bounded movement steps overlapped with query "
+            "serving) instead of blocking synchronous rewrites"
+        ),
+    )
+    parser.add_argument(
+        "--reorg-step-partitions",
+        type=int,
+        default=16,
+        help="partition files one async movement step may touch",
+    )
     return parser
 
 
@@ -86,6 +101,8 @@ def run_experiment(name: str, args: argparse.Namespace) -> list[dict]:
             num_queries=min(args.num_queries, 2_000),
             num_segments=args.num_segments,
             seed=args.seed,
+            async_reorg=args.async_reorg,
+            reorg_step_partitions=args.reorg_step_partitions,
         )
     if name == "fig4":
         return figure4_gap_to_optimal(**scale)

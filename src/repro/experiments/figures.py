@@ -137,6 +137,9 @@ def figure3_end_to_end(
                         result,
                         root / f"{dataset_name}-{builder_name}-{method}",
                         sample_stride=sample_stride,
+                        async_reorg=config.async_reorg,
+                        step_partitions=config.reorg_step_partitions,
+                        alpha=config.alpha,
                     )
                     rows.append(
                         {

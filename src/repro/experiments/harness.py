@@ -61,6 +61,14 @@ class HarnessConfig:
     add_policy: str = "defer"
     max_states: int | None = None
     seed: int = 0
+    #: physical replay only: pipeline reorganizations through the
+    #: ReorgScheduler, overlapping query serving with bounded movement
+    #: steps, instead of blocking on each synchronous rewrite.  Logical
+    #: decisions (and therefore the D-UMTS ledger) are identical either
+    #: way; only the physical execution mode changes.
+    async_reorg: bool = False
+    #: partition files one movement step may touch in async-reorg mode
+    reorg_step_partitions: int = 16
 
     def oreo_config(self) -> OreoConfig:
         """Project an :class:`OreoConfig` from the harness configuration."""

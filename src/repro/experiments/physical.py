@@ -16,6 +16,17 @@ Like the paper (§VI-A1: "estimate the total query time using a sample of
 2000 queries, around 10% of the workload"), query timing uses a strided
 sample of the stream and extrapolates; every reorganization is executed
 for real.
+
+Two reorganization modes are supported.  The default synchronous mode
+executes each layout switch as one blocking
+:func:`~repro.storage.reorg.reorganize` call, so queries issued while the
+rewrite runs would have stalled for its whole duration.  With
+``async_reorg=True`` every switch instead runs through the
+:class:`~repro.core.reorg_scheduler.ReorgScheduler`: one bounded movement
+step is interleaved after each query, queries keep reading the old epoch's
+files until the final commit flips the snapshot, and the per-query stall is
+bounded by a single step instead of the whole rewrite (the microbench gate
+in ``benchmarks/test_microbench.py`` quantifies the p50 improvement).
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..core.reorg_scheduler import ReorgScheduler
 from ..queries.query import QueryStream
 from ..storage.executor import QueryExecutor
 from ..storage.partition_store import PartitionStore
@@ -42,6 +54,11 @@ class PhysicalRunResult:
     num_switches: int
     queries_timed: int
     queries_total: int
+    #: logical movement cost charged during replay when ``alpha`` was
+    #: supplied: α per synchronous switch, or the per-step amortized
+    #: installments of the pipelined mode — which sum to exactly α per
+    #: reorganization, so both modes agree with the decision ledger.
+    movement_charged: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -56,11 +73,26 @@ def replay_physical(
     store_root: Path | str,
     sample_stride: int = 10,
     compress: bool = True,
+    async_reorg: bool = False,
+    step_partitions: int = 16,
+    alpha: float | None = None,
 ) -> PhysicalRunResult:
     """Execute a logical schedule physically and measure wall-clock time.
 
     ``sample_stride`` controls the query-timing sample (1 = time every
     query); total query time is extrapolated as ``mean(sampled) * total``.
+    With ``async_reorg=True`` layout switches run pipelined: the switch
+    starts a :class:`~repro.core.reorg_scheduler.ReorgScheduler` pipeline,
+    subsequent queries are served against the old epoch with one bounded
+    movement step (``step_partitions`` files) ticked in between each, and
+    the physically effective layout flips only when the last step commits.
+    A switch arriving while a pipeline is still in flight drains the
+    pipeline first, mirroring how the logical model serializes
+    reorganizations.  Supplying ``alpha`` additionally tracks the logical
+    movement charge (``PhysicalRunResult.movement_charged``): the
+    synchronous mode charges α at each switch, the pipelined mode spreads
+    the same α across each reorganization's steps — totals agree with the
+    decision ledger either way.
     """
     if sample_stride < 1:
         raise ValueError("sample_stride must be >= 1")
@@ -71,29 +103,73 @@ def replay_physical(
         )
     store = PartitionStore(store_root, compress=compress)
     executor = QueryExecutor(store)
+    scheduler = (
+        ReorgScheduler(
+            store, executor=executor, alpha=alpha, step_partitions=step_partitions
+        )
+        if async_reorg
+        else None
+    )
 
     current_id = history[0]
     stored = store.materialize(table, result.layouts[current_id])
     reorg_seconds = 0.0
+    movement_charged = 0.0
     sampled_seconds: list[float] = []
     num_switches = 0
+
+    def settle_pipeline():
+        """Drain the in-flight pipeline and account for it exactly once."""
+        nonlocal stored, reorg_seconds, movement_charged
+        stored, completed = scheduler.drain()
+        reorg_seconds += completed.elapsed_seconds
+        movement_charged += scheduler.charged
+
     try:
         for index, query in enumerate(stream):
             target_id = history[index]
             if target_id != current_id:
-                stored, reorg_result = reorganize(
-                    store, stored, result.layouts[target_id], table.schema
-                )
-                reorg_seconds += reorg_result.elapsed_seconds
+                if scheduler is not None:
+                    if scheduler.active:
+                        # Back-to-back switch decisions serialize: finish
+                        # the in-flight move before starting the next.
+                        settle_pipeline()
+                    scheduler.start(stored, result.layouts[target_id], table.schema)
+                else:
+                    stored, reorg_result = reorganize(
+                        store, stored, result.layouts[target_id], table.schema
+                    )
+                    reorg_seconds += reorg_result.elapsed_seconds
+                    if alpha is not None:
+                        movement_charged += alpha
+                    # The old files are gone from disk; its compiled index
+                    # is carried forward incrementally for the partitions
+                    # the reorg left untouched (falls back to lazy
+                    # recompile).
+                    executor.apply_reorg(current_id, stored, reorg_result.delta)
                 num_switches += 1
-                # The old files are gone from disk; its compiled index is
-                # carried forward incrementally for the partitions the
-                # reorg left untouched (falls back to lazy recompile).
-                executor.apply_reorg(current_id, stored, reorg_result.delta)
                 current_id = target_id
+            if scheduler is not None and scheduler.pipeline is not None:
+                # Serve against the visible epoch (old until the flip).
+                stored = scheduler.visible
             if index % sample_stride == 0:
                 outcome = executor.execute(stored, query)
                 sampled_seconds.append(outcome.elapsed_seconds)
+            if scheduler is not None and scheduler.active:
+                scheduler.tick()
+                if not scheduler.active:
+                    settle_pipeline()
+        if scheduler is not None and scheduler.active:
+            # The stream ended with a move in flight: finish it so the
+            # result accounts for the whole reorganization.
+            settle_pipeline()
+    except BaseException:
+        # Unwinding on error (or Ctrl-C): the result is discarded, so
+        # don't execute the remaining movement steps just to clean up —
+        # abort is O(1) and leaves the old epoch's files (= `stored`).
+        if scheduler is not None and scheduler.active:
+            scheduler.abort()
+        raise
     finally:
         store.delete_layout(stored)
 
@@ -105,4 +181,5 @@ def replay_physical(
         num_switches=num_switches,
         queries_timed=queries_timed,
         queries_total=len(stream),
+        movement_charged=movement_charged,
     )

@@ -48,7 +48,12 @@ contract of :meth:`ZoneMapIndex.apply_reorg`:
 * :meth:`update_layout` refreshes one slab in place after a
   reorganization (the caller typically carries the per-layout index
   forward with ``ZoneMapIndex.apply_reorg`` first, so refilling the slab
-  is pure array copying, not recompilation).
+  is pure array copying, not recompilation).  This is how
+  ``CostEvaluator.revalidate`` keeps the stack current — once per reorg
+  for synchronous rewrites and streaming appends, and once per *movement
+  step* under the pipelined reorganization, where each partial commit
+  carries the stacked-tensor columns of every untouched partition and
+  recompiles only the partitions that step wrote.
 
 Padded cells (beyond a layout's partition count) and tombstoned slabs
 hold unspecified values; every public entry point slices them away, and

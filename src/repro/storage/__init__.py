@@ -1,5 +1,6 @@
 """Storage engine: columnar tables, on-disk partitions, execution, reorg."""
 
+from .async_reorg import AsyncReorgPipeline, MovementStep, PartialCommit
 from .executor import QueryExecutor, QueryResult, ScanResult
 from .ingest import IncrementalStore
 from .partition import StoredLayout, StoredPartition
@@ -8,8 +9,11 @@ from .reorg import ReorgResult, reorganize
 from .table import ColumnSpec, Schema, Table
 
 __all__ = [
+    "AsyncReorgPipeline",
     "ColumnSpec",
     "IncrementalStore",
+    "MovementStep",
+    "PartialCommit",
     "PartitionStore",
     "QueryExecutor",
     "QueryResult",

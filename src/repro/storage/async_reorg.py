@@ -1,0 +1,353 @@
+"""Pipelined reorganization: bounded movement steps behind a stable snapshot.
+
+:func:`~repro.storage.reorg.reorganize` executes the paper's four
+reorganization stages (read, re-assign, repartition, compress-and-write) in
+one synchronous call, so every query issued while a reorganization is in
+flight stalls for the whole rewrite — one to two orders of magnitude longer
+than a scan.  :class:`AsyncReorgPipeline` splits the identical work into
+*movement steps*, each touching at most ``step_partitions`` partition files,
+so a scheduler can interleave query serving with data movement: queries keep
+reading the old layout's files (which stay on disk untouched) while movers
+populate a staged copy of the new layout, and the final commit flips the
+visible snapshot in one step.
+
+The pipeline advances through four phases:
+
+1. **read** — each step decompresses up to ``step_partitions`` source
+   partitions into memory (the same full-read the synchronous path does,
+   paced instead of monolithic);
+2. **assign** — one step concatenates the pieces in stored-partition order
+   (exactly :meth:`PartitionStore.read_all`'s row order) and routes every
+   row through ``new_layout.assign``.  Assigning the whole table at once —
+   rather than per read batch — is deliberate: layouts may be
+   row-order-sensitive (round-robin), and the single-shot assignment is
+   what makes the pipeline's output bit-for-bit the synchronous path's;
+3. **write** — each step compresses up to ``step_partitions`` target
+   partitions into the store's staging buffer
+   (:meth:`PartitionStore.begin_staging`), stamps them with the committing
+   epoch, and publishes an append-only :class:`PartialCommit` so cost
+   caches and compiled plans can migrate incrementally while the move is
+   still in flight;
+4. **commit** — one step flips the staged buffer into the live directory
+   (:meth:`PartitionStore.commit_staging`), deletes the old layout's files,
+   and exposes the completed :class:`~repro.storage.reorg.ReorgResult`.
+
+Epoch protocol invariants (documented in ``docs/architecture.md``):
+
+* the **visible snapshot** (:attr:`AsyncReorgPipeline.visible`) is the old
+  stored layout until the commit step completes, then the new one — a query
+  planned between steps sees exactly one epoch, never a mix;
+* **epochs are monotonic**: every completed step commits epoch ``n+1``, and
+  a partition file stamped with epoch ``e`` is durable from the end of step
+  ``e`` onward;
+* **partial commits are append-only**: :class:`PartialCommit` deltas carry
+  every previously written partition verbatim, so
+  :meth:`~repro.core.cost_model.CostEvaluator.revalidate` and
+  :meth:`~repro.storage.executor.QueryExecutor.apply_reorg` run zone-map
+  kernels only over the partitions the committing step wrote;
+* **completion is equivalence**: the final metadata, partition files, and
+  :class:`~repro.layouts.zonemaps.ReorgDelta` are bit-for-bit what the
+  synchronous :func:`~repro.storage.reorg.reorganize` produces (asserted by
+  the differential suite in ``tests/core/test_reorg_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..layouts.base import DataLayout
+from ..layouts.metadata import (
+    LayoutMetadata,
+    build_partition_metadata,
+    partition_row_indices,
+)
+from ..layouts.zonemaps import ReorgDelta, compute_reorg_delta
+from .partition import StoredLayout, StoredPartition
+from .partition_store import PartitionStore
+from .reorg import ReorgResult, derive_delta
+from .table import Schema, Table
+
+__all__ = ["MovementStep", "PartialCommit", "AsyncReorgPipeline"]
+
+
+@dataclass(frozen=True)
+class PartialCommit:
+    """Append-only view of the new layout after one write step.
+
+    ``stored`` is the partial new layout (only the partitions written so
+    far; paths point into the staging buffer), and ``delta`` the
+    append-only diff from the previous partial snapshot — every earlier
+    partition carried verbatim, only this step's writes changed — which is
+    exactly the shape :meth:`CostEvaluator.revalidate` and
+    :meth:`QueryExecutor.apply_reorg` migrate incrementally.
+    """
+
+    stored: StoredLayout
+    delta: ReorgDelta
+
+
+@dataclass(frozen=True)
+class MovementStep:
+    """Accounting of one bounded movement step."""
+
+    kind: str  #: "read" | "assign" | "write" | "commit"
+    epoch: int  #: the epoch this step committed (monotonically increasing)
+    elapsed_seconds: float
+    partitions_touched: int
+    rows_moved: int
+    bytes_moved: int
+    #: cumulative fraction of the pipeline's movement work completed after
+    #: this step, in [0, 1] — what the scheduler charges the movement
+    #: budget against (see :class:`~repro.core.dumts.MovementAmortizer`).
+    completed_fraction: float
+    #: present on write steps only: the append-only snapshot + delta
+    partial: PartialCommit | None = None
+
+
+class AsyncReorgPipeline:
+    """Rewrite a stored layout into a new one, ``step_partitions`` at a time.
+
+    Drive it with :meth:`step` (typically via
+    :class:`~repro.core.reorg_scheduler.ReorgScheduler`, which interleaves
+    queries and feeds partial commits into the cost caches) until
+    :attr:`done`; :attr:`result` then holds the same ``(StoredLayout,
+    ReorgResult)`` pair the synchronous path returns.  :meth:`run_to_completion`
+    drains the remaining steps in one call.
+    """
+
+    def __init__(
+        self,
+        store: PartitionStore,
+        stored: StoredLayout,
+        new_layout: DataLayout,
+        schema: Schema,
+        step_partitions: int = 16,
+        keep_old: bool = False,
+    ):
+        if step_partitions < 1:
+            raise ValueError("step_partitions must be positive")
+        self.store = store
+        self.old_stored = stored
+        self.new_layout = new_layout
+        self.schema = schema
+        self.step_partitions = int(step_partitions)
+        self.keep_old = keep_old
+        self.epoch = 0
+        self._phase = "read"
+        self._read_position = 0
+        self._pieces: list[dict[str, np.ndarray]] = []
+        self._table: Table | None = None
+        self._assignment: np.ndarray | None = None
+        self._groups: list[tuple[int, np.ndarray]] = []
+        self._write_position = 0
+        self._written: list[StoredPartition] = []
+        self._written_metadata: list = []
+        #: committed-so-far metadata of the new layout (append-only chain);
+        #: starts empty so the first partial delta has a real predecessor.
+        self.snapshot = LayoutMetadata(partitions=())
+        self._staging = None
+        self._movement_seconds = 0.0
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._committed: tuple[StoredLayout, ReorgDelta | None] | None = None
+        self._result: tuple[StoredLayout, ReorgResult] | None = None
+        # Work units for completed_fraction: one per source partition read,
+        # one per target partition written, plus one assign and one commit
+        # step.  The target count is estimated by the layout's partition
+        # budget until the assignment pins it down; the movement amortizer
+        # tolerates the estimate shrinking (charges are clamped monotone).
+        self._work_done = 0
+        self._target_estimate = max(1, new_layout.num_partitions)
+
+    # ------------------------------------------------------------------- views
+    @property
+    def phase(self) -> str:
+        """Current phase: ``read`` → ``assign`` → ``write`` → ``commit`` → ``done``."""
+        return self._phase
+
+    @property
+    def done(self) -> bool:
+        """Whether the final commit has completed."""
+        return self._phase == "done"
+
+    @property
+    def visible(self) -> StoredLayout:
+        """The snapshot queries must run against right now.
+
+        Old epoch until the commit step lands, new epoch afterwards —
+        never a mixture of the two.
+        """
+        if self._committed is not None:
+            return self._committed[0]
+        return self.old_stored
+
+    @property
+    def result(self) -> tuple[StoredLayout, ReorgResult]:
+        """The completed reorganization; raises until :attr:`done`."""
+        if self._committed is None:
+            raise RuntimeError("pipeline has not committed yet")
+        if self._result is None:
+            new_stored, delta = self._committed
+            self._result = (
+                new_stored,
+                ReorgResult(
+                    elapsed_seconds=self._movement_seconds,
+                    bytes_read=self._bytes_read,
+                    bytes_written=self._bytes_written,
+                    rows_moved=new_stored.total_rows,
+                    partitions_written=len(new_stored.partitions),
+                    delta=delta,
+                ),
+            )
+        return self._result
+
+    def _total_work(self) -> int:
+        targets = len(self._groups) if self._groups else self._target_estimate
+        return len(self.old_stored.partitions) + targets + 2
+
+    def completed_fraction(self) -> float:
+        """Fraction of movement work done, against the current work estimate."""
+        if self.done:
+            return 1.0
+        return min(1.0, self._work_done / self._total_work())
+
+    # ------------------------------------------------------------------- steps
+    def step(self) -> MovementStep:
+        """Run one bounded movement step and commit its epoch."""
+        if self.done:
+            raise RuntimeError("pipeline already completed")
+        start = time.perf_counter()
+        if self._phase == "read":
+            outcome = self._step_read()
+        elif self._phase == "assign":
+            outcome = self._step_assign()
+        elif self._phase == "write":
+            outcome = self._step_write()
+        else:
+            outcome = self._step_commit()
+        kind, touched, rows, bytes_moved, partial = outcome
+        elapsed = time.perf_counter() - start
+        self._movement_seconds += elapsed
+        self.epoch += 1
+        return MovementStep(
+            kind=kind,
+            epoch=self.epoch,
+            elapsed_seconds=elapsed,
+            partitions_touched=touched,
+            rows_moved=rows,
+            bytes_moved=bytes_moved,
+            completed_fraction=self.completed_fraction(),
+            partial=partial,
+        )
+
+    def run_to_completion(self) -> tuple[StoredLayout, ReorgResult]:
+        """Drain every remaining step; returns the committed result."""
+        while not self.done:
+            self.step()
+        return self.result
+
+    # ---------------------------------------------------------------- internal
+    def _step_read(self):
+        batch = self.old_stored.partitions[
+            self._read_position : self._read_position + self.step_partitions
+        ]
+        rows = 0
+        bytes_moved = 0
+        for partition in batch:
+            self._pieces.append(self.store.read_partition(partition))
+            rows += partition.row_count
+            bytes_moved += partition.byte_size
+        self._read_position += len(batch)
+        self._bytes_read += bytes_moved
+        self._work_done += len(batch)
+        if self._read_position >= len(self.old_stored.partitions):
+            self._phase = "assign"
+        return "read", len(batch), rows, bytes_moved, None
+
+    def _step_assign(self):
+        self._table = self.store.merge_pieces(self._pieces, self.schema)
+        self._pieces = []
+        self._assignment = self.new_layout.assign(self._table)
+        self._groups = sorted(
+            partition_row_indices(self._assignment).items(),
+            key=lambda item: item[0],
+        )
+        self._staging = self.store.begin_staging(self.new_layout.layout_id)
+        self._phase = "write" if self._groups else "commit"
+        self._work_done += 1
+        return "assign", 0, int(self._table.num_rows), 0, None
+
+    def _step_write(self):
+        batch = self._groups[
+            self._write_position : self._write_position + self.step_partitions
+        ]
+        committing_epoch = self.epoch + 1
+        rows = 0
+        bytes_moved = 0
+        for partition_id, row_indices in batch:
+            written = self.store.write_partition_file(
+                self._table,
+                row_indices,
+                int(partition_id),
+                self._staging,
+                epoch=committing_epoch,
+            )
+            self._written.append(written)
+            self._written_metadata.append(
+                build_partition_metadata(self._table, row_indices, int(partition_id))
+            )
+            rows += written.row_count
+            bytes_moved += written.byte_size
+        self._write_position += len(batch)
+        self._bytes_written += bytes_moved
+        self._work_done += len(batch)
+        previous = self.snapshot
+        self.snapshot = LayoutMetadata(partitions=tuple(self._written_metadata))
+        # Every earlier partition object is carried verbatim into the new
+        # snapshot, so the diff's changed set is exactly this step's writes.
+        delta = compute_reorg_delta(previous, self.snapshot)
+        partial = PartialCommit(
+            stored=StoredLayout(
+                layout=self.new_layout,
+                metadata=self.snapshot,
+                partitions=tuple(self._written),
+            ),
+            delta=delta,
+        )
+        if self._write_position >= len(self._groups):
+            self._phase = "commit"
+        return "write", len(batch), rows, bytes_moved, partial
+
+    def _step_commit(self):
+        old = self.old_stored
+        same_id = old.layout.layout_id == self.new_layout.layout_id
+        live = self.store.commit_staging(self.new_layout.layout_id)
+        if not self.keep_old and not same_id:
+            self.store.delete_layout(old)
+        partitions = tuple(
+            StoredPartition(
+                partition_id=p.partition_id,
+                path=live / p.path.name,
+                row_count=p.row_count,
+                byte_size=p.byte_size,
+                epoch=p.epoch,
+            )
+            for p in self._written
+        )
+        new_stored = StoredLayout(
+            layout=self.new_layout, metadata=self.snapshot, partitions=partitions
+        )
+        delta = derive_delta(old, new_stored.metadata, self._assignment)
+        self._committed = (new_stored, delta)
+        # Release the staged rows and every O(rows) planning structure;
+        # only the committed result (descriptors + metadata) stays alive.
+        self._table = None
+        self._assignment = None
+        self._groups = []
+        self._pieces = []
+        self._written_metadata = []
+        self._phase = "done"
+        return "commit", len(partitions), 0, 0, None

@@ -19,6 +19,12 @@ each surviving partition at most once for the batch.
 After a reorganization, :meth:`QueryExecutor.apply_reorg` migrates the
 old layout's compiled index incrementally (carrying the partitions the
 reorg did not touch) instead of recompiling the new layout from scratch.
+Under the pipelined reorganization the same migration runs *during* the
+move: the scheduler seeds the new layout's empty index with
+:meth:`QueryExecutor.prewarm` and then applies each movement step's
+append-only partial commit, so queries keep planning against the old
+epoch's index until the flip and the new epoch's index is already
+compiled when they switch over.
 """
 
 from __future__ import annotations
@@ -76,8 +82,10 @@ class ScanResult:
 class QueryExecutor:
     """Executes queries against stored layouts with partition pruning."""
 
-    #: Retired layouts leave no retirement signal at this layer, so the
-    #: compiled-index cache is LRU-bounded instead of unbounded.
+    #: Most retirements arrive explicitly (:meth:`forget`,
+    #: :meth:`apply_reorg`), but replay drivers can also drop layouts
+    #: without telling this layer, so the compiled-index cache stays
+    #: LRU-bounded instead of unbounded.
     ZONEMAP_CACHE_CAP = 16
     #: Batch plans repeat (replay drivers re-run the same sample across
     #: layout switches); compiled workloads are layout-independent, so a
@@ -116,6 +124,17 @@ class QueryExecutor:
     def forget(self, layout_id: str) -> None:
         """Drop the compiled index for a retired layout (O(1))."""
         self._zonemaps.pop(layout_id, None)
+
+    def prewarm(self, stored: StoredLayout) -> None:
+        """Compile (and cache) a stored layout's index ahead of its queries.
+
+        The pipelined reorganization scheduler seeds the *new* layout's
+        initially empty index here, then migrates it forward with
+        :meth:`apply_reorg` on every partial commit, so the first query
+        after the epoch flip plans against an already-warm index instead
+        of compiling the whole layout from scratch.
+        """
+        self._zone_maps(stored)
 
     def apply_reorg(
         self, old_layout_id: str, new_stored: StoredLayout, delta: ReorgDelta | None

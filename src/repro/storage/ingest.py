@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
     from ..core.cost_model import CostEvaluator
+    from ..core.reorg_scheduler import ReorgScheduler
 
 __all__ = ["IncrementalStore"]
 
@@ -69,6 +70,8 @@ class IncrementalStore:
         self._snapshot = LayoutMetadata(partitions=())
         self._next_partition_id = 0
         self._batches_ingested = 0
+        self._consolidating = False
+        self._consolidation_scheduler: ReorgScheduler | None = None
         if evaluator is not None:
             evaluator.register_metadata(layout.layout_id, self._snapshot)
 
@@ -79,6 +82,14 @@ class IncrementalStore:
         Returns the number of partition files written.  Existing partitions
         are untouched (§III-C's incremental-clustering behaviour).
         """
+        if self._consolidating:
+            # The in-flight pipeline froze its read set at start: rows
+            # appended now would be silently dropped by the final commit's
+            # cleanup.  Refuse loudly instead.
+            raise RuntimeError(
+                "cannot ingest while an async consolidation is in flight; "
+                "drain the scheduler first"
+            )
         if batch.schema != self.schema:
             raise ValueError("batch schema does not match the store's schema")
         if batch.num_rows == 0:
@@ -145,12 +156,92 @@ class IncrementalStore:
         """Full reorganization of everything ingested into ``new_layout``.
 
         This is the reorganization OREO charges α for; afterwards the store
-        continues ingesting under the new layout.
+        continues ingesting under the new layout.  Runs synchronously —
+        ingest and queries stall until the rewrite lands; see
+        :meth:`consolidate_async` for the pipelined variant.
         """
+        if self._consolidating:
+            raise RuntimeError(
+                "an async consolidation is already in flight; drain the "
+                "scheduler (or abort_consolidation) first"
+            )
         snapshot = self.stored()
         new_stored, result = reorganize(
             self.store, snapshot, new_layout, self.schema, keep_old=False
         )
+        self._finish_consolidation(new_layout, new_stored)
+        return result
+
+    def consolidate_async(self, new_layout: DataLayout, scheduler: ReorgScheduler) -> None:
+        """Start a pipelined consolidation driven by ``scheduler``.
+
+        The store keeps serving its pre-consolidation snapshot (and the
+        attached evaluator keeps pricing it) while the scheduler's ticks
+        move data in bounded steps; when the final epoch commits, the
+        store's bookkeeping lands in exactly the state :meth:`consolidate`
+        leaves behind.  ``scheduler`` is a
+        :class:`~repro.core.reorg_scheduler.ReorgScheduler` over this
+        store's :class:`PartitionStore`; attach this store's evaluator to
+        it to have cached prices migrate incrementally with each partial
+        commit.  Ingesting while a consolidation is in flight is not
+        supported — the pipeline's read set is frozen at start, so
+        :meth:`ingest` raises until the final commit lands.
+        """
+        if self._consolidating:
+            raise RuntimeError(
+                "an async consolidation is already in flight; drain the "
+                "scheduler (or abort_consolidation) first"
+            )
+        if scheduler.store is not self.store:
+            raise ValueError("scheduler drives a different PartitionStore")
+        if scheduler.active:
+            raise RuntimeError("scheduler already has a reorganization in flight")
+        scheduler.start(
+            self.stored(),
+            new_layout,
+            self.schema,
+            keep_old=False,
+            on_complete=lambda new_stored, result: self._finish_consolidation(
+                new_layout, new_stored
+            ),
+            # A direct scheduler.abort() must release the ingest guard
+            # too, not leave the store wedged behind a dead pipeline.
+            on_abort=self._release_consolidation,
+        )
+        # Only after start() succeeded: an aborted start must not leave
+        # the store refusing ingests with nothing in flight to drain.
+        self._consolidating = True
+        self._consolidation_scheduler = scheduler
+
+    def _release_consolidation(self) -> None:
+        """Drop the in-flight consolidation guard and its scheduler."""
+        self._consolidating = False
+        self._consolidation_scheduler = None
+
+    def abort_consolidation(self, scheduler: ReorgScheduler) -> None:
+        """Abandon an in-flight async consolidation without committing.
+
+        ``scheduler`` must be the one driving this store's consolidation
+        — aborting some other (idle) scheduler must not release the
+        ingest guard while the real pipeline keeps running.  The staged
+        files are discarded, the store keeps serving (and ingesting into)
+        its pre-consolidation snapshot, and a new consolidation can be
+        started.  This is the recovery path when a movement step failed
+        mid-flight (e.g. disk full): the epoch protocol guarantees
+        nothing visible changed before the commit.
+        """
+        if self._consolidation_scheduler is None:
+            raise RuntimeError("no async consolidation is in flight")
+        if scheduler is not self._consolidation_scheduler:
+            raise ValueError(
+                "scheduler is not the one driving this store's consolidation"
+            )
+        scheduler.abort()
+        self._release_consolidation()
+
+    def _finish_consolidation(self, new_layout: DataLayout, new_stored) -> None:
+        """Swap the store's state onto a freshly consolidated layout."""
+        self._release_consolidation()
         # The incremental directory holds the old batch files; drop them.
         incremental_dir = self.store.root / f"incremental-{self.layout.layout_id}"
         if incremental_dir.exists():
@@ -167,8 +258,9 @@ class IncrementalStore:
         )
         if self.evaluator is not None:
             # A consolidation rewrites every partition (usually under a new
-            # layout id): nothing is carryable, so re-register wholesale.
+            # layout id): nothing is carryable from the old snapshot, so
+            # re-register — a no-op when the async scheduler already chained
+            # the evaluator onto this exact metadata via partial commits.
             if old_layout_id != new_layout.layout_id:
                 self.evaluator.forget(old_layout_id)
             self.evaluator.register_metadata(new_layout.layout_id, self._snapshot)
-        return result

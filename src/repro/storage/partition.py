@@ -20,12 +20,20 @@ __all__ = ["StoredPartition", "StoredLayout"]
 
 @dataclass(frozen=True)
 class StoredPartition:
-    """One partition file on disk."""
+    """One partition file on disk.
+
+    ``epoch`` records which movement epoch wrote the file: synchronous
+    writes stamp 0, while the pipelined reorganization
+    (:class:`~repro.storage.async_reorg.AsyncReorgPipeline`) stamps each
+    partition with the bounded movement step that committed it, so audits
+    can reconstruct exactly when every file became durable.
+    """
 
     partition_id: int
     path: Path
     row_count: int
     byte_size: int
+    epoch: int = 0
 
 
 @dataclass(frozen=True)

@@ -72,12 +72,15 @@ class PartitionStore:
         row_indices: np.ndarray,
         partition_id: int,
         directory: Path | str,
+        epoch: int = 0,
     ) -> StoredPartition:
         """Write one partition file without touching its siblings.
 
         Used by incremental ingestion (§III-C), where new batches append
         partitions next to already-materialized ones instead of rewriting
-        the whole layout directory.
+        the whole layout directory, and by the pipelined reorganization,
+        whose movers stamp each file with the ``epoch`` of the movement
+        step that committed it.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -93,7 +96,62 @@ class PartitionStore:
             path=path,
             row_count=int(len(row_indices)),
             byte_size=path.stat().st_size,
+            epoch=int(epoch),
         )
+
+    # --------------------------------------------------------- double-buffering
+    def staging_path(self, layout_id: str) -> Path:
+        """Where ``layout_id``'s staged (not yet visible) files live."""
+        return self.root / f"{layout_id}.staging"
+
+    def begin_staging(self, layout_id: str) -> Path:
+        """Create (or reset) the staging buffer for ``layout_id``.
+
+        The pipelined reorganization writes the new layout's partition
+        files here while queries keep reading the live directory; nothing
+        under the staging path is visible to readers until
+        :meth:`commit_staging` flips it in.  A pre-existing staging
+        directory (a crashed earlier pipeline) is discarded.
+        """
+        staging = self.staging_path(layout_id)
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        return staging
+
+    def commit_staging(self, layout_id: str) -> Path:
+        """Flip ``layout_id``'s staged buffer into the live directory.
+
+        Two renames, not a delete-then-rename: the live directory (if any
+        — same-id repartitioning replaces it) is first renamed aside to
+        ``<layout_id>.retired``, then the staging directory renamed into
+        its place, and only then is the retired copy removed.  At every
+        instant of the flip a complete copy of the data exists on disk
+        under some name, so a crash mid-commit never strands the table in
+        a half-deleted state (and :meth:`begin_staging`'s discard of a
+        stale staging buffer can never destroy the only copy).  Readers
+        switch from the old epoch's files to the new epoch's with no
+        intermediate mixed state.  Returns the live directory path.
+        """
+        staging = self.staging_path(layout_id)
+        if not staging.exists():
+            raise FileNotFoundError(f"no staged buffer for layout {layout_id!r}")
+        live = self.root / layout_id
+        retired = self.root / f"{layout_id}.retired"
+        if retired.exists():
+            shutil.rmtree(retired)
+        if live.exists():
+            live.rename(retired)
+        staging.rename(live)
+        if retired.exists():
+            shutil.rmtree(retired)
+        return live
+
+    def abort_staging(self, layout_id: str) -> None:
+        """Discard ``layout_id``'s staged buffer without publishing it."""
+        staging = self.staging_path(layout_id)
+        if staging.exists():
+            shutil.rmtree(staging)
 
     # ------------------------------------------------------------------- reads
     def read_partition(self, partition: StoredPartition) -> dict[str, np.ndarray]:
@@ -103,7 +161,20 @@ class PartitionStore:
 
     def read_all(self, stored: StoredLayout, schema: Schema) -> Table:
         """Load an entire stored layout back into one in-memory table."""
-        pieces = [self.read_partition(p) for p in stored.partitions]
+        return self.merge_pieces(
+            [self.read_partition(p) for p in stored.partitions], schema
+        )
+
+    @staticmethod
+    def merge_pieces(pieces: list[dict[str, np.ndarray]], schema: Schema) -> Table:
+        """Concatenate per-partition column dicts into one table.
+
+        Shared by :meth:`read_all` and the pipelined reorganization's
+        assign step, so both paths build the row order (stored-partition
+        order) and the empty-table fallback identically — a prerequisite
+        for the async path's bit-for-bit equivalence with the synchronous
+        one.
+        """
         if not pieces:
             return Table(schema, {name: np.empty(0) for name in schema.names()})
         merged = {

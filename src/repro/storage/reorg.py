@@ -27,7 +27,39 @@ from .partition import StoredLayout
 from .partition_store import PartitionStore
 from .table import Schema
 
-__all__ = ["ReorgResult", "reorganize"]
+__all__ = ["ReorgResult", "derive_delta", "reorganize"]
+
+
+def derive_delta(
+    stored: StoredLayout, new_metadata, new_assignment: np.ndarray
+) -> ReorgDelta | None:
+    """Positional delta of rewriting ``stored`` into ``new_assignment``.
+
+    Both reorganization paths (the synchronous :func:`reorganize` and the
+    pipelined ``AsyncReorgPipeline``) read the old partitions in stored
+    order and assign the concatenated rows, so the old row→partition
+    assignment is one ``np.repeat`` over the stored partition descriptors
+    away — no statistics comparison needed.  Returns ``None`` when the
+    row counts diverge (a rewrite that drops or duplicates rows), where
+    positional diffing is meaningless.
+    """
+    if len(new_assignment) != stored.total_rows:
+        return None
+    old_assignment = np.repeat(
+        np.fromiter(
+            (p.partition_id for p in stored.partitions),
+            dtype=np.int64,
+            count=len(stored.partitions),
+        ),
+        np.fromiter(
+            (p.row_count for p in stored.partitions),
+            dtype=np.int64,
+            count=len(stored.partitions),
+        ),
+    )
+    return compute_reorg_delta_from_assignments(
+        stored.metadata, new_metadata, old_assignment, new_assignment
+    )
 
 
 @dataclass(frozen=True)
@@ -65,25 +97,7 @@ def reorganize(
     elapsed = time.perf_counter() - start
     if not keep_old and stored.layout.layout_id != new_layout.layout_id:
         store.delete_layout(stored)
-    # read_all concatenates rows in stored-partition order, so the old
-    # assignment over that same row order is one repeat away.
-    delta = None
-    if len(assignment) == stored.total_rows:
-        old_assignment = np.repeat(
-            np.fromiter(
-                (p.partition_id for p in stored.partitions),
-                dtype=np.int64,
-                count=len(stored.partitions),
-            ),
-            np.fromiter(
-                (p.row_count for p in stored.partitions),
-                dtype=np.int64,
-                count=len(stored.partitions),
-            ),
-        )
-        delta = compute_reorg_delta_from_assignments(
-            stored.metadata, new_stored.metadata, old_assignment, assignment
-        )
+    delta = derive_delta(stored, new_stored.metadata, assignment)
     result = ReorgResult(
         elapsed_seconds=elapsed,
         bytes_read=bytes_read,

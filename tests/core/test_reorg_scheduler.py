@@ -1,0 +1,578 @@
+"""Scheduler tests: async/sync equivalence, epochs, and ledger truthfulness."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CostEvaluator, MovementAmortizer, Reorganizer, ReorganizerConfig
+from repro.core.reorg_scheduler import ReorgScheduler
+from repro.layouts import CompiledWorkload, RangeLayoutBuilder, RoundRobinLayout, ZoneMapIndex
+from repro.queries import Query, between
+from repro.storage import IncrementalStore, PartitionStore, QueryExecutor, reorganize
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PartitionStore(tmp_path / "store")
+
+
+@pytest.fixture
+def target(simple_table, rng):
+    return RangeLayoutBuilder("x").build(simple_table, [], 6, rng)
+
+
+@pytest.fixture
+def queries(rng):
+    lows = rng.uniform(0.0, 80.0, size=12)
+    return [Query(predicate=between("x", float(lo), float(lo) + 15.0)) for lo in lows]
+
+
+class TestDifferentialEquivalence:
+    """Pipeline completion is bit-for-bit a synchronous ``reorganize()``."""
+
+    def test_async_completion_matches_sync(
+        self, store, simple_table, target, queries, tmp_path
+    ):
+        # --- synchronous reference -------------------------------------
+        sync_store = PartitionStore(tmp_path / "sync")
+        sync_stored = sync_store.materialize(simple_table, RoundRobinLayout(5))
+        sync_new, _ = reorganize(sync_store, sync_stored, target, simple_table.schema)
+        sync_evaluator = CostEvaluator(simple_table)
+        sync_evaluator.register_metadata(target.layout_id, sync_new.metadata)
+        sync_costs = sync_evaluator.cost_vector(target, queries)
+
+        # --- pipelined run, caches migrated per partial commit ---------
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        executor = QueryExecutor(store)
+        evaluator = CostEvaluator(simple_table)
+        scheduler = ReorgScheduler(
+            store, executor=executor, evaluator=evaluator, step_partitions=2
+        )
+        scheduler.start(stored, target, simple_table.schema)
+        new_stored, _ = scheduler.drain()
+
+        # metadata: bit-for-bit the synchronous snapshot
+        assert new_stored.metadata == sync_new.metadata
+        assert evaluator._metadata[target.layout_id] is new_stored.metadata
+
+        # zone maps: the incrementally migrated index agrees with a fresh
+        # compile of the synchronous metadata on every predicate mask
+        migrated = evaluator._zonemaps[target.layout_id]
+        fresh = ZoneMapIndex(sync_new.metadata)
+        for query in queries:
+            np.testing.assert_array_equal(
+                migrated._mask(query.predicate, False),
+                fresh._mask(query.predicate, False),
+            )
+            np.testing.assert_array_equal(
+                migrated._mask(query.predicate, True),
+                fresh._mask(query.predicate, True),
+            )
+
+        # cached costs: pricing through the migrated caches returns the
+        # synchronous evaluator's floats exactly
+        np.testing.assert_array_equal(
+            evaluator.cost_vector(target, queries), sync_costs
+        )
+        assert (
+            evaluator._query_costs[target.layout_id]
+            == sync_evaluator._query_costs[target.layout_id]
+        )
+
+        # stacked slabs: the migrated stack's tensor equals one built from
+        # the synchronous metadata
+        compiled = CompiledWorkload([query.predicate for query in queries])
+        evaluator._ensure_stacked(target)
+        migrated_tensor = evaluator._stacked.prune_tensor(compiled, [target.layout_id])
+        sync_evaluator._ensure_stacked(target)
+        sync_tensor = sync_evaluator._stacked.prune_tensor(compiled, [target.layout_id])
+        np.testing.assert_array_equal(migrated_tensor, sync_tensor)
+
+        # executor plans: the pre-warmed index is chained onto the final
+        # snapshot, and executing returns the same physical counters
+        warm = executor._zonemaps[target.layout_id]
+        assert warm.metadata is new_stored.metadata
+        sync_executor = QueryExecutor(sync_store)
+        for query in queries[:4]:
+            ours = executor.execute(new_stored, query)
+            theirs = sync_executor.execute(sync_new, query)
+            assert ours.rows_matched == theirs.rows_matched
+            assert ours.rows_scanned == theirs.rows_scanned
+            assert ours.partitions_scanned == theirs.partitions_scanned
+
+    def test_start_leaves_priced_target_untouched_mid_flight(
+        self, store, simple_table, target, queries
+    ):
+        # The decision layer already prices the target from logical
+        # metadata; seeding the staging snapshot over it would make
+        # mid-flight decisions see the target as free.
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        evaluator = CostEvaluator(simple_table)
+        logical = evaluator.cost_vector(target, queries)
+        assert float(logical.max()) > 0.0
+        scheduler = ReorgScheduler(store, evaluator=evaluator, step_partitions=2)
+        scheduler.start(stored, target, simple_table.schema)
+        scheduler.tick()
+        np.testing.assert_array_equal(evaluator.cost_vector(target, queries), logical)
+        new_stored, _ = scheduler.drain()
+        # the final commit swaps the evaluator onto the physical truth
+        assert evaluator._metadata[target.layout_id] is new_stored.metadata
+        np.testing.assert_array_equal(evaluator.cost_vector(target, queries), logical)
+
+    def test_unpriced_target_priced_logically_mid_flight(
+        self, store, simple_table, target, queries
+    ):
+        # A target the evaluator has never priced must not read as free
+        # while the move is in flight: pricing derives the logical
+        # metadata on demand, untouched by the staging snapshot.
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        evaluator = CostEvaluator(simple_table)
+        scheduler = ReorgScheduler(store, evaluator=evaluator, step_partitions=2)
+        scheduler.start(stored, target, simple_table.schema)
+        scheduler.tick()
+        mid_flight = evaluator.cost_vector(target, queries)
+        assert float(mid_flight.max()) > 0.0
+        reference = CostEvaluator(simple_table).cost_vector(target, queries)
+        np.testing.assert_array_equal(mid_flight, reference)
+        new_stored, _ = scheduler.drain()
+        # the commit swaps in the physical truth (same floats here: the
+        # layout is value-deterministic, so logical == physical)
+        assert evaluator._metadata[target.layout_id] is new_stored.metadata
+        np.testing.assert_array_equal(
+            evaluator.cost_vector(target, queries), reference
+        )
+
+    def test_adopt_from_empty_donor_leaves_state_untouched(
+        self, simple_table, target, queries
+    ):
+        evaluator = CostEvaluator(simple_table)
+        before = evaluator.cost_vector(target, queries)
+        evaluator.adopt(CostEvaluator(simple_table), target.layout_id)
+        assert target.layout_id in evaluator._metadata  # nothing wiped
+        np.testing.assert_array_equal(evaluator.cost_vector(target, queries), before)
+        with pytest.raises(ValueError, match="different table"):
+            other_table = simple_table  # same values, different object needed
+            import copy
+
+            evaluator.adopt(CostEvaluator(copy.copy(other_table)), target.layout_id)
+
+    def test_invalid_alpha_does_not_half_start(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(4))
+        scheduler = ReorgScheduler(store, alpha=-1.0)
+        with pytest.raises(ValueError):
+            scheduler.start(stored, target, simple_table.schema)
+        assert not scheduler.active  # no half-started state left behind
+        scheduler.alpha = 5.0
+        scheduler.start(stored, target, simple_table.schema)
+        scheduler.drain()
+        assert scheduler.charged == 5.0
+
+    def test_same_id_repartition_revalidates_old_caches(
+        self, store, simple_table, rng, queries
+    ):
+        layout = RangeLayoutBuilder("x").build(simple_table, [], 6, rng)
+        stored = store.materialize(simple_table, layout)
+        evaluator = CostEvaluator(simple_table)
+        evaluator.register_metadata(layout.layout_id, stored.metadata)
+        before = evaluator.cost_vector(layout, queries)
+
+        scheduler = ReorgScheduler(store, evaluator=evaluator, step_partitions=2)
+        scheduler.start(stored, layout, simple_table.schema)
+        # mid-flight the evaluator still prices the old epoch
+        scheduler.tick()
+        np.testing.assert_array_equal(evaluator.cost_vector(layout, queries), before)
+        new_stored, _ = scheduler.drain()
+        assert evaluator._metadata[layout.layout_id] is new_stored.metadata
+        np.testing.assert_array_equal(evaluator.cost_vector(layout, queries), before)
+
+
+class TestInterleaving:
+    """Queries issued mid-pipeline see one epoch, never a mixture."""
+
+    def test_queries_see_old_epoch_then_new(
+        self, store, simple_table, target, queries
+    ):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        executor = QueryExecutor(store)
+        old_expected = {
+            id(q): executor.execute(stored, q) for q in queries
+        }
+        scheduler = ReorgScheduler(store, executor=executor, step_partitions=1)
+        scheduler.start(stored, target, simple_table.schema)
+        position = 0
+        flipped = False
+        while scheduler.active:
+            query = queries[position % len(queries)]
+            outcome = scheduler.serve(query)
+            reference = old_expected[id(query)]
+            assert outcome.partitions_total == reference.partitions_total
+            assert outcome.rows_scanned == reference.rows_scanned
+            assert outcome.rows_matched == reference.rows_matched
+            position += 1
+            ticked = scheduler.tick()
+            flipped = flipped or ticked.completed
+        assert flipped
+        new_stored = scheduler.visible
+        assert new_stored is scheduler.pipeline.result[0]
+        for query in queries:
+            outcome = scheduler.serve(query)
+            assert outcome.partitions_total == len(new_stored.partitions)
+            assert outcome.rows_matched == old_expected[id(query)].rows_matched
+
+    def test_tick_without_start_returns_none(self, store):
+        scheduler = ReorgScheduler(store)
+        assert scheduler.tick() is None
+
+    def test_double_start_rejected(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(4))
+        scheduler = ReorgScheduler(store)
+        scheduler.start(stored, target, simple_table.schema)
+        with pytest.raises(RuntimeError):
+            scheduler.start(stored, target, simple_table.schema)
+
+    def test_serve_requires_executor(self, store, simple_table, target, range_query):
+        stored = store.materialize(simple_table, RoundRobinLayout(4))
+        scheduler = ReorgScheduler(store)
+        scheduler.start(stored, target, simple_table.schema)
+        with pytest.raises(RuntimeError):
+            scheduler.serve(range_query)
+
+    def test_on_complete_fires_once_at_commit(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(4))
+        scheduler = ReorgScheduler(store, step_partitions=2)
+        landed = []
+        scheduler.start(
+            stored,
+            target,
+            simple_table.schema,
+            on_complete=lambda new_stored, result: landed.append(
+                (new_stored, result)
+            ),
+        )
+        while scheduler.active:
+            assert landed == []
+            scheduler.tick()
+        assert len(landed) == 1
+        assert landed[0][0] is scheduler.pipeline.result[0]
+
+
+class TestLedgerEquality:
+    """Pipelining never changes the competitive-ratio ledger."""
+
+    def test_installments_sum_to_alpha_exactly(
+        self, store, simple_table, target
+    ):
+        alpha = 80.0
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        scheduler = ReorgScheduler(store, alpha=alpha, step_partitions=1)
+        scheduler.start(stored, target, simple_table.schema)
+        charges = []
+        while scheduler.active:
+            charges.append(scheduler.tick().movement_charge)
+        assert scheduler.charged == alpha
+        assert math.fsum(charges) == pytest.approx(alpha, abs=1e-9)
+        assert all(charge >= 0.0 for charge in charges)
+
+    def test_abort_refunds_emitted_installments(self, store, simple_table, target):
+        # An aborted move must not leave its partial installments on the
+        # ledger: abort returns the refund, and a retry charges a clean α.
+        alpha = 5.0
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        scheduler = ReorgScheduler(store, alpha=alpha, step_partitions=1)
+        scheduler.start(stored, target, simple_table.schema)
+        charged = 0.0
+        for _ in range(3):
+            charged += scheduler.tick().movement_charge
+        assert charged > 0.0
+        refund = scheduler.abort()
+        assert refund == charged  # net charge for the aborted move is zero
+        scheduler.start(stored, target, simple_table.schema)
+        retry_charges = []
+        while scheduler.active:
+            retry_charges.append(scheduler.tick().movement_charge)
+        assert scheduler.charged == alpha
+        assert math.fsum(retry_charges) == pytest.approx(alpha, abs=1e-9)
+        assert scheduler.abort() == 0.0  # nothing in flight: nothing to refund
+
+    def test_amortizer_monotone_under_shrinking_estimate(self):
+        amortizer = MovementAmortizer(80.0)
+        # a shrinking work estimate can lower the cumulative fraction;
+        # charges must clamp at zero, never claw money back
+        assert amortizer.charge(0.5) == pytest.approx(40.0)
+        assert amortizer.charge(0.3) == 0.0
+        assert amortizer.charge(0.6) == pytest.approx(8.0)
+        assert amortizer.settle() == pytest.approx(32.0)
+        assert amortizer.charged == 80.0
+        assert amortizer.settle() == 0.0
+
+    def test_amortizer_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            MovementAmortizer(0.0)
+
+    def test_decision_charge_equals_pipeline_total(
+        self, store, simple_table, target, rng
+    ):
+        # The D-UMTS decision charges α the moment the switch is decided;
+        # executing that switch through the pipeline must charge the very
+        # same total, regardless of the step budget.
+        config = ReorganizerConfig(alpha=40.0)
+        reorganizer = Reorganizer("old", config, rng)
+        reorganizer.add_layout("new")
+        decision_charge = 0.0
+        costs = {"old": 1.0, "new": 0.0}
+        while True:
+            step = reorganizer.observe(costs)
+            decision_charge += step.movement_cost
+            if step.decision.switched:
+                break
+        assert decision_charge == config.alpha
+
+        for step_partitions in (1, 3, 100):
+            stored = store.materialize(simple_table, RoundRobinLayout(5))
+            scheduler = ReorgScheduler(
+                store, alpha=config.alpha, step_partitions=step_partitions
+            )
+            scheduler.start(stored, target, simple_table.schema)
+            installments = []
+            while scheduler.active:
+                installments.append(scheduler.tick().movement_charge)
+            assert scheduler.charged == decision_charge
+            assert math.fsum(installments) == pytest.approx(decision_charge, abs=1e-9)
+
+
+class TestIncrementalStoreAsync:
+    def _batches(self, simple_schema, count=4, rows=200):
+        from repro.storage import Table
+
+        batches = []
+        for seed in range(count):
+            generator = np.random.default_rng(1000 + seed)
+            batches.append(
+                Table(
+                    simple_schema,
+                    {
+                        "x": generator.uniform(0.0, 100.0, size=rows),
+                        "y": generator.integers(0, 50, size=rows).astype(np.int64),
+                        "color": generator.integers(0, 3, size=rows).astype(np.int32),
+                    },
+                )
+            )
+        return batches
+
+    def test_consolidate_async_matches_sync(
+        self, tmp_path, simple_schema, simple_table, rng, queries
+    ):
+        batches = self._batches(simple_schema)
+        layout = RoundRobinLayout(3)
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+
+        def build(root):
+            store = PartitionStore(tmp_path / root)
+            evaluator = CostEvaluator(simple_table)
+            incremental = IncrementalStore(store, simple_schema, layout, evaluator)
+            for batch in batches:
+                incremental.ingest(batch)
+            return store, evaluator, incremental
+
+        _, sync_evaluator, sync_incremental = build("sync")
+        sync_incremental.consolidate(target)
+
+        store, evaluator, incremental = build("async")
+        pre_consolidation = incremental.stored()
+        scheduler = ReorgScheduler(
+            store, evaluator=evaluator, alpha=80.0, step_partitions=2
+        )
+        incremental.consolidate_async(target, scheduler)
+        assert scheduler.active
+        # until the final commit the store still serves its old snapshot
+        assert incremental.stored().metadata is pre_consolidation.metadata
+        scheduler.drain()
+
+        assert incremental.layout is target
+        assert incremental.stored().metadata == sync_incremental.stored().metadata
+        assert incremental.num_partitions == sync_incremental.num_partitions
+        assert incremental._next_partition_id == sync_incremental._next_partition_id
+        np.testing.assert_array_equal(
+            evaluator.cost_vector(target, queries),
+            sync_evaluator.cost_vector(target, queries),
+        )
+        # ingestion continues under the new layout, both modes agreeing
+        extra = self._batches(simple_schema, count=1, rows=100)[0]
+        incremental.ingest(extra)
+        sync_incremental.ingest(extra)
+        assert incremental.stored().metadata == sync_incremental.stored().metadata
+
+    def test_consolidate_async_rejects_busy_scheduler(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        batches = self._batches(simple_schema, count=2)
+        store = PartitionStore(tmp_path / "busy")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        for batch in batches:
+            incremental.ingest(batch)
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        other = RangeLayoutBuilder("y").build(simple_table, [], 4, rng)
+        scheduler = ReorgScheduler(store, step_partitions=1)
+        incremental.consolidate_async(target, scheduler)
+        with pytest.raises(RuntimeError):
+            incremental.consolidate_async(other, scheduler)
+        scheduler.drain()
+
+    def test_sync_consolidate_rejected_while_async_in_flight(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        # A sync consolidate (or a second async one via a fresh scheduler)
+        # would rewrite the files the in-flight pipeline is reading.
+        batches = self._batches(simple_schema, count=2)
+        store = PartitionStore(tmp_path / "cross")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        for batch in batches:
+            incremental.ingest(batch)
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        other = RangeLayoutBuilder("y").build(simple_table, [], 4, rng)
+        scheduler = ReorgScheduler(store, step_partitions=1)
+        incremental.consolidate_async(target, scheduler)
+        with pytest.raises(RuntimeError, match="consolidation is already in flight"):
+            incremental.consolidate(other)
+        with pytest.raises(RuntimeError, match="consolidation is already in flight"):
+            incremental.consolidate_async(other, ReorgScheduler(store))
+        scheduler.drain()
+
+    def test_abort_consolidation_recovers_the_store(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        batches = self._batches(simple_schema, count=3)
+        store = PartitionStore(tmp_path / "abort")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        for batch in batches[:2]:
+            incremental.ingest(batch)
+        before = incremental.stored()
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        scheduler = ReorgScheduler(store, step_partitions=1)
+        incremental.consolidate_async(target, scheduler)
+        scheduler.tick()
+        incremental.abort_consolidation(scheduler)
+        assert not scheduler.active
+        assert not store.staging_path(target.layout_id).exists()
+        # the store still serves and ingests its pre-consolidation state
+        assert incremental.stored().metadata is before.metadata
+        assert all(p.path.exists() for p in before.partitions)
+        incremental.ingest(batches[2])
+        # and a fresh consolidation can start over
+        incremental.consolidate_async(target, scheduler)
+        scheduler.drain()
+        assert incremental.layout is target
+
+    def test_direct_scheduler_abort_releases_ingest_guard(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        # Aborting through the scheduler (the path its own docstring
+        # advertises) must not leave the store wedged behind a dead
+        # pipeline.
+        batches = self._batches(simple_schema, count=2)
+        store = PartitionStore(tmp_path / "direct-abort")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        incremental.ingest(batches[0])
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        scheduler = ReorgScheduler(store, step_partitions=1)
+        incremental.consolidate_async(target, scheduler)
+        scheduler.tick()
+        scheduler.abort()
+        incremental.ingest(batches[1])  # guard released, no wedge
+        assert incremental.batches_ingested == 2
+
+    def test_abort_consolidation_requires_the_driving_scheduler(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        # Aborting a different (idle) scheduler must not release the
+        # ingest guard while the real pipeline keeps running.
+        batches = self._batches(simple_schema, count=2)
+        store = PartitionStore(tmp_path / "wrong-sched")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        incremental.ingest(batches[0])
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        driving = ReorgScheduler(store, step_partitions=1)
+        incremental.consolidate_async(target, driving)
+        other = ReorgScheduler(store, step_partitions=1)
+        with pytest.raises(ValueError, match="not the one driving"):
+            incremental.abort_consolidation(other)
+        with pytest.raises(RuntimeError):  # guard still armed
+            incremental.ingest(batches[1])
+        incremental.abort_consolidation(driving)
+        incremental.ingest(batches[1])
+
+    def test_abort_consolidation_without_one_raises(self, tmp_path, simple_schema):
+        # With nothing in flight the guard must refuse, not silently
+        # abort whatever unrelated reorg the passed scheduler is running.
+        store = PartitionStore(tmp_path / "none")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        with pytest.raises(RuntimeError, match="no async consolidation"):
+            incremental.abort_consolidation(ReorgScheduler(store))
+
+    def test_consolidate_async_rejects_foreign_store_scheduler(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        store = PartitionStore(tmp_path / "mine")
+        foreign = ReorgScheduler(PartitionStore(tmp_path / "theirs"))
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        incremental.ingest(self._batches(simple_schema, count=1)[0])
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        with pytest.raises(ValueError, match="different PartitionStore"):
+            incremental.consolidate_async(target, foreign)
+
+    def test_scheduler_abort_without_start_is_noop(self, store):
+        assert ReorgScheduler(store).abort() == 0.0  # must not raise
+
+    def test_scheduler_rejects_invalid_step_budget_at_construction(self, store):
+        # Fail fast: a bad --reorg-step-partitions must not surface only
+        # at the first switch, minutes into an experiment run.
+        with pytest.raises(ValueError, match="step_partitions"):
+            ReorgScheduler(store, step_partitions=0)
+
+    def test_scheduler_abort_drops_seeded_caches(
+        self, store, simple_table, target, queries
+    ):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        executor = QueryExecutor(store)
+        evaluator = CostEvaluator(simple_table)
+        scheduler = ReorgScheduler(
+            store, executor=executor, evaluator=evaluator, step_partitions=1
+        )
+        scheduler.start(stored, target, simple_table.schema)
+        for _ in range(3):
+            scheduler.tick()
+        scheduler.abort()
+        assert not scheduler.active
+        assert target.layout_id not in evaluator._metadata
+        assert target.layout_id not in executor._zonemaps
+        # restartable, and completion still matches the synchronous result
+        scheduler.start(stored, target, simple_table.schema)
+        new_stored, result = scheduler.drain()
+        assert result.delta is not None
+        assert evaluator._metadata[target.layout_id] is new_stored.metadata
+
+    def test_ingest_rejected_while_consolidation_in_flight(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        # The pipeline's read set is frozen at start: a concurrent append
+        # would be silently destroyed by the final commit's cleanup, so it
+        # must raise instead — and work again once the commit lands.
+        batches = self._batches(simple_schema, count=3)
+        store = PartitionStore(tmp_path / "guard")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        for batch in batches[:2]:
+            incremental.ingest(batch)
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        scheduler = ReorgScheduler(store, step_partitions=1)
+        incremental.consolidate_async(target, scheduler)
+        rows_before = incremental.total_rows
+        with pytest.raises(RuntimeError, match="consolidation is in flight"):
+            incremental.ingest(batches[2])
+        assert incremental.total_rows == rows_before  # nothing half-applied
+        scheduler.drain()
+        assert incremental.total_rows == rows_before
+        incremental.ingest(batches[2])  # post-commit ingest works again
+        assert incremental.total_rows == rows_before + batches[2].num_rows

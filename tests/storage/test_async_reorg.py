@@ -1,0 +1,286 @@
+"""Tests for the pipelined reorganization (bounded movement steps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import RangeLayoutBuilder, RoundRobinLayout
+from repro.storage import (
+    AsyncReorgPipeline,
+    PartitionStore,
+    QueryExecutor,
+    reorganize,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PartitionStore(tmp_path / "store")
+
+
+@pytest.fixture
+def target(simple_table, rng):
+    return RangeLayoutBuilder("x").build(simple_table, [], 6, rng)
+
+
+def run_pipeline(pipeline):
+    steps = []
+    while not pipeline.done:
+        steps.append(pipeline.step())
+    return steps
+
+
+class TestDoubleBuffering:
+    def test_staged_files_invisible_until_commit(self, store, simple_table):
+        staging = store.begin_staging("lay")
+        assert staging.exists()
+        store.write_partition_file(simple_table, np.arange(10), 0, staging)
+        assert not (store.root / "lay").exists()
+        live = store.commit_staging("lay")
+        assert live.exists()
+        assert not staging.exists()
+        assert (live / "part-00000.npz").exists()
+
+    def test_begin_staging_resets_stale_buffer(self, store, simple_table):
+        staging = store.begin_staging("lay")
+        store.write_partition_file(simple_table, np.arange(10), 0, staging)
+        staging = store.begin_staging("lay")
+        assert list(staging.glob("*.npz")) == []
+
+    def test_commit_staging_replaces_live_directory(self, store, simple_table):
+        layout = RoundRobinLayout(4)
+        stored = store.materialize(simple_table, layout)
+        staging = store.begin_staging(layout.layout_id)
+        store.write_partition_file(simple_table, np.arange(5), 0, staging)
+        live = store.commit_staging(layout.layout_id)
+        assert sorted(f.name for f in live.glob("*.npz")) == ["part-00000.npz"]
+        assert not any(p.path.exists() for p in stored.partitions[1:])
+
+    def test_commit_without_staging_raises(self, store):
+        with pytest.raises(FileNotFoundError):
+            store.commit_staging("nothing-staged")
+
+    def test_commit_staging_leaves_no_retired_residue(self, store, simple_table):
+        # The flip parks the old live directory at <id>.retired between the
+        # two renames (so a complete copy always exists on disk) and must
+        # clean it up afterwards — including a stale one from a crash.
+        layout = RoundRobinLayout(4)
+        store.materialize(simple_table, layout)
+        stale = store.root / f"{layout.layout_id}.retired"
+        stale.mkdir()
+        (stale / "leftover.npz").write_bytes(b"x")
+        staging = store.begin_staging(layout.layout_id)
+        store.write_partition_file(simple_table, np.arange(5), 0, staging)
+        live = store.commit_staging(layout.layout_id)
+        assert not stale.exists()
+        assert sorted(f.name for f in live.glob("*.npz")) == ["part-00000.npz"]
+
+    def test_abort_staging_discards_buffer(self, store, simple_table):
+        staging = store.begin_staging("lay")
+        store.write_partition_file(simple_table, np.arange(10), 0, staging)
+        store.abort_staging("lay")
+        assert not staging.exists()
+        assert not (store.root / "lay").exists()
+
+    def test_epoch_stamp_round_trips(self, store, simple_table, tmp_path):
+        written = store.write_partition_file(
+            simple_table, np.arange(10), 3, tmp_path / "d", epoch=7
+        )
+        assert written.epoch == 7
+
+
+class TestPipelinePhases:
+    def test_phase_progression_and_bounded_steps(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=2
+        )
+        steps = run_pipeline(pipeline)
+        kinds = [s.kind for s in steps]
+        assert kinds[: kinds.index("assign")] == ["read"] * kinds.index("assign")
+        assert kinds.count("assign") == 1
+        assert kinds[-1] == "commit"
+        for step in steps:
+            if step.kind in ("read", "write"):
+                assert 1 <= step.partitions_touched <= 2
+
+    def test_epochs_monotonic_and_stamped(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=2
+        )
+        steps = run_pipeline(pipeline)
+        assert [s.epoch for s in steps] == list(range(1, len(steps) + 1))
+        new_stored, _ = pipeline.result
+        write_epochs = {s.epoch for s in steps if s.kind == "write"}
+        assert {p.epoch for p in new_stored.partitions} == write_epochs
+
+    def test_visible_snapshot_is_old_until_commit(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=2
+        )
+        while not pipeline.done:
+            assert pipeline.visible is stored
+            # every old file stays readable for the whole pipeline
+            assert all(p.path.exists() for p in stored.partitions)
+            pipeline.step()
+        assert pipeline.visible is pipeline.result[0]
+
+    def test_old_snapshot_queryable_mid_flight(self, store, simple_table, target):
+        from repro.queries import Query, between
+
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        executor = QueryExecutor(store)
+        query = Query(predicate=between("x", 10.0, 30.0))
+        expected = executor.execute(stored, query).rows_matched
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=2
+        )
+        while not pipeline.done:
+            assert executor.execute(pipeline.visible, query).rows_matched == expected
+            pipeline.step()
+
+    def test_step_after_done_raises(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(3))
+        pipeline = AsyncReorgPipeline(store, stored, target, simple_table.schema)
+        pipeline.run_to_completion()
+        with pytest.raises(RuntimeError):
+            pipeline.step()
+
+    def test_result_before_commit_raises(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(3))
+        pipeline = AsyncReorgPipeline(store, stored, target, simple_table.schema)
+        with pytest.raises(RuntimeError):
+            pipeline.result
+
+    def test_completed_fraction_monotone(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=1
+        )
+        fractions = [s.completed_fraction for s in run_pipeline(pipeline)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_invalid_step_partitions(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(3))
+        with pytest.raises(ValueError):
+            AsyncReorgPipeline(
+                store, stored, target, simple_table.schema, step_partitions=0
+            )
+
+
+class TestPipelineEquivalence:
+    def test_matches_synchronous_reorganize(self, store, simple_table, target, tmp_path):
+        sync_store = PartitionStore(tmp_path / "sync")
+        sync_stored = sync_store.materialize(simple_table, RoundRobinLayout(5))
+        sync_new, sync_result = reorganize(
+            sync_store, sync_stored, target, simple_table.schema
+        )
+
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=2
+        )
+        new_stored, result = pipeline.run_to_completion()
+
+        assert new_stored.metadata == sync_new.metadata
+        assert [
+            (p.partition_id, p.row_count, p.byte_size) for p in new_stored.partitions
+        ] == [(p.partition_id, p.row_count, p.byte_size) for p in sync_new.partitions]
+        for ours, theirs in zip(new_stored.partitions, sync_new.partitions):
+            assert ours.path.read_bytes() == theirs.path.read_bytes()
+        assert result.bytes_read == sync_result.bytes_read
+        assert result.bytes_written == sync_result.bytes_written
+        assert result.rows_moved == sync_result.rows_moved
+        assert result.partitions_written == sync_result.partitions_written
+        assert result.delta is not None
+        assert result.delta.changed == sync_result.delta.changed
+        np.testing.assert_array_equal(
+            result.delta.carried_new, sync_result.delta.carried_new
+        )
+
+    def test_old_layout_deleted_after_commit(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        old_paths = [p.path for p in stored.partitions]
+        AsyncReorgPipeline(
+            store, stored, target, simple_table.schema
+        ).run_to_completion()
+        assert not any(path.exists() for path in old_paths)
+
+    def test_keep_old_retains_files(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, keep_old=True
+        ).run_to_completion()
+        assert all(p.path.exists() for p in stored.partitions)
+
+    def test_same_layout_id_double_buffers(self, store, simple_table, rng):
+        # Re-materializing under the same id must keep the old files
+        # readable until the flip (the sync path destroys them up front).
+        layout = RangeLayoutBuilder("x").build(simple_table, [], 6, rng)
+        stored = store.materialize(simple_table, layout)
+        pipeline = AsyncReorgPipeline(
+            store, stored, layout, simple_table.schema, step_partitions=2
+        )
+        while not pipeline.done:
+            assert all(p.path.exists() for p in stored.partitions)
+            pipeline.step()
+        new_stored, result = pipeline.result
+        assert all(p.path.exists() for p in new_stored.partitions)
+        assert result.delta is not None and result.delta.changed == ()
+
+    def test_row_multiset_preserved(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(store, stored, target, simple_table.schema)
+        new_stored, _ = pipeline.run_to_completion()
+        restored = store.read_all(new_stored, simple_table.schema)
+        assert np.sort(restored["x"]).tolist() == np.sort(simple_table["x"]).tolist()
+
+    def test_elapsed_covers_all_steps(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=2
+        )
+        steps = run_pipeline(pipeline)
+        _, result = pipeline.result
+        assert result.elapsed_seconds == pytest.approx(
+            sum(s.elapsed_seconds for s in steps)
+        )
+
+
+class TestPartialCommits:
+    def test_partial_commits_are_append_only(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=2
+        )
+        partials = [s.partial for s in run_pipeline(pipeline) if s.partial is not None]
+        assert partials, "write steps must publish partial commits"
+        previous_count = 0
+        previous_metadata = None
+        for partial in partials:
+            count = len(partial.stored.partitions)
+            assert count > previous_count
+            delta = partial.delta
+            # the chain threads metadata objects: each delta's old snapshot
+            # is exactly the previous partial's new snapshot
+            if previous_metadata is not None:
+                assert delta.old_metadata is previous_metadata
+            assert delta.new_metadata is partial.stored.metadata
+            # append-only: every pre-existing partition carried verbatim
+            assert len(delta.carried_new) == previous_count
+            assert len(delta.changed) == count - previous_count
+            previous_count = count
+            previous_metadata = partial.stored.metadata
+
+    def test_final_snapshot_is_last_partial(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        pipeline = AsyncReorgPipeline(
+            store, stored, target, simple_table.schema, step_partitions=2
+        )
+        partials = [s.partial for s in run_pipeline(pipeline) if s.partial is not None]
+        new_stored, _ = pipeline.result
+        assert new_stored.metadata is partials[-1].stored.metadata

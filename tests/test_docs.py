@@ -1,0 +1,90 @@
+"""The documentation gate itself: links resolve, public APIs documented."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402  (tools/ is not a package)
+
+
+def test_required_documents_exist():
+    assert (REPO_ROOT / "README.md").exists()
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+    covered = {path.name for path in check_docs.markdown_files()}
+    assert {"README.md", "ROADMAP.md", "architecture.md"} <= covered
+
+
+def test_markdown_links_resolve():
+    assert check_docs.check_markdown_links() == []
+
+
+def test_public_apis_documented():
+    assert check_docs.check_docstrings() == []
+
+
+def test_link_checker_catches_breakage(tmp_path):
+    good = tmp_path / "good.md"
+    good.write_text("# Title\n\nsee [other](broken.md) and [gone](good.md#nope)\n")
+    errors = check_docs.check_markdown_links([good])
+    assert len(errors) == 2
+    assert any("missing file" in error for error in errors)
+    assert any("missing heading" in error for error in errors)
+
+
+def test_link_checker_accepts_valid_links(tmp_path):
+    target = tmp_path / "target.md"
+    target.write_text("# Some Heading\n")
+    source = tmp_path / "source.md"
+    source.write_text(
+        "see [t](target.md), [anchor](target.md#some-heading), "
+        "[self](#local), [web](https://example.com)\n\n# Local\n"
+    )
+    assert check_docs.check_markdown_links([source]) == []
+
+
+def test_link_checker_sees_titled_links(tmp_path):
+    source = tmp_path / "titled.md"
+    source.write_text('see [design](missing.md "the design doc")\n')
+    errors = check_docs.check_markdown_links([source])
+    assert len(errors) == 1 and "missing file" in errors[0]
+
+
+def test_link_checker_ignores_code_fences(tmp_path):
+    source = tmp_path / "fenced.md"
+    source.write_text("# T\n\n```python\nx = '[not a link](nowhere.md)'\n```\n")
+    assert check_docs.check_markdown_links([source]) == []
+
+
+def test_heading_slugs_follow_github_rules():
+    slugs = check_docs.heading_slugs(
+        "# The Pipelined Reorganization: Epoch Protocol\n## `code` & *stars*\n"
+    )
+    assert "the-pipelined-reorganization-epoch-protocol" in slugs
+    assert "code--stars" in slugs
+
+
+def test_heading_slugs_disambiguate_duplicates():
+    slugs = check_docs.heading_slugs("# Invariants\n## Other\n# Invariants\n")
+    assert {"invariants", "invariants-1", "other"} <= slugs
+
+
+def test_docstring_checker_flags_gaps():
+    import types
+
+    module = types.ModuleType("fake_mod")
+
+    def documented():
+        """Has one."""
+
+    def undocumented():
+        pass
+
+    documented.__module__ = undocumented.__module__ = "fake_mod"
+    module.documented = documented
+    module.undocumented = undocumented
+    members = dict(check_docs._public_members(module))
+    assert set(members) == {"documented", "undocumented"}

@@ -29,6 +29,7 @@ def test_examples_exist():
         "storage_budget.py",
         "streaming_ingest.py",
         "index_tuning.py",
+        "async_reorg_demo.py",
     } <= names
 
 
@@ -68,6 +69,25 @@ def test_workload_drift_helpers():
         rows = workload_drift.per_segment_costs(stream, ledger)
         assert len(rows) == 2
         assert all(cost == pytest.approx(0.1) for _, _, _, cost in rows)
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+def test_async_reorg_demo_helpers():
+    """Exercise the async-reorg demo's building blocks at tiny scale."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        import async_reorg_demo
+
+        from repro.workloads import tpch
+
+        rng = np.random.default_rng(0)
+        bundle = tpch.load(1_000, rng)
+        queries = async_reorg_demo.narrow_queries(bundle.table, "l_quantity", 5, rng)
+        assert len(queries) == 5
+        assert all(q.columns() == {"l_quantity"} for q in queries)
+        text = async_reorg_demo.histogram([0.5, 3.0, 30.0, 400.0])
+        assert text.count("(1)") == 4  # one sample per populated bucket
     finally:
         sys.path.remove(str(EXAMPLES_DIR))
 

@@ -1,0 +1,157 @@
+"""Documentation gate: markdown link integrity + public-API docstrings.
+
+Run from the repository root (CI's docs job does exactly this)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two checks, both stdlib-only so the gate needs nothing pip-installed:
+
+* **markdown links** — every relative link and intra-document anchor in
+  ``README.md``, ``ROADMAP.md`` and ``docs/*.md`` must resolve: the target
+  file exists, and ``#anchors`` match a heading (GitHub slug rules) in the
+  target document.  External ``http(s)`` links are not fetched (no network
+  in the gate) but must at least be well-formed.
+
+* **public-API docstrings** — every public module, class, function, method
+  and property defined under ``repro.storage`` and ``repro.core`` must
+  carry a docstring (the same surface pydocstyle's D100–D103 rules cover).
+  New public APIs land documented or the gate fails.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown documents the link check covers
+MARKDOWN_DOCS = ("README.md", "ROADMAP.md")
+MARKDOWN_DIRS = ("docs",)
+
+#: packages whose public surface must be documented
+DOCSTRING_PACKAGES = ("repro.storage", "repro.core")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def markdown_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The markdown documents the gate covers, in a stable order."""
+    files = [root / name for name in MARKDOWN_DOCS if (root / name).exists()]
+    for directory in MARKDOWN_DIRS:
+        files.extend(sorted((root / directory).glob("*.md")))
+    return files
+
+
+def heading_slugs(text: str) -> set[str]:
+    """GitHub-style anchor slugs for every heading in a markdown text.
+
+    Repeated headings get GitHub's ``-1``/``-2`` disambiguation suffixes,
+    so anchors to either occurrence validate.
+    """
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    for match in _HEADING.finditer(_CODE_FENCE.sub("", text)):
+        heading = re.sub(r"[`*_]", "", match.group(1).strip())
+        slug = re.sub(r"[^\w\- ]", "", heading.lower()).strip().replace(" ", "-")
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check_markdown_links(files: list[Path] | None = None) -> list[str]:
+    """Validate every link in ``files``; returns one message per breakage."""
+    errors: list[str] = []
+    files = markdown_files() if files is None else files
+    for path in files:
+        text = path.read_text()
+        searchable = _CODE_FENCE.sub("", text)
+        try:
+            label = path.relative_to(REPO_ROOT)
+        except ValueError:
+            label = path
+        for match in _LINK.finditer(searchable):
+            target = match.group(1)
+            where = f"{label}: link {target!r}"
+            if target.startswith(("http://", "https://")):
+                if " " in target or target.endswith(("http://", "https://")):
+                    errors.append(f"{where} is malformed")
+                continue
+            if target.startswith("mailto:"):
+                continue
+            base, _, anchor = target.partition("#")
+            resolved = path if not base else (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{where} points at a missing file")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in heading_slugs(resolved.read_text()):
+                    errors.append(f"{where} points at a missing heading")
+    return errors
+
+
+def _public_members(module) -> list[tuple[str, object]]:
+    """(qualname, object) for the public surface defined in ``module``."""
+    members: list[tuple[str, object]] = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented where it is defined
+            members.append((name, obj))
+            if inspect.isclass(obj):
+                for attr_name, attr in vars(obj).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(attr):
+                        members.append((f"{name}.{attr_name}", attr))
+                    elif isinstance(attr, property) and attr.fget is not None:
+                        members.append((f"{name}.{attr_name}", attr.fget))
+                    elif isinstance(attr, (staticmethod, classmethod)):
+                        members.append((f"{name}.{attr_name}", attr.__func__))
+    return members
+
+
+def check_docstrings(packages: tuple[str, ...] = DOCSTRING_PACKAGES) -> list[str]:
+    """Find undocumented public APIs; returns one message per gap."""
+    errors: list[str] = []
+    for package_name in packages:
+        package = importlib.import_module(package_name)
+        module_names = [package_name] + [
+            f"{package_name}.{info.name}"
+            for info in pkgutil.iter_modules(package.__path__)
+        ]
+        for module_name in module_names:
+            module = importlib.import_module(module_name)
+            if not inspect.getdoc(module):
+                errors.append(f"{module_name}: module docstring missing")
+            for qualname, obj in _public_members(module):
+                if not inspect.getdoc(obj):
+                    errors.append(f"{module_name}.{qualname}: docstring missing")
+    return errors
+
+
+def main() -> int:
+    """Run both checks; print violations; exit non-zero on any."""
+    errors = check_markdown_links() + check_docstrings()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"\n{len(errors)} documentation violation(s)", file=sys.stderr)
+        return 1
+    print("docs gate clean: links resolve, public APIs documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
