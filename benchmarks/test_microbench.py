@@ -457,6 +457,76 @@ def test_stacked_speedup_over_per_layout_compiled(bundle):
     assert speedup >= 3.0
 
 
+def test_fused_fractions_speedup_over_per_layout(bundle):
+    """Acceptance: the fused einsum cost-fraction contraction is ≥3× faster
+    than the per-layout astype+matvec loop when pricing one query across
+    the whole state space (256 partitions × 32 layouts).
+
+    Measured the way every D-UMTS step runs: ``costs_for_query`` prices a
+    *single* query against all layouts, so the tensor is narrow (one row
+    per layout) and the old per-layout loop pays one strided bool→float64
+    cast plus one BLAS dispatch per layout — pure overhead at that shape.
+    ``StackedStateSpace.fractions_tensor`` contracts the whole bool tensor
+    against the zero-padded row-count slab in one einsum.  Both sides
+    consume the same already-evaluated tensor, isolating the contraction.
+    """
+    from repro.layouts.zonemaps import _fractions_from_matrix
+
+    stack, indexes, batches = _stacked_setup(bundle)
+    compiled = CompiledWorkload(batches[0][:1])  # per-step shape: one query
+    tensor = stack.prune_tensor(compiled)
+
+    # Exactness first: the gate must never trade correctness for speed.
+    fused = stack.fractions_tensor(tensor)
+    for position, index in enumerate(indexes):
+        np.testing.assert_array_equal(
+            fused[position],
+            _fractions_from_matrix(
+                tensor[position, :, : index.num_partitions],
+                index.row_counts,
+                index.total_rows,
+            ),
+        )
+        np.testing.assert_array_equal(fused[position], compiled.accessed_fractions(index))
+
+    def measure() -> float:
+        rounds = 200
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for position, index in enumerate(indexes):
+                _fractions_from_matrix(
+                    tensor[position, :, : index.num_partitions],
+                    index.row_counts,
+                    index.total_rows,
+                )
+        per_layout = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(rounds):
+            stack.fractions_tensor(tensor)
+        fused_elapsed = time.perf_counter() - start
+        print(
+            f"\nfused fraction contraction speedup at {len(indexes)} layouts x "
+            f"1 query: {per_layout / fused_elapsed:.1f}x "
+            f"(per-layout {per_layout / rounds * 1e6:.1f} us, "
+            f"fused {fused_elapsed / rounds * 1e6:.2f} us)"
+        )
+        return per_layout / fused_elapsed
+
+    # Best of three rounds: one scheduler hiccup must not fail the gate.
+    speedup = max(measure() for _ in range(3))
+    record_bench_gate(
+        "stacked_fused_fractions_vs_per_layout",
+        threshold=3.0,
+        speedup=speedup,
+        params={
+            "partitions": ZONEMAP_PARTITIONS,
+            "queries": 1,
+            "layouts": STACKED_LAYOUTS,
+        },
+    )
+    assert speedup >= 3.0
+
+
 ASYNC_REORG_PARTITIONS = 256
 ASYNC_STEP_PARTITIONS = 16
 ASYNC_PROBE_QUERIES = 32

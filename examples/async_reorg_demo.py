@@ -16,6 +16,11 @@ movement-budget installment) and closes with a latency histogram of the
 queries served mid-reorganization next to the stall the synchronous
 rewrite would have imposed on them.
 
+This demo deliberately drives the *mechanism* layer (scheduler +
+pipeline) by hand to show every moving part; production callers get the
+same behaviour from :class:`repro.engine.LayoutEngine` with
+``async_reorg=True`` — see ``examples/engine_quickstart.py``.
+
 Run:  python examples/async_reorg_demo.py
 """
 

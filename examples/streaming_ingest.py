@@ -6,10 +6,13 @@ paper cites).  Appends fragment the table — many small, per-batch
 partitions — so query costs creep up.  OREO's cost model answers the
 operational question: *when* is a full consolidation worth its α?
 
-This example ingests batches while tracking fragmentation, lets a
-D-UMTS-style counter decide when the accumulated excess query cost crosses
-α, and shows partition counts and simulated query costs before and after
-each consolidation.
+This example drives the whole loop through the
+:class:`repro.engine.LayoutEngine` facade: batches go in through
+``engine.ingest``, queries are served with ``engine.query_batch``, a
+D-UMTS-style counter accumulates the excess query cost over an ideal
+consolidated layout, and when it crosses α the consolidation is one
+``engine.reorganize`` call — the engine owns the store, the executor and
+the cost bookkeeping that the pre-facade version wired by hand.
 
 Run:  python examples/streaming_ingest.py
 """
@@ -21,8 +24,8 @@ import tempfile
 import numpy as np
 
 from repro.core import CostEvaluator
+from repro.engine import EngineConfig, LayoutEngine
 from repro.layouts import RangeLayoutBuilder
-from repro.storage import IncrementalStore, PartitionStore, QueryExecutor
 from repro.workloads import telemetry
 
 BATCHES = 12
@@ -46,18 +49,17 @@ def main() -> None:
         return [template_pool[int(i)].instantiate(rng) for i in picks]
 
     with tempfile.TemporaryDirectory() as root:
-        store = PartitionStore(root)
-        executor = QueryExecutor(store)
         first_batch = telemetry.make_table(BATCH_ROWS, rng)
         layout = RangeLayoutBuilder("arrival_time").build(first_batch, [], 8, rng)
-        incremental = IncrementalStore(store, schema, layout)
+        engine = LayoutEngine(EngineConfig(store_root=root, alpha=ALPHA))
+        engine.open(initial_layout=layout)
 
         excess_counter = 0.0
         consolidations = 0
         print(f"{'batch':>5s} {'parts':>6s} {'frag':>6s} {'avg query cost':>15s} {'action':>14s}")
         for batch_index in range(BATCHES):
-            incremental.ingest(telemetry.make_table(BATCH_ROWS, rng))
-            snapshot = incremental.stored()
+            engine.ingest(telemetry.make_table(BATCH_ROWS, rng))
+            snapshot = engine.stored()
             queries = sample_queries(30)
 
             def metadata_cost(metadata, query):
@@ -71,7 +73,7 @@ def main() -> None:
             )
             # Excess over a well-consolidated layout, accumulated like a
             # D-UMTS counter; consolidate when it would have paid for α.
-            all_rows = store.read_all(snapshot, schema)
+            all_rows = engine.store.read_all(snapshot, schema)
             consolidated_layout = RangeLayoutBuilder("arrival_time").build(
                 all_rows.sample(min(1.0, 5000 / all_rows.num_rows), rng), [], 8, rng
             )
@@ -84,18 +86,21 @@ def main() -> None:
 
             action = ""
             if excess_counter >= ALPHA:
-                incremental.consolidate(consolidated_layout)
+                engine.reorganize(consolidated_layout)
                 excess_counter = 0.0
                 consolidations += 1
                 action = "CONSOLIDATE"
             print(
-                f"{batch_index:5d} {incremental.num_partitions:6d} "
-                f"{incremental.fragmentation(BATCH_ROWS):6.1f} {avg_cost:15.3f} "
+                f"{batch_index:5d} {len(engine.stored().partitions):6d} "
+                f"{engine.fragmentation(BATCH_ROWS):6.1f} {avg_cost:15.3f} "
                 f"{action:>14s}"
             )
 
+        stats = engine.stats()
+        engine.close()
         print(
-            f"\n{consolidations} consolidation(s) over {BATCHES} batches — "
+            f"\n{consolidations} consolidation(s) over {BATCHES} batches "
+            f"(movement charged: {stats.movement_charged:.0f}) — "
             "fragmentation is repaid exactly when its accumulated query-cost "
             "excess reaches α, the same counter rule OREO's REORGANIZER uses."
         )

@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "OREO: dynamic data layout optimization with worst-case guarantees "
         "(ICDE 2024 reproduction)"

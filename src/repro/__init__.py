@@ -9,10 +9,11 @@ partitioned columnar storage engine with metadata-based data skipping,
 synthetic TPC-H/TPC-DS/telemetry workloads, and the full baseline and
 experiment suite.
 
-Typical usage::
+Typical usage — the served online loop behind the
+:class:`~repro.engine.LayoutEngine` facade::
 
     import numpy as np
-    from repro import OREO, OreoConfig
+    from repro import EngineConfig, LayoutEngine, OreoPolicy, OREO, OreoConfig
     from repro.layouts import QdTreeBuilder, RangeLayoutBuilder
     from repro.workloads import tpch
 
@@ -22,10 +23,18 @@ Typical usage::
 
     initial = RangeLayoutBuilder(bundle.default_sort_column).build(
         bundle.table.sample(0.01, rng), [], 32, rng)
-    oreo = OREO(bundle.table, QdTreeBuilder(), initial,
-                OreoConfig(alpha=80.0), rng)
-    summary = oreo.run(stream)
-    print(summary.total_cost, summary.num_switches)
+    policy = OreoPolicy(OREO(bundle.table, QdTreeBuilder(), initial,
+                             OreoConfig(alpha=80.0), rng))
+    config = EngineConfig(store_root="/tmp/oreo-store", alpha=80.0,
+                          async_reorg=True, cleanup_on_close=True)
+    with LayoutEngine(config, policy=policy).open(bundle.table, initial) as engine:
+        for query in stream:
+            engine.query(query)
+        engine.run_until_idle()
+    print(policy.ledger.total_cost, engine.stats().num_switches)
+
+The logical controller remains directly usable (``OREO.run``) when no
+physical storage is involved.
 """
 
 from .core import (
@@ -45,21 +54,45 @@ from .core import (
     WorkFunctionAlgorithm,
     solve_offline,
 )
+from .engine import (
+    Decision,
+    EngineConfig,
+    EngineEvents,
+    EngineStats,
+    EventLog,
+    GreedyPolicy,
+    LayoutEngine,
+    NeverReorganize,
+    OreoPolicy,
+    ReorgPolicy,
+    SchedulePolicy,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BLSAlgorithm",
     "CostEvaluator",
     "CostModel",
+    "Decision",
     "DynamicUMTS",
+    "EngineConfig",
+    "EngineEvents",
+    "EngineStats",
+    "EventLog",
+    "GreedyPolicy",
+    "LayoutEngine",
     "MultiCopyUMTS",
+    "NeverReorganize",
     "OREO",
     "OreoConfig",
+    "OreoPolicy",
+    "ReorgPolicy",
     "Reorganizer",
     "ReorganizerConfig",
     "RunLedger",
     "RunSummary",
+    "SchedulePolicy",
     "StepResult",
     "TwoStateCounterAlgorithm",
     "WorkFunctionAlgorithm",

@@ -126,6 +126,16 @@ class CostEvaluator:
             self._metadata[layout.layout_id] = cached
         return cached
 
+    def has_metadata(self, layout_id: str) -> bool:
+        """Whether this evaluator can already price ``layout_id``.
+
+        True when the layout's metadata is cached or was registered via
+        :meth:`register_metadata`; callers without a table to derive
+        metadata from (streaming engines) use this to tell priceable
+        candidates apart from un-registered ones.
+        """
+        return layout_id in self._metadata
+
     def register_metadata(self, layout_id: str, metadata: LayoutMetadata) -> None:
         """Price ``layout_id`` from externally materialized metadata.
 
@@ -306,12 +316,18 @@ class CostEvaluator:
             # only a few layouts missed (e.g. one newly admitted state),
             # per-layout compiled passes cost less than a full-stack sweep.
             use_stack = 2 * len(pending) >= len(self._stacked)
+            fused = None
             if use_stack:
                 ids = []
                 for _, layout, _ in pending:
                     self._ensure_stacked(layout)
                     ids.append(layout.layout_id)
                 tensor = self._stacked.prune_tensor(compiled, ids)
+                if len(predicates) <= StackedStateSpace.FUSED_FRACTION_QUERY_CUTOFF:
+                    # Narrow samples (the per-step D-UMTS pricing is one
+                    # query): contract the whole bool tensor in one fused
+                    # einsum instead of one astype+matvec per layout.
+                    fused = self._stacked.fractions_tensor(tensor, ids)
             for position, (row, layout, missing_positions) in enumerate(pending):
                 index = self.zone_maps(layout)
                 if use_stack:
@@ -325,6 +341,7 @@ class CostEvaluator:
                     predicates,
                     index,
                     only={keys[col] for col in missing_positions},
+                    fractions=None if fused is None else fused[position],
                 )
                 for col in missing_positions:
                     out[row, col] = costs[keys[col]]
@@ -338,15 +355,21 @@ class CostEvaluator:
         predicates: Sequence,
         index: ZoneMapIndex,
         only: set | None = None,
+        fractions: np.ndarray | None = None,
     ) -> dict:
         """Fill one layout's cost + mask caches from its may-match matrix.
 
         ``only`` restricts the writes to that subset of ``missing_union``
         (the keys this layout actually missed) — keys it already holds
         would be rewritten with identical values, churning the mask LRU
-        for nothing.
+        for nothing.  ``fractions`` (one row of the stacked fused
+        contraction, bit-for-bit the per-layout arithmetic) skips the
+        per-layout matvec when the caller already contracted the tensor.
         """
-        fractions = _fractions_from_matrix(matrix, index.row_counts, index.total_rows)
+        if fractions is None:
+            fractions = _fractions_from_matrix(
+                matrix, index.row_counts, index.total_rows
+            )
         costs = self._query_costs[layout_id]
         for position, key in enumerate(missing_union):
             if only is not None and key not in only:

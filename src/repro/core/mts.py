@@ -27,7 +27,7 @@ import numpy as np
 
 from .transition import TransitionChooser, UniformChooser
 
-__all__ = ["MTSDecision", "BLSAlgorithm"]
+__all__ = ["MTSDecision", "BLSAlgorithm", "PhaseStats"]
 
 
 @dataclass(frozen=True)

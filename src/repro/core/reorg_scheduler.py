@@ -66,6 +66,11 @@ class ReorgScheduler:
     caches mirror the physical state.  ``alpha`` attaches a movement
     budget; every started reorganization then charges exactly ``alpha``
     across its steps (:class:`~repro.core.dumts.MovementAmortizer`).
+
+    Stable lower-level API; new code should usually reach it through
+    :class:`~repro.engine.LayoutEngine` with ``async_reorg=True``, which
+    owns this wiring (``engine.reorganize`` / ``engine.step`` /
+    ``engine.run_until_idle``) and serializes back-to-back moves.
     """
 
     def __init__(

@@ -1,0 +1,54 @@
+"""Unified serving engine: one facade over storage, costing and reorg.
+
+:class:`LayoutEngine` is the public seam every scale-out direction plugs
+into — it owns the partition store, the executor, the cost evaluator and
+the reorg scheduler, runs the paper's online loop (serve → observe →
+decide → reorganize), and exposes three extension points:
+
+* :class:`EngineConfig` — every knob in one validated dataclass;
+* :class:`ReorgPolicy` — the pluggable *what/when* of reorganization
+  (:class:`OreoPolicy` with the worst-case guarantee, the
+  :class:`NeverReorganize` and :class:`GreedyPolicy` baselines, and the
+  replay driver's :class:`SchedulePolicy` all drop in unchanged);
+* :class:`EngineEvents` — lifecycle observers for telemetry and future
+  replication hooks (:class:`EventLog` is the bundled recorder).
+
+Typical usage::
+
+    from repro.engine import EngineConfig, LayoutEngine, EventLog
+
+    log = EventLog()
+    config = EngineConfig(store_root="/data/t", builder=builder,
+                          alpha=80.0, async_reorg=True)
+    with LayoutEngine(config, events=log) as engine:
+        engine.ingest(batch)
+        result = engine.query(query)
+        engine.reorganize(new_layout)   # pipelined: serve while it runs
+        engine.run_until_idle()
+"""
+
+from .config import EngineConfig
+from .engine import EngineStats, LayoutEngine
+from .events import EngineEvents, EventLog
+from .policies import (
+    Decision,
+    GreedyPolicy,
+    NeverReorganize,
+    OreoPolicy,
+    ReorgPolicy,
+    SchedulePolicy,
+)
+
+__all__ = [
+    "Decision",
+    "EngineConfig",
+    "EngineEvents",
+    "EngineStats",
+    "EventLog",
+    "GreedyPolicy",
+    "LayoutEngine",
+    "NeverReorganize",
+    "OreoPolicy",
+    "ReorgPolicy",
+    "SchedulePolicy",
+]

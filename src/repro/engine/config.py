@@ -1,0 +1,75 @@
+"""Engine configuration: every :class:`LayoutEngine` knob in one dataclass.
+
+The facade's whole surface is configured here — where partition files
+live, how an initial layout is derived from data (builder + sampling),
+the movement price α, and whether reorganizations block serving
+(synchronous) or run as bounded movement steps interleaved with queries
+(pipelined, the :class:`~repro.core.reorg_scheduler.ReorgScheduler`
+path).  Invalid combinations fail loudly at construction time so a
+misconfigured engine can never open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+from ..layouts.base import LayoutBuilder
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All :class:`~repro.engine.LayoutEngine` tunables in one place.
+
+    ``store_root`` is the only required field.  ``builder`` (plus
+    ``num_partitions`` and ``data_sample_fraction``) is consulted when the
+    engine must derive an initial layout itself — a streaming engine's
+    first ingested batch — and may stay ``None`` when every layout is
+    supplied explicitly.  ``alpha`` attaches the movement budget: each
+    reorganization then charges exactly α to the engine's ledger (spread
+    over the steps in pipelined mode, exactly as the decision ledger
+    expects).  ``async_reorg`` selects the pipelined execution mode with
+    at most ``step_partitions`` partition files moved per step.
+    """
+
+    #: directory the engine's :class:`~repro.storage.PartitionStore` lives in
+    store_root: Path | str
+    #: builds the initial layout from a data sample when none is supplied
+    builder: LayoutBuilder | None = None
+    #: partition count for engine-derived layouts
+    num_partitions: int = 32
+    #: fraction of a batch sampled when deriving a layout from data
+    data_sample_fraction: float = 0.01
+    #: movement cost charged per reorganization (``None`` = untracked;
+    #: ``0.0`` = tracked but free, as some replay schedules use)
+    alpha: float | None = None
+    #: pipelined reorganizations (bounded steps interleaved with serving)
+    async_reorg: bool = False
+    #: partition files one pipelined movement step may touch
+    step_partitions: int = 16
+    #: zlib-compress partition files (the paper's cost structure)
+    compress: bool = True
+    #: delete the served layout's files when the engine closes
+    cleanup_on_close: bool = False
+    #: seed for engine-internal randomness (layout derivation sampling)
+    seed: int = 0
+
+    def __post_init__(self):
+        """Validate the configuration; raises ``ValueError`` on bad knobs."""
+        if self.step_partitions < 1:
+            raise ValueError("step_partitions must be positive")
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be positive")
+        if not (0.0 < self.data_sample_fraction <= 1.0):
+            raise ValueError("data_sample_fraction must be in (0, 1]")
+        if self.alpha is not None and self.alpha < 0.0:
+            raise ValueError("alpha must be non-negative when supplied")
+        if self.builder is not None and not isinstance(self.builder, LayoutBuilder):
+            raise ValueError("builder must implement LayoutBuilder")
+
+    def with_overrides(self, **overrides: Any) -> "EngineConfig":
+        """A copy of the config with the given fields replaced."""
+        return replace(self, **overrides)

@@ -1,0 +1,639 @@
+"""The LayoutEngine facade: the paper's online loop behind one object.
+
+§V of the paper is a single loop — serve a query, observe its cost, let
+the controller decide, reorganize — but before this module the loop only
+existed pre-assembled inside the replay driver and the experiment
+harness; production-style callers had to hand-wire ``PartitionStore`` +
+``IncrementalStore`` + ``QueryExecutor`` + ``CostEvaluator`` +
+``ReorgScheduler`` themselves.  :class:`LayoutEngine` owns that wiring:
+
+* **lifecycle** — ``open()`` / ``close()`` (or the context manager),
+  with an in-flight pipelined reorganization aborted safely on close;
+* **data plane** — ``ingest(batch)`` appends under the current layout
+  (§III-C incremental clustering), ``query(q)`` / ``query_batch(qs)``
+  serve against the visible epoch with metadata pruning;
+* **decision plane** — every query flows through the configured
+  :class:`~repro.engine.policies.ReorgPolicy`; a returned target starts
+  a real reorganization, synchronous or pipelined per the config;
+* **reorg progress** — ``step()`` advances one bounded movement step,
+  ``run_until_idle()`` drains the pipeline, and every transition fires
+  the :class:`~repro.engine.events.EngineEvents` hooks in a fixed order.
+
+The engine serializes reorganizations exactly like the logical model: a
+switch decision arriving while a pipelined move is in flight drains the
+pipeline first.  Within one ``query()`` call the order is decision →
+(reorg start) → execute → (one movement step) → (commit) — the same
+interleaving the pre-facade replay loop used, which is why the
+differential suite can assert bit-for-bit equality between the two.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cost_model import CostEvaluator
+from ..core.reorg_scheduler import ReorgScheduler, ScheduledStep
+from ..layouts.base import DataLayout
+from ..queries.query import Query
+from ..storage.executor import QueryExecutor, QueryResult
+from ..storage.ingest import IncrementalStore
+from ..storage.partition import StoredLayout
+from ..storage.partition_store import PartitionStore
+from ..storage.reorg import reorganize
+from ..storage.table import Schema, Table
+from .config import EngineConfig
+from .events import EngineEvents, _EventFanout
+from .policies import NeverReorganize, ReorgPolicy
+
+__all__ = ["EngineStats", "LayoutEngine"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Counters of everything an engine did since ``open()``."""
+
+    #: queries executed (``query`` + ``query_batch``)
+    queries_served: int
+    #: rows appended through ``ingest``
+    rows_ingested: int
+    #: ``ingest`` calls that wrote data
+    batches_ingested: int
+    #: reorganizations started (decision-level layout switches)
+    num_switches: int
+    #: reorganizations whose final commit landed
+    reorgs_completed: int
+    #: wall-clock seconds spent moving data (sync + pipelined)
+    reorg_seconds: float
+    #: movement budget charged (α per reorg; installments in pipelined mode)
+    movement_charged: float
+    #: bytes decompressed to answer queries
+    bytes_read: int
+
+
+class LayoutEngine:
+    """Unified facade over storage, execution, costing and reorganization.
+
+    Construct with an :class:`~repro.engine.config.EngineConfig`, a
+    :class:`~repro.engine.policies.ReorgPolicy` (default: never
+    reorganize) and any number of
+    :class:`~repro.engine.events.EngineEvents` observers, then ``open()``
+    — either over a materialized table (``open(table, initial_layout)``)
+    or empty for streaming ``ingest``.  The engine is single-threaded and
+    cooperative, like the scheduler it wraps: queries and movement steps
+    interleave deterministically, which is what the differential
+    equivalence suites rely on.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        policy: ReorgPolicy | None = None,
+        events: EngineEvents | Iterable[EngineEvents] = (),
+    ):
+        self.config = config
+        if isinstance(events, EngineEvents):
+            observers: tuple[EngineEvents, ...] = (events,)
+        else:
+            observers = tuple(events)
+        self._events = _EventFanout(observers)
+        self._is_open = False
+        self._reset_lifetime_state()
+        self.policy = policy if policy is not None else NeverReorganize()
+
+    def _reset_lifetime_state(self) -> None:
+        """Zero everything scoped to one open()…close() lifetime."""
+        self.store: PartitionStore | None = None
+        self.executor: QueryExecutor | None = None
+        self._evaluator: CostEvaluator | None = None
+        self._scheduler: ReorgScheduler | None = None
+        self._incremental: IncrementalStore | None = None
+        self._stored: StoredLayout | None = None
+        self._logical: DataLayout | None = None
+        self._table: Table | None = None
+        self._schema: Schema | None = None
+        self._inflight: tuple[str, str] | None = None
+        self._queries_served = 0
+        self._rows_ingested = 0
+        self._num_switches = 0
+        self._reorgs_completed = 0
+        self._reorg_seconds = 0.0
+        self._movement_charged = 0.0
+        self._bytes_read = 0
+
+    @property
+    def policy(self) -> ReorgPolicy:
+        """The reorganization policy consulted on every query."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: ReorgPolicy) -> None:
+        """Swap the policy (drop-in, even on a live engine); binds if open.
+
+        Swapping a ``wants_costs`` policy onto a live engine also attaches
+        the evaluator to the scheduler/ingest wiring, so incremental cost
+        maintenance starts from the current snapshot instead of degrading
+        to per-batch cache wipes.
+        """
+        self._policy = policy
+        if self._is_open:
+            self._bind_policy()
+            if getattr(policy, "wants_costs", False):
+                self._wire_costs()
+
+    def _bind_policy(self) -> None:
+        bind = getattr(self._policy, "bind", None)
+        if callable(bind):
+            bind(self)
+
+    def _wire_costs(self) -> None:
+        """Attach the cost evaluator to whatever wiring exists (idempotent).
+
+        The scheduler then chains a shadow evaluator through pipelined
+        commits, and the incremental store revalidates cached prices on
+        every append — the machinery ``wants_costs`` policies rely on.
+        """
+        evaluator = self.evaluator
+        if self._scheduler is not None and self._scheduler.evaluator is None:
+            self._scheduler.evaluator = evaluator
+        if self._incremental is not None and self._incremental.evaluator is None:
+            self._incremental.evaluator = evaluator
+            evaluator.register_metadata(
+                self._incremental.layout.layout_id,
+                self._incremental.stored().metadata,
+            )
+
+    # --------------------------------------------------------------- lifecycle
+    def open(
+        self,
+        table: Table | None = None,
+        initial_layout: DataLayout | None = None,
+    ) -> "LayoutEngine":
+        """Open the engine; returns ``self`` (chainable into ``with``).
+
+        With a ``table`` the engine materializes it under
+        ``initial_layout`` (or a layout built by the config's builder
+        from a data sample) and serves it read-only; without one the
+        engine starts empty and grows through :meth:`ingest`.  Opening
+        an already-open engine raises; re-opening a *closed* one starts
+        a fresh lifetime (state and counters reset — ``stats()`` counts
+        "since open()").
+        """
+        if self._is_open:
+            raise RuntimeError("engine is already open")
+        self._reset_lifetime_state()
+        self.store = PartitionStore(self.config.store_root, compress=self.config.compress)
+        self.executor = QueryExecutor(self.store)
+        self._table = table
+        if self.config.async_reorg:
+            self._scheduler = ReorgScheduler(
+                self.store,
+                executor=self.executor,
+                alpha=self.config.alpha,
+                step_partitions=self.config.step_partitions,
+            )
+        if getattr(self.policy, "wants_costs", False):
+            self._wire_costs()
+        if table is not None:
+            layout = initial_layout
+            if layout is None:
+                layout = self._derive_layout(table)
+            self._schema = table.schema
+            self._stored = self.store.materialize(table, layout)
+            self._logical = layout
+        elif initial_layout is not None:
+            # Streaming engine with a caller-chosen first layout: the
+            # incremental store is created on the first ingested batch.
+            self._logical = initial_layout
+        self._is_open = True
+        self._bind_policy()
+        self._events.on_open(self)
+        return self
+
+    def close(self) -> None:
+        """Close the engine: abort any in-flight reorg, optionally clean up.
+
+        Idempotent.  An in-flight pipelined reorganization is abandoned
+        in O(1) — the staged buffer is discarded and the old epoch's
+        files stay intact, exactly the unwind the replay driver used.
+        With ``cleanup_on_close`` the served layout's files (and a
+        streaming engine's batch files) are removed from disk.
+        """
+        if not self._is_open:
+            return
+        try:
+            self.abort_reorg()
+            if self.config.cleanup_on_close:
+                self._cleanup_files()
+        finally:
+            self._is_open = False
+            self._events.on_close(self)
+
+    def __enter__(self) -> "LayoutEngine":
+        """Enter the context manager; opens a streaming engine if needed."""
+        if not self._is_open:
+            self.open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the engine on context exit (aborting any in-flight move)."""
+        self.close()
+
+    def _cleanup_files(self) -> None:
+        if self._incremental is not None:
+            self._incremental.delete_files()
+        elif self._stored is not None and self.store is not None:
+            self.store.delete_layout(self._stored)
+
+    def _require_open(self) -> None:
+        if not self._is_open:
+            raise RuntimeError("engine is not open; call open() first")
+
+    # ------------------------------------------------------------------- views
+    @property
+    def evaluator(self) -> CostEvaluator:
+        """The engine's cost oracle (created lazily, prices live metadata)."""
+        if self._evaluator is None:
+            self._evaluator = CostEvaluator(self._table)
+        return self._evaluator
+
+    @property
+    def scheduler(self) -> ReorgScheduler | None:
+        """The pipelined-reorg scheduler (``None`` in synchronous mode).
+
+        Read-only introspection: drive moves through
+        :meth:`reorganize` / :meth:`step` / :meth:`abort_reorg` — calling
+        the scheduler's own ``start``/``abort`` directly desyncs the
+        engine's decision-level state.
+        """
+        return self._scheduler
+
+    @property
+    def current_layout(self) -> DataLayout | None:
+        """The decision-level current layout (the reorg target mid-flight)."""
+        return self._logical
+
+    @property
+    def reorg_active(self) -> bool:
+        """Whether a pipelined reorganization is currently in flight."""
+        return self._scheduler is not None and self._scheduler.active
+
+    def stored(self) -> StoredLayout:
+        """Snapshot of the currently visible stored layout."""
+        self._require_open()
+        return self._visible()
+
+    def fragmentation(self, target_partition_rows: int) -> float:
+        """How fragmented a streaming engine's store is (1.0 = consolidated).
+
+        Delegates to :meth:`IncrementalStore.fragmentation`: the ratio of
+        actual partition count to the minimum needed at
+        ``target_partition_rows`` rows per partition.  A materialized (or
+        not-yet-ingested) engine reports 1.0.
+        """
+        self._require_open()
+        if self._incremental is None:
+            return 1.0
+        return self._incremental.fragmentation(target_partition_rows)
+
+    def stats(self) -> EngineStats:
+        """Counters of everything the engine did since ``open()``."""
+        return EngineStats(
+            queries_served=self._queries_served,
+            rows_ingested=self._rows_ingested,
+            batches_ingested=(
+                self._incremental.batches_ingested if self._incremental else 0
+            ),
+            num_switches=self._num_switches,
+            reorgs_completed=self._reorgs_completed,
+            reorg_seconds=self._reorg_seconds,
+            movement_charged=self._movement_charged,
+            bytes_read=self._bytes_read,
+        )
+
+    def _visible(self) -> StoredLayout:
+        """The stored layout queries must run against right now."""
+        if self._incremental is not None:
+            return self._incremental.stored()
+        if self.reorg_active:
+            return self._scheduler.visible
+        if self._stored is None:
+            raise RuntimeError("engine holds no data; materialize or ingest first")
+        return self._stored
+
+    # -------------------------------------------------------------- data plane
+    def ingest(self, batch: Table) -> int:
+        """Append one batch under the current layout; returns files written.
+
+        Existing partitions are untouched (§III-C incremental
+        clustering).  The first batch of a streaming engine derives the
+        initial layout — from ``open(initial_layout=...)`` if given,
+        otherwise built by the config's builder over a sample of the
+        batch.  Raises on an engine opened over a materialized table, and
+        while a pipelined consolidation is in flight (the pipeline's read
+        set is frozen).
+        """
+        self._require_open()
+        if self._stored is not None:
+            raise RuntimeError(
+                "engine was opened over a materialized table; streaming "
+                "ingest needs an engine opened without one"
+            )
+        if batch.num_rows == 0:
+            # Nothing to write — and an empty first batch must not pin
+            # the schema or derive a layout from zero rows.
+            return 0
+        if self._incremental is None:
+            layout = self._logical if self._logical is not None else self._derive_layout(batch)
+            self._schema = batch.schema
+            self._incremental = IncrementalStore(self.store, batch.schema, layout)
+            self._logical = layout
+            if getattr(self.policy, "wants_costs", False) or self._evaluator is not None:
+                self._wire_costs()
+        written = self._incremental.ingest(batch)
+        self._rows_ingested += batch.num_rows
+        self._events.on_ingest(batch.num_rows, written)
+        return written
+
+    def query(self, query: Query) -> QueryResult:
+        """Serve one query through the full online loop.
+
+        Order within the call: policy decision (possibly starting — or
+        draining and then starting — a reorganization), execution against
+        the visible epoch, then one pipelined movement step if a move is
+        in flight.  This is exactly the pre-facade replay interleaving.
+        """
+        result = self._advance(query, execute=True)
+        assert result is not None  # execute=True always serves
+        return result
+
+    def observe(self, query: Query) -> None:
+        """Drive the decision loop for one query without executing it.
+
+        Replay drivers sample query timing with a stride; the unsampled
+        positions still need their decision + movement step to keep the
+        schedule aligned — this is that path.
+        """
+        self._advance(query, execute=False)
+
+    def query_batch(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Serve a batch with one compiled planning pass.
+
+        The whole batch executes against a single epoch snapshot (each
+        surviving partition read at most once, per
+        :meth:`QueryExecutor.execute_batch`); policy observations and
+        movement steps are then applied per query *after* the batch, so
+        reorganization decisions defer to the batch boundary.
+        """
+        self._require_open()
+        queries = list(queries)
+        if not queries:
+            return []
+        results = self.executor.execute_batch(self._visible(), queries)
+        for query, result in zip(queries, results):
+            self._queries_served += 1
+            self._bytes_read += result.bytes_read
+            self._events.on_query_served(query, result)
+        for query in queries:
+            self._advance(query, execute=False)
+        return results
+
+    # ---------------------------------------------------------- decision plane
+    def _advance(self, query: Query, execute: bool) -> QueryResult | None:
+        self._require_open()
+        decision = self.policy.observe(query, self._costs_for(query))
+        for layout_id in decision.admitted:
+            self._events.on_layout_admitted(layout_id)
+        for layout_id in decision.pruned:
+            self._events.on_layout_pruned(layout_id)
+        target = decision.target
+        if target is not None and (
+            self._logical is None or target.layout_id != self._logical.layout_id
+        ):
+            # A data-less engine raises cleanly inside _begin_reorg — the
+            # same contract as explicit reorganize() — instead of
+            # silently dropping a switch a stateful policy won't re-state.
+            self._begin_reorg(target)
+        result = None
+        if execute:
+            result = self.executor.execute(self._visible(), query)
+            self._queries_served += 1
+            self._bytes_read += result.bytes_read
+            self._events.on_query_served(query, result)
+        if self.reorg_active:
+            self.step()
+        return result
+
+    def _costs_for(self, query: Query) -> dict[str, float]:
+        if not getattr(self.policy, "wants_costs", False):
+            return {}
+        stored = self._visible()
+        current = stored.layout
+        evaluator = self.evaluator
+        evaluator.register_metadata(current.layout_id, stored.metadata)
+        layouts: list[DataLayout] = [current]
+        seen = {current.layout_id}
+        candidates = getattr(self.policy, "candidates", None)
+        if callable(candidates):
+            for layout in candidates():
+                if layout.layout_id in seen:
+                    continue
+                if self._table is None and not evaluator.has_metadata(layout.layout_id):
+                    # A streaming engine has no table to derive candidate
+                    # metadata from; only candidates whose snapshots were
+                    # registered (evaluator.register_metadata) are
+                    # priceable — skip the rest rather than crash.
+                    continue
+                seen.add(layout.layout_id)
+                layouts.append(layout)
+        return evaluator.costs_for_query(layouts, query)
+
+    def reorganize(self, target: DataLayout) -> None:
+        """Explicitly reorganize into ``target``, bypassing the policy.
+
+        Synchronous engines block until the rewrite lands; pipelined
+        engines start the move (draining any in-flight one first) and
+        return — drive it with :meth:`step`, :meth:`run_until_idle`, or
+        just keep serving queries.  Raises on an engine holding no data
+        yet.
+
+        A target equal to the current layout is a no-op on a
+        *materialized* engine (the rewrite provably changes nothing) but
+        a full **consolidation** on a *streaming* one, whose physical
+        partitioning fragments away from the layout's assignment batch
+        by batch — the same-id defragmentation §III-C prescribes,
+        charged α like any other reorganization.
+        """
+        self._require_open()
+        if self._stored is None and self._incremental is None:
+            raise RuntimeError("engine holds no data; materialize or ingest first")
+        if (
+            self._logical is not None
+            and target.layout_id == self._logical.layout_id
+            and self._incremental is None
+        ):
+            return
+        self._begin_reorg(target)
+
+    def _begin_reorg(self, target: DataLayout) -> None:
+        if self._stored is None and self._incremental is None:
+            # A streaming engine that has not ingested yet has a layout
+            # id but no data; there is nothing to reorganize.
+            raise RuntimeError("engine holds no data; materialize or ingest first")
+        source = self._logical
+        pipelined = self._scheduler is not None
+        if pipelined and self._scheduler.active:
+            # Back-to-back switch decisions serialize: finish the
+            # in-flight move before starting the next.
+            self.run_until_idle()
+            source = self._logical
+        self._events.on_reorg_started(source.layout_id, target.layout_id, pipelined)
+        if self._incremental is not None:
+            self._reorg_incremental(source, target, pipelined)
+        else:
+            self._reorg_materialized(source, target, pipelined)
+        self._num_switches += 1
+        self._logical = target
+
+    def _reorg_materialized(
+        self, source: DataLayout, target: DataLayout, pipelined: bool
+    ) -> None:
+        if pipelined:
+            # on_complete mirrors the streaming path's wiring: even if a
+            # caller drains the exposed scheduler directly (against the
+            # documented API), the visible snapshot flips with the commit
+            # instead of pointing at the retired epoch's deleted files.
+            self._scheduler.start(
+                self._stored,
+                target,
+                self._schema,
+                on_complete=lambda new_stored, result: setattr(
+                    self, "_stored", new_stored
+                ),
+            )
+            self._inflight = (source.layout_id, target.layout_id)
+            return
+        new_stored, result = reorganize(self.store, self._stored, target, self._schema)
+        self._reorg_seconds += result.elapsed_seconds
+        self._charge_alpha()
+        # The old files are gone from disk; its compiled index is carried
+        # forward incrementally for the partitions the reorg left
+        # untouched (falls back to lazy recompile).
+        self.executor.apply_reorg(source.layout_id, new_stored, result.delta)
+        self._stored = new_stored
+        self._reorgs_completed += 1
+        self._events.on_reorg_committed(source.layout_id, target.layout_id, result)
+
+    def _reorg_incremental(
+        self, source: DataLayout, target: DataLayout, pipelined: bool
+    ) -> None:
+        if pipelined:
+            self._incremental.consolidate_async(target, self._scheduler)
+            self._inflight = (source.layout_id, target.layout_id)
+            return
+        result = self._incremental.consolidate(target)
+        self._reorg_seconds += result.elapsed_seconds
+        self._charge_alpha()
+        self.executor.apply_reorg(
+            source.layout_id, self._incremental.stored(), result.delta
+        )
+        self._reorgs_completed += 1
+        self._events.on_reorg_committed(source.layout_id, target.layout_id, result)
+
+    def _charge_alpha(self) -> None:
+        if self.config.alpha is not None:
+            self._movement_charged += self.config.alpha
+            self._events.on_movement_charged(self.config.alpha)
+
+    # ----------------------------------------------------------- reorg progress
+    def step(self) -> ScheduledStep | None:
+        """Advance an in-flight pipelined reorganization by one step.
+
+        Returns ``None`` when nothing is in flight.  On the final commit
+        the visible epoch flips, the engine's accounting settles (reorg
+        seconds, movement installments summing to exactly α) and
+        ``on_reorg_committed`` fires.
+        """
+        self._require_open()
+        if not self.reorg_active:
+            return None
+        scheduled = self._scheduler.tick()
+        target_id = self._inflight[1] if self._inflight else "?"
+        self._events.on_reorg_step(
+            target_id, scheduled.step.kind, scheduled.step.completed_fraction
+        )
+        if scheduled.movement_charge:
+            self._events.on_movement_charged(scheduled.movement_charge)
+        if scheduled.completed:
+            self._settle()
+        return scheduled
+
+    def run_until_idle(self) -> None:
+        """Drain any in-flight pipelined reorganization to its final commit."""
+        self._require_open()
+        while self.reorg_active:
+            self.step()
+
+    def abort_reorg(self) -> float:
+        """Abandon an in-flight pipelined reorganization without committing.
+
+        O(1): the staged buffer is discarded and the old epoch's files —
+        which queries were reading all along — keep serving.  The engine
+        rolls its decision level back to the layout the data actually
+        sits on (so a policy re-stating the abandoned target switches
+        again instead of silently no-oping), refunds the movement
+        installments already emitted as one compensating negative
+        ``on_movement_charged`` event (the stream's sum stays equal to
+        ``stats().movement_charged``, which never accrued the aborted
+        attempt), releases a streaming consolidation's ingest guard, and
+        fires ``on_reorg_aborted``.  Returns the refunded movement
+        budget; no-op (0.0) when nothing is in flight.  This — not
+        driving the exposed scheduler directly — is the supported way to
+        cancel a move.
+        """
+        self._require_open()
+        if not self.reorg_active:
+            return 0.0
+        source_id, target_id = self._inflight if self._inflight else ("?", "?")
+        # scheduler.abort() fires the on_abort callback that releases a
+        # streaming consolidation's ingest guard, so one call covers
+        # both modes.
+        refund = self._scheduler.abort()
+        self._inflight = None
+        # The move never committed: the data still sits on the epoch the
+        # queries were served from.
+        self._logical = self._visible().layout
+        if refund:
+            self._events.on_movement_charged(-refund)
+        self._events.on_reorg_aborted(source_id, target_id)
+        return refund
+
+    def _settle(self) -> None:
+        """Account a completed pipeline exactly once and flip the snapshot."""
+        if self._inflight is None:
+            return
+        source_id, target_id = self._inflight
+        self._inflight = None
+        new_stored, result = self._scheduler.pipeline.result
+        if self._incremental is None:
+            self._stored = new_stored
+        self._reorg_seconds += result.elapsed_seconds
+        self._movement_charged += self._scheduler.charged
+        self._reorgs_completed += 1
+        self._events.on_reorg_committed(source_id, target_id, result)
+
+    # ---------------------------------------------------------------- internal
+    def _derive_layout(self, table: Table) -> DataLayout:
+        if self.config.builder is None:
+            raise RuntimeError(
+                "no initial layout supplied and EngineConfig.builder is None"
+            )
+        rng = np.random.default_rng(self.config.seed)
+        sample = table.sample(self.config.data_sample_fraction, rng)
+        if sample.num_rows == 0:
+            sample = table
+        return self.config.builder.build(
+            sample, [], self.config.num_partitions, rng
+        )

@@ -28,7 +28,6 @@ from ..storage.reorg import reorganize
 from ..workloads import telemetry, tpcds, tpch
 from ..workloads.dataset import DatasetBundle
 from .harness import ExperimentHarness, HarnessConfig, make_builder
-from .physical import replay_physical
 
 __all__ = [
     "load_bundle",
@@ -131,15 +130,10 @@ def figure3_end_to_end(
                 )
                 for method in methods:
                     result = harness.run(method)
-                    physical = replay_physical(
-                        bundle.table,
-                        stream,
+                    physical = harness.replay(
                         result,
                         root / f"{dataset_name}-{builder_name}-{method}",
                         sample_stride=sample_stride,
-                        async_reorg=config.async_reorg,
-                        step_partitions=config.reorg_step_partitions,
-                        alpha=config.alpha,
                     )
                     rows.append(
                         {

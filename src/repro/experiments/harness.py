@@ -312,3 +312,34 @@ class ExperimentHarness:
     def run_all(self, methods: tuple[str, ...] = METHODS) -> dict[str, MethodResult]:
         """Run several methods and key the results by method name."""
         return {method: self.run(method) for method in methods}
+
+    # ---------------------------------------------------------------- physical
+    def replay(
+        self,
+        result: MethodResult,
+        store_root,
+        sample_stride: int = 10,
+        compress: bool = True,
+    ):
+        """Physically replay a logical result through the LayoutEngine facade.
+
+        Thin driver: projects the harness config's physical knobs
+        (``async_reorg``, ``reorg_step_partitions``, ``alpha``) onto
+        :func:`~repro.experiments.physical.replay_physical`, which itself
+        drives a :class:`~repro.engine.LayoutEngine` with a
+        :class:`~repro.engine.policies.SchedulePolicy`.  Returns the
+        :class:`~repro.experiments.physical.PhysicalRunResult`.
+        """
+        from .physical import replay_physical
+
+        return replay_physical(
+            self.bundle.table,
+            self.stream,
+            result,
+            store_root,
+            sample_stride=sample_stride,
+            compress=compress,
+            async_reorg=self.config.async_reorg,
+            step_partitions=self.config.reorg_step_partitions,
+            alpha=self.config.alpha,
+        )

@@ -17,6 +17,16 @@ Like the paper (§VI-A1: "estimate the total query time using a sample of
 sample of the stream and extrapolates; every reorganization is executed
 for real.
 
+Since the :mod:`repro.engine` facade landed, :func:`replay_physical` is a
+thin driver over :class:`~repro.engine.LayoutEngine`: the logical
+schedule becomes a :class:`~repro.engine.policies.SchedulePolicy`, the
+engine runs the serve → decide → move loop (synchronous or pipelined per
+``async_reorg``), and the driver only samples timings and shapes the
+result.  The pre-facade loop is kept verbatim as
+:func:`_replay_physical_direct` — the reference implementation the
+differential suite asserts the engine path against, bit for bit
+(metadata, partition bytes, deterministic counters).
+
 Two reorganization modes are supported.  The default synchronous mode
 executes each layout switch as one blocking
 :func:`~repro.storage.reorg.reorganize` call, so queries issued while the
@@ -35,6 +45,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.reorg_scheduler import ReorgScheduler
+from ..engine import EngineConfig, LayoutEngine, SchedulePolicy
 from ..queries.query import QueryStream
 from ..storage.executor import QueryExecutor
 from ..storage.partition_store import PartitionStore
@@ -66,6 +77,16 @@ class PhysicalRunResult:
         return self.query_seconds + self.reorg_seconds
 
 
+def _validate_replay(sample_stride: int, history: list[str], stream: QueryStream) -> None:
+    """Shared input validation of both replay implementations."""
+    if sample_stride < 1:
+        raise ValueError("sample_stride must be >= 1")
+    if len(history) != len(stream):
+        raise ValueError(
+            f"schedule length {len(history)} != stream length {len(stream)}"
+        )
+
+
 def replay_physical(
     table: Table,
     stream: QueryStream,
@@ -93,14 +114,76 @@ def replay_physical(
     synchronous mode charges α at each switch, the pipelined mode spreads
     the same α across each reorganization's steps — totals agree with the
     decision ledger either way.
+
+    This is a thin driver over :class:`~repro.engine.LayoutEngine` with a
+    :class:`~repro.engine.policies.SchedulePolicy`; the differential suite
+    asserts it bit-for-bit equal to the pre-facade loop
+    (:func:`_replay_physical_direct`).
     """
-    if sample_stride < 1:
-        raise ValueError("sample_stride must be >= 1")
     history = result.ledger.layout_history
-    if len(history) != len(stream):
-        raise ValueError(
-            f"schedule length {len(history)} != stream length {len(stream)}"
-        )
+    _validate_replay(sample_stride, history, stream)
+    config = EngineConfig(
+        store_root=store_root,
+        alpha=alpha,
+        async_reorg=async_reorg,
+        step_partitions=step_partitions,
+        compress=compress,
+        cleanup_on_close=True,
+    )
+    engine = LayoutEngine(config, policy=SchedulePolicy(history, result.layouts))
+    engine.open(table, initial_layout=result.layouts[history[0]])
+    sampled_seconds: list[float] = []
+    try:
+        for index, query in enumerate(stream):
+            if index % sample_stride == 0:
+                outcome = engine.query(query)
+                sampled_seconds.append(outcome.elapsed_seconds)
+            else:
+                engine.observe(query)
+        # The stream may end with a move in flight: finish it so the
+        # result accounts for the whole reorganization.
+        engine.run_until_idle()
+    finally:
+        # Unwinding on error aborts any in-flight pipeline in O(1); the
+        # store's files are removed either way (cleanup_on_close).
+        engine.close()
+
+    stats = engine.stats()
+    queries_timed = len(sampled_seconds)
+    mean_query = sum(sampled_seconds) / queries_timed if queries_timed else 0.0
+    return PhysicalRunResult(
+        query_seconds=mean_query * len(stream),
+        reorg_seconds=stats.reorg_seconds,
+        num_switches=stats.num_switches,
+        queries_timed=queries_timed,
+        queries_total=len(stream),
+        movement_charged=stats.movement_charged,
+    )
+
+
+def _replay_physical_direct(
+    table: Table,
+    stream: QueryStream,
+    result: MethodResult,
+    store_root: Path | str,
+    sample_stride: int = 10,
+    compress: bool = True,
+    async_reorg: bool = False,
+    step_partitions: int = 16,
+    alpha: float | None = None,
+) -> PhysicalRunResult:
+    """The pre-facade replay loop, kept as the differential reference.
+
+    Hand-wires ``PartitionStore`` + ``QueryExecutor`` + ``ReorgScheduler``
+    exactly as :func:`replay_physical` did before the
+    :class:`~repro.engine.LayoutEngine` facade existed.  The differential
+    suite (``tests/engine/test_replay_differential.py``) asserts the
+    engine-driven path produces identical metadata, partition bytes and
+    deterministic counters in both modes; it exists for that proof, not
+    for production use.
+    """
+    history = result.ledger.layout_history
+    _validate_replay(sample_stride, history, stream)
     store = PartitionStore(store_root, compress=compress)
     executor = QueryExecutor(store)
     scheduler = (

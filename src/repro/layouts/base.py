@@ -29,7 +29,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
     from ..storage.table import Table
 from .metadata import LayoutMetadata, build_layout_metadata
 
-__all__ = ["DataLayout", "LayoutBuilder", "eval_skipped", "top_queried_columns"]
+__all__ = [
+    "DataLayout",
+    "LayoutBuilder",
+    "eval_skipped",
+    "next_layout_id",
+    "top_queried_columns",
+]
 
 _LAYOUT_COUNTER = itertools.count()
 

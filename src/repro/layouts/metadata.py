@@ -41,6 +41,7 @@ __all__ = [
     "LayoutMetadata",
     "build_partition_metadata",
     "build_layout_metadata",
+    "partition_row_indices",
 ]
 
 #: Categorical columns with at most this many distinct codes in a partition

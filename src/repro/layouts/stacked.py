@@ -173,6 +173,16 @@ class StackedStateSpace:
     padding out of every kernel decision.
     """
 
+    #: Query-count cutoff below which :meth:`fractions_tensor` (one fused
+    #: einsum over the whole bool tensor) beats the per-layout
+    #: astype-then-matvec loop.  The loop pays Python dispatch plus one
+    #: strided cast and one BLAS call *per layout*, which dominates for
+    #: narrow samples — the per-step D-UMTS pricing is a single query —
+    #: while for wide admission samples the BLAS matvecs win back the
+    #: difference (crossover measured around 24 queries at 32 layouts ×
+    #: 256 partitions; 16 keeps a safety margin on the fused side).
+    FUSED_FRACTION_QUERY_CUTOFF = 16
+
     def __init__(self, indexes: Mapping[str, ZoneMapIndex] | None = None):
         self._slots: dict[str, int] = {}
         self._indexes: list[ZoneMapIndex | None] = []
@@ -187,6 +197,9 @@ class StackedStateSpace:
         #: otherwise be mmap'd and page-faulted afresh on every call.
         #: Only the returned tensor is freshly allocated (callers own it).
         self._buffers: dict[str, np.ndarray] = {}
+        #: zero-padded ``(slots, width)`` row-count slab + per-slot totals
+        #: for the fused fraction contraction, rebuilt on version change.
+        self._counts_cache: tuple[int, np.ndarray, np.ndarray] | None = None
         if indexes:
             for layout_id, index in indexes.items():
                 self.add_layout(layout_id, index)
@@ -454,7 +467,11 @@ class StackedStateSpace:
     ) -> np.ndarray:
         """Batched ``c(s, q)`` as a ``(layouts × queries)`` float matrix.
 
-        Each row is computed with the exact expression of
+        Narrow samples (at most :data:`FUSED_FRACTION_QUERY_CUTOFF`
+        queries — the per-step D-UMTS pricing shape) contract through
+        :meth:`fractions_tensor` in one fused einsum; wide samples loop
+        the per-layout BLAS matvec, which amortizes better there.  Either
+        way each row carries the exact expression of
         :meth:`CompiledWorkload.accessed_fractions` on that layout's
         tensor slice, so the floats match the per-layout path bit for bit
         (partition row counts are integers, so the sums are exact in any
@@ -462,6 +479,8 @@ class StackedStateSpace:
         """
         ids = self.layout_ids if layout_ids is None else list(layout_ids)
         tensor = self._tensor(compiled, False, ids)
+        if 0 < compiled.num_queries <= self.FUSED_FRACTION_QUERY_CUTOFF:
+            return self.fractions_tensor(tensor, ids)
         out = np.zeros((len(ids), compiled.num_queries), dtype=np.float64)
         for row, layout_id in enumerate(ids):
             index = self.index_for(layout_id)
@@ -471,6 +490,62 @@ class StackedStateSpace:
             out[row] = _fractions_from_matrix(
                 matrix, index.row_counts, index.total_rows
             )
+        return out
+
+    def _counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Zero-padded ``(slots, width)`` row counts + per-slot total rows."""
+        cached = self._counts_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        counts = np.zeros((len(self._indexes), self._p_cap), dtype=np.float64)
+        totals = np.zeros(len(self._indexes), dtype=np.float64)
+        for slot, index in enumerate(self._indexes):
+            if index is None:
+                continue
+            counts[slot, : index.num_partitions] = index.row_counts
+            totals[slot] = index.total_rows
+        self._counts_cache = (self._version, counts, totals)
+        return counts, totals
+
+    def fractions_tensor(
+        self, tensor: np.ndarray, layout_ids: Sequence[str] | None = None
+    ) -> np.ndarray:
+        """Fused ``c(s, q)`` contraction over a may-match tensor.
+
+        ``tensor`` is a ``(layouts × queries × partition_width)`` bool
+        tensor produced by :meth:`prune_tensor` for ``layout_ids`` against
+        the stack's *current* contents.  The whole contraction is one
+        einsum against the zero-padded row-count slab — no per-layout
+        ``astype`` copies, no per-layout BLAS dispatch — which is what
+        makes single-query pricing across the state space (the per-step
+        D-UMTS cost dicts) an order of magnitude cheaper than looping the
+        layouts.  Padded cells hold unspecified values but their row count
+        is zero, so they can never leak into a fraction; empty layouts
+        (zero rows) yield exact ``0.0`` rows.  The floats are bit-for-bit
+        the per-layout :func:`_fractions_from_matrix` results: every
+        addend is an integer-valued float, so the sums are exact in any
+        order, and the final division by total rows is the same scalar op.
+        """
+        counts, totals = self._counts()
+        if layout_ids is not None:
+            slots = [self._slots[layout_id] for layout_id in layout_ids]
+        else:
+            slots = sorted(self._slots.values())
+        if slots != list(range(len(self._indexes))):
+            counts = counts[slots]
+            totals = totals[slots]
+        buffer = self._buffers.get("fractions")
+        if buffer is None or buffer.size < tensor.size:
+            buffer = np.empty(tensor.size, dtype=np.float64)
+            self._buffers["fractions"] = buffer
+        cast = buffer[: tensor.size].reshape(tensor.shape)
+        np.copyto(cast, tensor)
+        out = np.einsum("lqp,lp->lq", cast, counts)
+        live = totals > 0.0
+        if not live.all():
+            out[live] /= totals[live, None]
+        else:
+            out /= totals[:, None]
         return out
 
     def _tensor(

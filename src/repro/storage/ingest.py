@@ -52,7 +52,13 @@ __all__ = ["IncrementalStore"]
 
 
 class IncrementalStore:
-    """Append-only materialization with batch-local partitioning."""
+    """Append-only materialization with batch-local partitioning.
+
+    Stable lower-level API; new code should usually reach it through
+    :class:`~repro.engine.LayoutEngine`, which owns this wiring
+    (``engine.ingest`` / ``engine.reorganize``) and keeps the executor,
+    evaluator and scheduler consistent across consolidations.
+    """
 
     def __init__(
         self,
@@ -239,15 +245,31 @@ class IncrementalStore:
         scheduler.abort()
         self._release_consolidation()
 
+    def _remove_batch_files(self, layout_id: str) -> None:
+        """Drop the per-batch partition files of ``layout_id``'s ingest dir."""
+        directory = self.store.root / f"incremental-{layout_id}"
+        if directory.exists():
+            for file in directory.glob("*.npz"):
+                file.unlink()
+            directory.rmdir()
+
+    def delete_files(self) -> None:
+        """Remove everything this store wrote to disk.
+
+        Both the per-batch ingest files and any consolidated layout
+        directory; the in-memory bookkeeping is left untouched.  Callers
+        (e.g. :meth:`LayoutEngine.close` with ``cleanup_on_close``) must
+        not invoke this while an async consolidation is in flight —
+        abort it first.
+        """
+        self._remove_batch_files(self.layout.layout_id)
+        self.store.delete_layout(self.stored())
+
     def _finish_consolidation(self, new_layout: DataLayout, new_stored) -> None:
         """Swap the store's state onto a freshly consolidated layout."""
         self._release_consolidation()
         # The incremental directory holds the old batch files; drop them.
-        incremental_dir = self.store.root / f"incremental-{self.layout.layout_id}"
-        if incremental_dir.exists():
-            for file in incremental_dir.glob("*.npz"):
-                file.unlink()
-            incremental_dir.rmdir()
+        self._remove_batch_files(self.layout.layout_id)
         old_layout_id = self.layout.layout_id
         self.layout = new_layout
         self._partitions = list(new_stored.partitions)

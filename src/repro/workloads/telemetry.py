@@ -29,7 +29,7 @@ from ..storage.table import ColumnSpec, Schema, Table
 from .dataset import DatasetBundle, zipf_codes
 from .templates import QueryTemplate
 
-__all__ = ["load", "make_table", "make_templates", "TIME_MIN", "TIME_MAX"]
+__all__ = ["load", "make_schema", "make_table", "make_templates", "TIME_MIN", "TIME_MAX"]
 
 TIME_MIN = 0
 TIME_MAX = 4380  # six months in hours

@@ -23,7 +23,7 @@ from ..storage.table import ColumnSpec, Schema, Table
 from .dataset import DatasetBundle, zipf_codes
 from .templates import QueryTemplate
 
-__all__ = ["load", "make_table", "make_templates", "DATE_MIN", "DATE_MAX"]
+__all__ = ["load", "make_schema", "make_table", "make_templates", "DATE_MIN", "DATE_MAX"]
 
 DATE_MIN = 0
 DATE_MAX = 1824  # 1998-01-01 .. 2002-12-31 in days

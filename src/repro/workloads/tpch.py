@@ -35,7 +35,7 @@ from ..storage.table import ColumnSpec, Schema, Table
 from .dataset import DatasetBundle, zipf_codes
 from .templates import QueryTemplate
 
-__all__ = ["load", "make_table", "make_templates", "DATE_MIN", "DATE_MAX"]
+__all__ = ["load", "make_schema", "make_table", "make_templates", "DATE_MIN", "DATE_MAX"]
 
 DATE_MIN = 0
 DATE_MAX = 2556  # 1992-01-01 .. 1998-12-31 in days

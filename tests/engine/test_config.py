@@ -1,0 +1,55 @@
+"""EngineConfig validation unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.layouts import RangeLayoutBuilder
+
+
+def test_defaults_valid(tmp_path):
+    config = EngineConfig(store_root=tmp_path)
+    assert config.alpha is None
+    assert config.async_reorg is False
+    assert config.step_partitions == 16
+    assert config.compress is True
+    assert config.cleanup_on_close is False
+
+
+def test_builder_accepted(tmp_path):
+    config = EngineConfig(store_root=tmp_path, builder=RangeLayoutBuilder("x"))
+    assert config.builder is not None
+
+
+def test_alpha_zero_is_tracked_but_free(tmp_path):
+    # replay schedules use alpha=0.0 for "track movement, charge nothing"
+    assert EngineConfig(store_root=tmp_path, alpha=0.0).alpha == 0.0
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"step_partitions": 0},
+        {"step_partitions": -4},
+        {"num_partitions": 0},
+        {"data_sample_fraction": 0.0},
+        {"data_sample_fraction": 1.5},
+        {"data_sample_fraction": -0.1},
+        {"alpha": -3.0},
+        {"builder": object()},
+    ],
+)
+def test_invalid_knobs_rejected(tmp_path, overrides):
+    with pytest.raises(ValueError):
+        EngineConfig(store_root=tmp_path, **overrides)
+
+
+def test_with_overrides_revalidates(tmp_path):
+    config = EngineConfig(store_root=tmp_path)
+    bumped = config.with_overrides(step_partitions=4, alpha=12.0)
+    assert bumped.step_partitions == 4
+    assert bumped.alpha == 12.0
+    assert config.step_partitions == 16  # original untouched (frozen)
+    with pytest.raises(ValueError):
+        config.with_overrides(step_partitions=0)

@@ -301,3 +301,85 @@ class TestMaintenance:
             stack.prune_matrix(compiled, "L2"),
             compiled.prune_matrix(stack.index_for("L2")),
         )
+
+
+class TestFusedFractionContraction:
+    """The fused einsum contraction equals the per-layout matvec, bit for bit."""
+
+    def _fractions_per_layout(self, stack, compiled, ids):
+        out = np.zeros((len(ids), compiled.num_queries), dtype=np.float64)
+        for row, layout_id in enumerate(ids):
+            index = stack.index_for(layout_id)
+            out[row] = compiled.accessed_fractions(index)
+        return out
+
+    def test_narrow_sample_takes_fused_path(self):
+        table = make_table(20)
+        stack = StackedStateSpace(
+            {f"L{i}": random_index(table, i, 3 + i) for i in range(5)}
+        )
+        compiled = CompiledWorkload(_PROBES[:3])  # below the cutoff
+        assert compiled.num_queries <= StackedStateSpace.FUSED_FRACTION_QUERY_CUTOFF
+        np.testing.assert_array_equal(
+            stack.accessed_fractions(compiled),
+            self._fractions_per_layout(stack, compiled, stack.layout_ids),
+        )
+
+    def test_wide_sample_takes_loop_path(self):
+        table = make_table(21)
+        stack = StackedStateSpace(
+            {f"L{i}": random_index(table, i, 4) for i in range(3)}
+        )
+        probes = _PROBES + [between("a", float(i), float(i + 2)) for i in range(10)]
+        compiled = CompiledWorkload(probes)
+        assert compiled.num_queries > StackedStateSpace.FUSED_FRACTION_QUERY_CUTOFF
+        np.testing.assert_array_equal(
+            stack.accessed_fractions(compiled),
+            self._fractions_per_layout(stack, compiled, stack.layout_ids),
+        )
+
+    def test_fractions_tensor_direct(self):
+        table = make_table(22)
+        stack = StackedStateSpace(
+            {f"L{i}": random_index(table, i, 2 + 3 * i) for i in range(4)}
+        )
+        compiled = CompiledWorkload(_PROBES)
+        ids = ["L2", "L0"]  # subset, out of slot order
+        tensor = stack.prune_tensor(compiled, ids)
+        np.testing.assert_array_equal(
+            stack.fractions_tensor(tensor, ids),
+            self._fractions_per_layout(stack, compiled, ids),
+        )
+
+    def test_fused_path_after_tombstones(self):
+        table = make_table(23)
+        stack = StackedStateSpace(
+            {f"L{i}": random_index(table, i, 4) for i in range(4)}
+        )
+        compiled = CompiledWorkload(_PROBES[:2])
+        stack.accessed_fractions(compiled)  # warm the counts cache
+        stack.remove_layout("L1")
+        np.testing.assert_array_equal(
+            stack.accessed_fractions(compiled),
+            self._fractions_per_layout(stack, compiled, stack.layout_ids),
+        )
+        # growth after removal invalidates the cached slab too
+        stack.add_layout("wide", random_index(table, 50, 9))
+        np.testing.assert_array_equal(
+            stack.accessed_fractions(compiled),
+            self._fractions_per_layout(stack, compiled, stack.layout_ids),
+        )
+
+    def test_empty_layout_yields_zero_rows(self):
+        table = make_table(24)
+        empty = ZoneMapIndex(LayoutMetadata(partitions=()))
+        stack = StackedStateSpace(
+            {"live": random_index(table, 0, 4), "empty": empty}
+        )
+        compiled = CompiledWorkload(_PROBES[:3])
+        fractions = stack.accessed_fractions(compiled)
+        position = stack.layout_ids.index("empty")
+        np.testing.assert_array_equal(
+            fractions[position], np.zeros(compiled.num_queries)
+        )
+        assert_stack_matches(stack, compiled)

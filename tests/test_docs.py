@@ -88,3 +88,20 @@ def test_docstring_checker_flags_gaps():
     module.undocumented = undocumented
     members = dict(check_docs._public_members(module))
     assert set(members) == {"documented", "undocumented"}
+
+
+def test_readme_quickstart_block_executes(tmp_path):
+    """The README's flagship python block must run verbatim.
+
+    The docs gate checks links and docstrings; this check keeps the
+    quickstart honest against API drift — it extracts the first python
+    code fence from README.md and executes it (store root redirected
+    into the test's tmp dir).
+    """
+    import re
+
+    readme = (Path(__file__).parent.parent / "README.md").read_text()
+    block = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)[0]
+    assert "LayoutEngine" in block  # the block this test exists to protect
+    block = block.replace("/tmp/oreo-store", str(tmp_path / "store"))
+    exec(compile(block, "README.md:quickstart", "exec"), {})

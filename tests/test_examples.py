@@ -23,6 +23,7 @@ def test_examples_exist():
     names = {path.name for path in ALL_EXAMPLES}
     assert {
         "quickstart.py",
+        "engine_quickstart.py",
         "workload_drift.py",
         "telemetry_monitoring.py",
         "custom_layout.py",
@@ -38,7 +39,9 @@ def test_example_compiles(path, tmp_path):
     py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
 
 
-@pytest.mark.parametrize("script", ["storage_budget.py", "index_tuning.py"])
+@pytest.mark.parametrize(
+    "script", ["storage_budget.py", "index_tuning.py", "engine_quickstart.py"]
+)
 def test_fast_examples_run(script):
     completed = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],

@@ -1,0 +1,43 @@
+"""Local mirror of CI's mypy gate over the public API surface.
+
+CI installs mypy and type-checks ``repro.engine``, ``repro.storage`` and
+``repro.core.cost_model`` against ``mypy.ini`` so the policy/event
+protocol contracts stay honest.  This test reproduces that gate wherever
+mypy happens to be installed, and skips (rather than fails) where it is
+not — the tier-1 environment only guarantees numpy/pytest/hypothesis.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_public_api_surface_typechecks():
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            "mypy.ini",
+            "-p",
+            "repro.engine",
+            "-p",
+            "repro.storage",
+            "-m",
+            "repro.core.cost_model",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
