@@ -172,7 +172,7 @@ def test_zonemap_speedup_over_scalar_oracle(bundle):
         scalar_total = 0.0
         for predicates in batches:
             scalar_total += _timed(
-                lambda: [metadata.accessed_fraction(p) for p in predicates]
+                lambda batch=predicates: [metadata.accessed_fraction(p) for p in batch]
             )
         start = time.perf_counter()
         index = ZoneMapIndex(metadata)  # compile cost charged here

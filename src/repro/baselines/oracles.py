@@ -161,7 +161,7 @@ class OfflineOptimalStrategy:
             raise ValueError("OfflineOptimal requires a segmented QueryStream")
         boundaries = [start for start, _ in stream.segments] + [len(stream)]
         current: DataLayout | None = None
-        for (start, _), end in zip(stream.segments, boundaries[1:]):
+        for (start, _), end in zip(stream.segments, boundaries[1:], strict=True):
             segment_queries = [stream[i] for i in range(start, end)]
             target = self._best_for_segment(segment_queries)
             movement_cost = 0.0

@@ -108,7 +108,10 @@ class CostEvaluator:
     #: (their cost float is dropped at the next reorg and re-derived).
     MASK_STORE_CAP = 1024
 
-    def __init__(self, table: Table):
+    def __init__(self, table: Table | None):
+        #: the priced table, or ``None`` for a metadata-only evaluator
+        #: (streaming engines register materialized snapshots instead of
+        #: deriving assignments from row data)
         self.table = table
         self._metadata: dict[str, LayoutMetadata] = {}
         self._zonemaps: dict[str, ZoneMapIndex] = {}
@@ -122,6 +125,12 @@ class CostEvaluator:
         """Layout's partition metadata on the evaluator's table (cached)."""
         cached = self._metadata.get(layout.layout_id)
         if cached is None:
+            if self.table is None:
+                raise RuntimeError(
+                    f"no table to derive metadata for layout "
+                    f"{layout.layout_id!r}; register_metadata() the "
+                    "materialized snapshot first"
+                )
             cached = layout.metadata_for(self.table)
             self._metadata[layout.layout_id] = cached
         return cached
@@ -392,7 +401,7 @@ class CostEvaluator:
             return {}
         vector = self.cost_matrix(layouts, [query])[:, 0]
         return {
-            layout.layout_id: float(value) for layout, value in zip(layouts, vector)
+            layout.layout_id: float(value) for layout, value in zip(layouts, vector, strict=True)
         }
 
     def average_cost(self, layout: DataLayout, queries: Sequence[Query]) -> float:

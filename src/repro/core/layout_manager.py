@@ -218,7 +218,7 @@ class LayoutManager:
         removable = [lid for lid in self.layouts if lid not in protected_set]
         # Evict the worst performers on the recent sample until within cap.
         matrix = self.evaluator.cost_matrix([self.layouts[lid] for lid in removable], sample)
-        means = dict(zip(removable, matrix.mean(axis=1))) if removable else {}
+        means = dict(zip(removable, matrix.mean(axis=1), strict=True)) if removable else {}
         removable.sort(key=lambda lid: means[lid], reverse=True)
         while len(self.layouts) > cap and removable:
             victim = removable.pop(0)
@@ -235,7 +235,7 @@ class LayoutManager:
         matrix = self.evaluator.cost_matrix([self.layouts[lid] for lid in ids], sample)
         # Pairwise normalized-L1 distances in one broadcasted pass.
         pairwise = np.abs(matrix[:, None, :] - matrix[None, :, :]).mean(axis=2)
-        means = dict(zip(ids, matrix.mean(axis=1)))
+        means = dict(zip(ids, matrix.mean(axis=1), strict=True))
         victims: set[str] = set()
         for i, first in enumerate(ids):
             for j in range(i + 1, len(ids)):

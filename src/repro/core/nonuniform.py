@@ -66,7 +66,7 @@ def layout_transport_fraction(source: DataLayout, target: DataLayout, table) -> 
     current_target = None
     best = 0
     for (t, _), count in sorted(
-        zip(map(tuple, pairs), counts), key=lambda item: item[0][0]
+        zip(map(tuple, pairs), counts, strict=True), key=lambda item: item[0][0]
     ):
         if t != current_target:
             stay += best

@@ -42,7 +42,7 @@ from ..storage.executor import QueryExecutor, QueryResult
 from ..storage.ingest import IncrementalStore
 from ..storage.partition import StoredLayout
 from ..storage.partition_store import PartitionStore
-from ..storage.reorg import reorganize
+from ..storage.reorg import ReorgResult, reorganize
 from ..storage.table import Schema, Table
 from .config import EngineConfig
 from .events import EngineEvents, _EventFanout
@@ -318,6 +318,7 @@ class LayoutEngine:
         if self._incremental is not None:
             return self._incremental.stored()
         if self.reorg_active:
+            assert self._scheduler is not None  # reorg_active implies one
             return self._scheduler.visible
         if self._stored is None:
             raise RuntimeError("engine holds no data; materialize or ingest first")
@@ -347,6 +348,7 @@ class LayoutEngine:
             return 0
         if self._incremental is None:
             layout = self._logical if self._logical is not None else self._derive_layout(batch)
+            assert self.store is not None  # open() created it
             self._schema = batch.schema
             self._incremental = IncrementalStore(self.store, batch.schema, layout)
             self._logical = layout
@@ -391,8 +393,9 @@ class LayoutEngine:
         queries = list(queries)
         if not queries:
             return []
+        assert self.executor is not None  # open() created it
         results = self.executor.execute_batch(self._visible(), queries)
-        for query, result in zip(queries, results):
+        for query, result in zip(queries, results, strict=True):
             self._queries_served += 1
             self._bytes_read += result.bytes_read
             self._events.on_query_served(query, result)
@@ -418,6 +421,7 @@ class LayoutEngine:
             self._begin_reorg(target)
         result = None
         if execute:
+            assert self.executor is not None  # open() created it
             result = self.executor.execute(self._visible(), query)
             self._queries_served += 1
             self._bytes_read += result.bytes_read
@@ -484,11 +488,13 @@ class LayoutEngine:
             raise RuntimeError("engine holds no data; materialize or ingest first")
         source = self._logical
         pipelined = self._scheduler is not None
-        if pipelined and self._scheduler.active:
+        if self._scheduler is not None and self._scheduler.active:
             # Back-to-back switch decisions serialize: finish the
             # in-flight move before starting the next.
             self.run_until_idle()
             source = self._logical
+        # Data exists (checked above), so a layout was adopted with it.
+        assert source is not None
         self._events.on_reorg_started(source.layout_id, target.layout_id, pipelined)
         if self._incremental is not None:
             self._reorg_incremental(source, target, pipelined)
@@ -500,21 +506,26 @@ class LayoutEngine:
     def _reorg_materialized(
         self, source: DataLayout, target: DataLayout, pipelined: bool
     ) -> None:
+        # Only reachable with a materialized open() behind us.
+        assert self._stored is not None and self._schema is not None
         if pipelined:
+            assert self._scheduler is not None  # pipelined == scheduler exists
             # on_complete mirrors the streaming path's wiring: even if a
             # caller drains the exposed scheduler directly (against the
             # documented API), the visible snapshot flips with the commit
             # instead of pointing at the retired epoch's deleted files.
+            def _adopt_committed(new_stored: StoredLayout, _result: ReorgResult) -> None:
+                self._stored = new_stored
+
             self._scheduler.start(
                 self._stored,
                 target,
                 self._schema,
-                on_complete=lambda new_stored, result: setattr(
-                    self, "_stored", new_stored
-                ),
+                on_complete=_adopt_committed,
             )
             self._inflight = (source.layout_id, target.layout_id)
             return
+        assert self.store is not None and self.executor is not None
         new_stored, result = reorganize(self.store, self._stored, target, self._schema)
         self._reorg_seconds += result.elapsed_seconds
         self._charge_alpha()
@@ -529,13 +540,17 @@ class LayoutEngine:
     def _reorg_incremental(
         self, source: DataLayout, target: DataLayout, pipelined: bool
     ) -> None:
+        # Only reachable with an incremental store already ingesting.
+        assert self._incremental is not None
         if pipelined:
+            assert self._scheduler is not None  # pipelined == scheduler exists
             self._incremental.consolidate_async(target, self._scheduler)
             self._inflight = (source.layout_id, target.layout_id)
             return
         result = self._incremental.consolidate(target)
         self._reorg_seconds += result.elapsed_seconds
         self._charge_alpha()
+        assert self.executor is not None  # open() created it
         self.executor.apply_reorg(
             source.layout_id, self._incremental.stored(), result.delta
         )
@@ -559,7 +574,9 @@ class LayoutEngine:
         self._require_open()
         if not self.reorg_active:
             return None
+        assert self._scheduler is not None  # reorg_active implies one
         scheduled = self._scheduler.tick()
+        assert scheduled is not None  # an active pipeline always yields a step
         target_id = self._inflight[1] if self._inflight else "?"
         self._events.on_reorg_step(
             target_id, scheduled.step.kind, scheduled.step.completed_fraction
@@ -600,6 +617,7 @@ class LayoutEngine:
         # scheduler.abort() fires the on_abort callback that releases a
         # streaming consolidation's ingest guard, so one call covers
         # both modes.
+        assert self._scheduler is not None  # reorg_active implies one
         refund = self._scheduler.abort()
         self._inflight = None
         # The move never committed: the data still sits on the epoch the
@@ -616,6 +634,9 @@ class LayoutEngine:
             return
         source_id, target_id = self._inflight
         self._inflight = None
+        # _settle only runs from step(), under an active scheduler whose
+        # pipeline just reported completion.
+        assert self._scheduler is not None and self._scheduler.pipeline is not None
         new_stored, result = self._scheduler.pipeline.result
         if self._incremental is None:
             self._stored = new_stored

@@ -316,7 +316,7 @@ def table1_alpha_measurement(
             stored = store.materialize(table, source_layout)
             scan_seconds: list[float] = []
             reorg_seconds: list[float] = []
-            for repeat in range(repeats):
+            for _repeat in range(repeats):
                 scan_seconds.append(executor.full_scan(stored).elapsed_seconds)
                 target_layout = target_layout_builder.build(
                     sample, [], num_partitions, build_rng

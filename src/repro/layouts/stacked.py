@@ -61,6 +61,8 @@ the fast-path flags (``all_stats`` / ``all_distinct``) are computed over
 the validity mask so padding can never redirect a kernel branch.
 """
 
+# reprolint: vectorized
+
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
@@ -395,7 +397,7 @@ class StackedStateSpace:
             return cached[1]
         column = self._column(name)
         flat_width = len(self._indexes) * self._p_cap
-        bitmap = None
+        bitmap: np.ndarray | None = None
         if column.bitmap is not None:
             bitmap = column.bitmap.reshape(flat_width, -1)
         zones = _ColumnZones(

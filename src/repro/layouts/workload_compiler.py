@@ -67,6 +67,8 @@ widest scope first:
    property suites.
 """
 
+# reprolint: vectorized
+
 from __future__ import annotations
 
 from collections.abc import Sequence
@@ -148,17 +150,22 @@ class _AtomGroup:
         self.owners: list[int] = []
         #: original AST nodes, for the per-predicate fallback path
         self.nodes: list[Predicate] = []
-        self.values: list[float] = []  # comparisons
-        self.lows: list[float] = []  # betweens
-        self.highs: list[float] = []
+        #: accumulation lists while building; frozen to float64 arrays
+        #: (except for "in" groups' values) by :meth:`freeze`
+        self.values: list[float] | np.ndarray = []  # comparisons
+        self.lows: list[float] | np.ndarray = []  # betweens
+        self.highs: list[float] | np.ndarray = []
         self.raw: list = []  # original ==/!= constants, for membership tests
+        #: deduplicated nodes and the expansion gather, set by freeze()
+        self.unodes: list[Predicate] = []
+        self.inverse: np.ndarray | None = None
 
     def freeze(self) -> None:
         # First-occurrence-order dedup (a dict, no sort): slots keep the
         # original relative order, so "no duplicates" means the expansion
         # gather is the identity and can be skipped outright.
         if self.kind == "between":
-            keys = list(zip(self.lows, self.highs))
+            keys = list(zip(self.lows, self.highs, strict=True))
         elif self.kind == "in":
             keys = [node.values for node in self.nodes]
         else:
@@ -301,16 +308,17 @@ class CompiledWorkload:
             offset += len(group.unodes)
         self._num_atoms = len(owners_list)
         self._num_unique_atoms = offset
-        self._layers: list[tuple[np.ndarray, np.ndarray]] = []
+        self._layers: list[tuple[np.ndarray | None, np.ndarray]] = []
+        self._base_rows: np.ndarray | None = None
+        self._target_rows: np.ndarray | None = None
         if not self._num_atoms:
-            self._base_rows = self._target_rows = None
             return
         owners = np.asarray(owners_list, dtype=np.int64)
         unique_rows = np.asarray(unique_rows_list, dtype=np.int64)
         order = np.argsort(owners, kind="stable")
         sorted_owners = owners[order]
         starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_owners)) + 1))
-        sizes = np.diff(np.append(starts, self._num_atoms))
+        sizes = np.diff(starts, append=self._num_atoms)
         #: row index into the stacked *unique* block matrix of each
         #: query's first atom (order[...] composes the sort at plan time,
         #: unique_rows[...] the dedup)
@@ -390,6 +398,8 @@ class CompiledWorkload:
     ) -> np.ndarray:
         num_cols = index.num_partitions if positions is None else len(positions)
         if self._num_atoms:
+            # _plan_reduction pinned both row maps when atoms exist.
+            assert self._base_rows is not None and self._target_rows is not None
             # Group kernels write straight into their slice of the block
             # matrix: no per-group allocation, no vstack copy.
             stacked = np.empty((self._num_unique_atoms, num_cols), dtype=bool)
@@ -505,8 +515,8 @@ class CompiledWorkload:
         if group.kind == "in":
             mask = self._in_group_mask(group, zones, want_all, out)
         elif group.kind == "between":
-            lows = group.lows[:, None]
-            highs = group.highs[:, None]
+            lows = np.asarray(group.lows)[:, None]
+            highs = np.asarray(group.highs)[:, None]
             if not want_all:
                 mask = np.greater_equal(zones.maxs[None, :], lows, out=out)
                 mask &= zones.mins[None, :] <= highs
@@ -532,7 +542,7 @@ class CompiledWorkload:
     ) -> np.ndarray:
         mins = zones.mins[None, :]
         maxs = zones.maxs[None, :]
-        values = group.values[:, None]
+        values = np.asarray(group.values)[:, None]
         op = group.kind
         if not want_all:
             if op == "==":

@@ -63,6 +63,8 @@ stateful reorg test suite).  The delta must be computed against the very
 metadata object the index was built from.
 """
 
+# reprolint: vectorized
+
 from __future__ import annotations
 
 from collections.abc import Sequence
@@ -220,7 +222,7 @@ def _compile_column(partitions, name: str) -> _ColumnZones | None:
     mins = np.asarray(min_values, dtype=np.float64)
     maxs = np.asarray(max_values, dtype=np.float64)
 
-    bitmap = None
+    bitmap: np.ndarray | None = None
     value_index: dict = {}
     if distinct_sets:
         union = frozenset().union(*(distinct for _, distinct in distinct_sets))
@@ -650,7 +652,7 @@ class ZoneMapIndex:
                 for value in distinct:
                     if value not in value_index:
                         value_index[value] = len(value_index)
-        bitmap = None
+        bitmap: np.ndarray | None = None
         if has_distinct.any():
             num_words = (len(value_index) + _WORD_BITS - 1) // _WORD_BITS
             bitmap = np.zeros((count, num_words), dtype=np.uint64)

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -148,7 +149,7 @@ class AsyncReorgPipeline:
         #: committed-so-far metadata of the new layout (append-only chain);
         #: starts empty so the first partial delta has a real predecessor.
         self.snapshot = LayoutMetadata(partitions=())
-        self._staging = None
+        self._staging: Path | None = None
         self._movement_seconds = 0.0
         self._bytes_read = 0
         self._bytes_written = 0
@@ -281,6 +282,9 @@ class AsyncReorgPipeline:
         return "assign", 0, int(self._table.num_rows), 0, None
 
     def _step_write(self):
+        # The assign step materialized the table and opened the staging
+        # buffer before the phase machine could reach "write".
+        assert self._table is not None and self._staging is not None
         batch = self._groups[
             self._write_position : self._write_position + self.step_partitions
         ]

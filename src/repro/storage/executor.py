@@ -218,12 +218,12 @@ class QueryExecutor:
         position_ids = index.metadata.partition_ids
         by_id = {partition.partition_id: partition for partition in stored.partitions}
         remaining_uses = dict(
-            zip(position_ids.tolist(), matrix.sum(axis=0, dtype=np.int64).tolist())
+            zip(position_ids.tolist(), matrix.sum(axis=0, dtype=np.int64).tolist(), strict=True)
         )
         planning_share = (time.perf_counter() - planning_start) / len(queries)
         columns_cache: dict[int, dict[str, np.ndarray]] = {}
         results: list[QueryResult] = []
-        for row, query in zip(matrix, queries):
+        for row, query in zip(matrix, queries, strict=True):
             start = time.perf_counter()
             rows_matched = 0
             rows_scanned = 0

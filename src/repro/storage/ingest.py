@@ -247,21 +247,22 @@ class IncrementalStore:
 
     def _remove_batch_files(self, layout_id: str) -> None:
         """Drop the per-batch partition files of ``layout_id``'s ingest dir."""
-        directory = self.store.root / f"incremental-{layout_id}"
-        if directory.exists():
-            for file in directory.glob("*.npz"):
-                file.unlink()
-            directory.rmdir()
+        self.store.remove_directory(self.store.root / f"incremental-{layout_id}")
 
     def delete_files(self) -> None:
         """Remove everything this store wrote to disk.
 
         Both the per-batch ingest files and any consolidated layout
-        directory; the in-memory bookkeeping is left untouched.  Callers
-        (e.g. :meth:`LayoutEngine.close` with ``cleanup_on_close``) must
-        not invoke this while an async consolidation is in flight —
-        abort it first.
+        directory; the in-memory bookkeeping is left untouched.  Raises
+        while an async consolidation is in flight (the pipeline still
+        reads these files) — callers such as :meth:`LayoutEngine.close`
+        with ``cleanup_on_close`` must abort it first.
         """
+        if self._consolidating:
+            raise RuntimeError(
+                "cannot delete files while an async consolidation is in "
+                "flight; abort it first"
+            )
         self._remove_batch_files(self.layout.layout_id)
         self.store.delete_layout(self.stored())
 

@@ -190,6 +190,22 @@ class PartitionStore:
         if layout_dir.exists():
             shutil.rmtree(layout_dir)
 
+    def remove_directory(self, directory: Path | str) -> None:
+        """Remove one partition directory under the store root, if present.
+
+        The sanctioned cleanup path for per-batch ingest directories
+        (``incremental-<layout_id>``): file lifecycle stays owned by the
+        store, so the epoch protocol's staging/commit/abort surface and
+        this deletion are the only places partition files die.  Refuses
+        paths outside :attr:`root` — callers cannot launder arbitrary
+        deletes through the store.
+        """
+        directory = Path(directory)
+        if self.root.resolve() not in directory.resolve().parents:
+            raise ValueError(f"{directory} is not under the store root {self.root}")
+        if directory.exists():
+            shutil.rmtree(directory)
+
     def disk_usage(self) -> int:
         """Total bytes under the store root."""
         return sum(f.stat().st_size for f in self.root.rglob("*") if f.is_file())

@@ -65,7 +65,9 @@ class Schema:
     """Ordered collection of :class:`ColumnSpec` objects."""
 
     columns: tuple[ColumnSpec, ...]
-    _by_name: dict = field(init=False, repr=False, compare=False, hash=False, default=None)
+    _by_name: dict[str, ColumnSpec] = field(
+        init=False, repr=False, compare=False, hash=False, default_factory=dict
+    )
 
     def __post_init__(self):
         names = [spec.name for spec in self.columns]

@@ -79,7 +79,7 @@ class TestWorkFunctionBehaviour:
     def test_competitive_on_random_instances(self):
         """WFA is (2n-1)-competitive; check cost ≤ 3·OPT + slack on 2 states."""
         rng = np.random.default_rng(0)
-        for trial in range(10):
+        for _trial in range(10):
             costs = rng.uniform(0, 1, size=(150, 2))
             alpha = 2.0
             wfa = WorkFunctionAlgorithm(["a", "b"], symmetric_matrix(2, alpha), "a")
@@ -142,7 +142,7 @@ class TestTwoStateCounter:
 
     def test_constant_competitive_on_random_instances(self):
         rng = np.random.default_rng(1)
-        for trial in range(10):
+        for _trial in range(10):
             costs = rng.uniform(0, 1, size=(150, 2))
             out_cost, back_cost = 1.0, 3.0
             algorithm = TwoStateCounterAlgorithm(["a", "b"], out_cost, back_cost, "a")

@@ -62,7 +62,7 @@ class TestCostEvaluator:
         queries = [Query(predicate=between("x", float(i), float(i + 10))) for i in range(5)]
         vector = evaluator.cost_vector(layout, queries)
         assert len(vector) == 5
-        for query, value in zip(queries, vector):
+        for query, value in zip(queries, vector, strict=True):
             assert value == evaluator.query_cost(layout, query)
 
     def test_average_cost_empty_sample(self, simple_table):
@@ -105,7 +105,7 @@ class TestCostEvaluator:
         queries = [Query(predicate=between("x", float(i * 9), float(i * 9 + 12))) for i in range(6)]
         matrix = evaluator.cost_matrix(layouts, queries)
         assert matrix.shape == (2, 6)
-        for row, layout in zip(matrix, layouts):
+        for row, layout in zip(matrix, layouts, strict=True):
             np.testing.assert_array_equal(row, evaluator.cost_vector(layout, queries))
 
     def test_cost_matrix_empty_layouts(self, simple_table):

@@ -135,7 +135,7 @@ def assert_replays_identical(
     # --- metadata + partition bytes at every deletion point -------------
     assert len(engine_deletes) == len(direct_deletes)
     for (eid, emeta, efiles), (did, dmeta, dfiles) in zip(
-        engine_deletes, direct_deletes
+        engine_deletes, direct_deletes, strict=True
     ):
         assert eid == did
         assert emeta == dmeta

@@ -48,7 +48,7 @@ def assert_stack_equivalent(metadatas, predicates):
     all_ = stack.matches_all_tensor(compiled)
     fractions = stack.accessed_fractions(compiled)
     assert stack.layout_ids == list(indexes)
-    for position, (layout_id, index) in enumerate(indexes.items()):
+    for position, (_layout_id, index) in enumerate(indexes.items()):
         num = index.num_partitions
         np.testing.assert_array_equal(
             may[position, :, :num], compiled.prune_matrix(index)
@@ -126,7 +126,7 @@ def test_membership_churn_keeps_equivalence(metadatas, predicates, remove_mask):
     stack.prune_tensor(compiled)  # slabs warm before any removal
     removed = [
         layout_id
-        for layout_id, kill in zip(indexes, remove_mask)
+        for layout_id, kill in zip(indexes, remove_mask, strict=False)
         if kill and len(stack) > 1
         and not stack.remove_layout(layout_id)  # remove returns None
     ]

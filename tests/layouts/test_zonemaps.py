@@ -104,7 +104,7 @@ def test_prune_matrix_shape_and_rows(sorted_metadata):
     predicates = [between("x", float(i * 10), float(i * 10 + 15)) for i in range(5)]
     matrix = index.prune_matrix(predicates)
     assert matrix.shape == (5, sorted_metadata.num_partitions)
-    for row, predicate in zip(matrix, predicates):
+    for row, predicate in zip(matrix, predicates, strict=True):
         np.testing.assert_array_equal(row, scalar_masks(sorted_metadata, predicate)[0])
     # Module-level convenience wrapper agrees.
     np.testing.assert_array_equal(matrix, prune_matrix(sorted_metadata, predicates))

@@ -109,9 +109,9 @@ class ReorgMachine(RuleBasedStateMachine):
         # The assignment-derived delta must agree with the metadata diff.
         reference = compute_reorg_delta(self.metadata, new_metadata)
         assert set(delta.changed) >= set(reference.changed)
-        carried = dict(zip(delta.carried_new.tolist(), delta.carried_old.tolist()))
+        carried = dict(zip(delta.carried_new.tolist(), delta.carried_old.tolist(), strict=True))
         reference_carried = dict(
-            zip(reference.carried_new.tolist(), reference.carried_old.tolist())
+            zip(reference.carried_new.tolist(), reference.carried_old.tolist(), strict=True)
         )
         for new_pos, old_pos in carried.items():
             assert reference_carried.get(new_pos) == old_pos

@@ -118,7 +118,7 @@ def test_builder_layout_prune_matrix_equals_scalar(data_seed, kind, predicate_li
     metadata = layout.metadata_for(table)
     index = ZoneMapIndex(metadata)
     matrix = index.prune_matrix([q.predicate for q in workload])
-    for row, query in zip(matrix, workload):
+    for row, query in zip(matrix, workload, strict=True):
         np.testing.assert_array_equal(row, scalar_masks(metadata, query.predicate)[0])
     fractions = index.accessed_fractions([q.predicate for q in workload])
     expected = np.array([metadata.accessed_fraction(q.predicate) for q in workload])

@@ -1,0 +1,15 @@
+"""Make ``tools.reprolint`` importable for the rule-level tests.
+
+The checker lives at the repository root (next to ``src/``), outside the
+``PYTHONPATH=src`` tree the product tests use; insert the root so the
+fixture tests can drive the rules in-process.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))

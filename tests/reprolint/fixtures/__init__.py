@@ -1,0 +1,8 @@
+"""Reprolint rule fixtures: deliberately broken and deliberately clean.
+
+Each ``rprNNN_bad.py`` violates exactly the invariant rule RPRNNN
+checks; each ``rprNNN_good.py`` exercises the same code shape without
+violating it.  The fixtures are linted by ``tests/test_reprolint.py``
+(never imported or executed), so they may reference names that do not
+exist at runtime.
+"""

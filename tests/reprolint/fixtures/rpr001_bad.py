@@ -1,0 +1,23 @@
+"""RPR001 fixture: raw partition-file mutation outside PartitionStore."""
+
+import shutil
+
+import numpy as np
+
+
+def write_partition_directly(path, arrays):
+    # A direct partition-file write bypassing the staging protocol: a
+    # crash after this line leaves a half-written epoch visible.
+    np.savez_compressed(path, **arrays)
+
+
+def clobber_layout(layout_dir):
+    shutil.rmtree(layout_dir)
+
+
+def drop_one_file(path):
+    path.unlink()
+
+
+def swap_epochs(old_dir, new_dir):
+    old_dir.rename(new_dir)

@@ -1,0 +1,22 @@
+"""RPR001 fixture: file lifecycle routed through the PartitionStore API."""
+
+
+def materialize_through_store(store, table, layout):
+    return store.materialize(table, layout)
+
+
+def staged_rewrite(store, layout_id, write_files):
+    staging = store.begin_staging(layout_id)
+    write_files(staging)
+    return store.commit_staging(layout_id)
+
+
+def cleanup(store, stored):
+    store.delete_layout(stored)
+    store.remove_directory(store.root / "incremental-old")
+
+
+def sanctioned_scratch_delete(tmp_file):
+    # Non-partition bookkeeping owned by a test harness, explicitly
+    # waved through with a justification.
+    tmp_file.unlink()  # reprolint: disable=RPR001

@@ -1,0 +1,19 @@
+"""RPR002 fixture: produced ReorgDeltas silently discarded."""
+
+
+def fire_and_forget(store, stored, layout, schema):
+    # Bare-expression call: the ReorgResult (and its delta) evaporates.
+    reorganize(store, stored, layout, schema)  # noqa: F821
+
+
+def bound_to_underscore(old_snapshot, new_snapshot):
+    _ = compute_reorg_delta(old_snapshot, new_snapshot)  # noqa: F821
+
+
+def bound_but_never_used(store, new_layout):
+    delta = store.compute_reorg_delta(new_layout)
+    return None
+
+
+def method_producer_dropped(incremental, new_layout):
+    incremental.consolidate(new_layout)

@@ -1,0 +1,20 @@
+"""RPR002 fixture: every produced delta reaches a consumer (or the caller)."""
+
+
+def delta_reaches_evaluator(evaluator, layout_id, old_snapshot, new_snapshot):
+    delta = compute_reorg_delta(old_snapshot, new_snapshot)  # noqa: F821
+    evaluator.revalidate(layout_id, delta)
+
+
+def result_returned(store, stored, layout, schema):
+    return reorganize(store, stored, layout, schema)  # noqa: F821
+
+
+def tuple_unpacked(store, stored, layout, schema):
+    new_stored, result = reorganize(store, stored, layout, schema)  # noqa: F821
+    return new_stored, result.delta
+
+
+def consolidate_used(incremental, new_layout, log):
+    result = incremental.consolidate(new_layout)
+    log.append(result)

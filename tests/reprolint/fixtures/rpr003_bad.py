@@ -1,0 +1,21 @@
+"""RPR003 fixture: a state transition that never fires an EngineEvents hook."""
+
+
+class SilentEngine:
+    def __init__(self, events):
+        self._events = events
+        self._reset_lifetime_state()
+
+    def _reset_lifetime_state(self):
+        self._epoch = 0
+        self._layout_id = None
+
+    def adopt_layout(self, layout_id):
+        # Mutates lifetime state with no on_* emission anywhere on the
+        # path: an event-stream follower replaying this engine drifts.
+        self._layout_id = layout_id
+        self._epoch += 1
+
+    def step(self):
+        self._epoch += 1
+        self._events.on_step(self._epoch)

@@ -1,0 +1,23 @@
+"""RPR004 fixture: mutation paths skipping the in-flight-consolidation guard."""
+
+
+class UnguardedStore:
+    def __init__(self, store, layout):
+        self.store = store
+        self.layout = layout
+        self._partitions = []
+        self._consolidating = False
+
+    def ingest(self, batch):
+        # Appends partitions while a pipelined consolidation may have
+        # frozen its read set — without ever consulting _consolidating.
+        stored = self.store.write_partition_file(batch, None, 0, "dir")
+        self._partitions.append(stored)
+
+    def reset(self):
+        self._partitions = []
+
+    def consolidate(self, new_layout):
+        if self._consolidating:
+            raise RuntimeError("in flight")
+        self.layout = new_layout

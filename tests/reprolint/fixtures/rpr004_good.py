@@ -1,0 +1,29 @@
+"""RPR004 fixture: every mutation path consults the consolidation guard."""
+
+
+class GuardedStore:
+    def __init__(self, store, layout):
+        self.store = store
+        self.layout = layout
+        self._partitions = []
+        self._consolidating = False
+
+    def ingest(self, batch):
+        self._check_guard()
+        stored = self.store.write_partition_file(batch, None, 0, "dir")
+        self._partitions.append(stored)
+
+    def _check_guard(self):
+        # Transitive reference: the guard check lives in a helper.
+        if self._consolidating:
+            raise RuntimeError("an async consolidation is in flight")
+
+    def reset(self):
+        if self._consolidating:
+            raise RuntimeError("an async consolidation is in flight")
+        self._partitions = []
+
+    @property
+    def num_partitions(self):
+        # Read-only surface: no guard needed.
+        return len(self._partitions)

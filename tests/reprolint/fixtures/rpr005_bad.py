@@ -1,0 +1,12 @@
+# reprolint: vectorized
+"""RPR005 fixture: a vectorized kernel with no registered oracle test.
+
+The marker opts the module into the kernel tier, but nothing maps it to
+a differential test file — the coverage gate must notice.
+"""
+
+import numpy as np
+
+
+def fused_kernel(values):
+    return np.cumsum(values)

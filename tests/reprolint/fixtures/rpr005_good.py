@@ -1,0 +1,13 @@
+# reprolint: vectorized
+"""RPR005 fixture: a vectorized kernel whose oracle test is registered.
+
+The test suite runs OracleCoverageRule with a registry mapping this
+module to ``rpr005_oracle_stub.py``, which references both tokens.
+"""
+
+import numpy as np
+
+
+class FixtureKernel:
+    def may_match(self, lo, hi):
+        return np.minimum(lo, hi)

@@ -1,0 +1,5 @@
+"""Stand-in differential test for the RPR005 good fixture.
+
+References ``FixtureKernel`` and ``may_match`` so the registered-token
+check passes.
+"""

@@ -1,0 +1,28 @@
+# reprolint: vectorized
+"""RPR006 fixture: Python back in the hot path of a vectorized module."""
+
+import numpy as np
+
+
+def grow_by_append(starts, sentinel):
+    return np.append(starts, sentinel)
+
+
+def grow_in_loop(pieces):
+    out = np.empty(0)
+    for piece in pieces:
+        out = np.concatenate([out, piece])
+    return out
+
+
+def per_partition_loop(partitions):
+    totals = []
+    for partition in partitions:
+        totals.append(np.sum(partition.values))
+    return totals
+
+
+def silent_copy_mutation(values):
+    arr = np.asarray(values)
+    arr[0] = 0.0
+    return arr

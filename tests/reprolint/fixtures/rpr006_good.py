@@ -1,0 +1,24 @@
+# reprolint: vectorized
+"""RPR006 fixture: the same jobs done with whole-array kernels."""
+
+import numpy as np
+
+
+def grow_without_append(starts, sentinel):
+    return np.diff(starts, append=sentinel)
+
+
+def concatenate_once(pieces):
+    return np.concatenate(list(pieces))
+
+
+def per_partition_vectorized(partition_sizes, values):
+    # One reduceat over the stacked values: no Python-level loop.
+    starts = np.cumsum(partition_sizes)[:-1]
+    return np.add.reduceat(values, np.concatenate([[0], starts]))
+
+
+def explicit_copy_mutation(values):
+    arr = np.array(values, copy=True)
+    arr[0] = 0.0
+    return arr

@@ -1,0 +1,11 @@
+"""RPR006 fixture: the same anti-patterns in an UNMARKED module.
+
+Hygiene rules key on the ``# reprolint: vectorized`` marker; glue code
+that never opted in may use np.append freely.
+"""
+
+import numpy as np
+
+
+def glue_code_append(starts, sentinel):
+    return np.append(starts, sentinel)

@@ -1,0 +1,16 @@
+"""RPR007 fixture: snapshot rebinding behind the evaluator's back."""
+
+
+class StaleCachingStore:
+    def __init__(self, evaluator, snapshot):
+        self.evaluator = evaluator
+        self._snapshot = snapshot
+        self.evaluator.register_metadata("layout", snapshot)
+
+    def swap_snapshot(self, new_snapshot):
+        # The evaluator keeps serving prices cached against the old
+        # snapshot: classic stale-metadata bug.
+        self._snapshot = new_snapshot
+
+    def describe(self):
+        return self._snapshot

@@ -1,0 +1,16 @@
+"""RPR008 fixture: __all__ out of sync with the module's definitions."""
+
+__all__ = ["exported", "renamed_away", "exported"]
+
+
+def exported():
+    return 1
+
+
+def forgotten_public_function():
+    # Public (no underscore) but missing from __all__.
+    return 2
+
+
+def _internal_helper():
+    return 3

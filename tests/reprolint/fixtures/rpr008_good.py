@@ -1,0 +1,18 @@
+"""RPR008 fixture: a curated __all__ that matches the definitions."""
+
+__all__ = ["PublicThing", "exported", "CONSTANT"]
+
+CONSTANT = 7
+
+
+class PublicThing:
+    def method(self):
+        return CONSTANT
+
+
+def exported():
+    return PublicThing()
+
+
+def _internal_helper():
+    return None

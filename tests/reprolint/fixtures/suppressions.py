@@ -1,0 +1,25 @@
+# reprolint: disable-file=RPR002
+"""Suppression fixture: every directive style silencing a real finding."""
+
+import shutil
+
+import numpy as np
+
+
+def same_line(path, arrays):
+    np.savez(path, **arrays)  # reprolint: disable=RPR001
+
+
+def standalone_line(layout_dir):
+    # reprolint: disable=RPR001
+    shutil.rmtree(layout_dir)
+
+
+def file_wide(old_snapshot, new_snapshot):
+    # RPR002 violation silenced by the disable-file directive up top.
+    compute_reorg_delta(old_snapshot, new_snapshot)  # noqa: F821
+
+
+def still_caught(path):
+    # No directive covers this line: the finding must survive.
+    path.unlink()

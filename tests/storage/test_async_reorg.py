@@ -190,7 +190,7 @@ class TestPipelineEquivalence:
         assert [
             (p.partition_id, p.row_count, p.byte_size) for p in new_stored.partitions
         ] == [(p.partition_id, p.row_count, p.byte_size) for p in sync_new.partitions]
-        for ours, theirs in zip(new_stored.partitions, sync_new.partitions):
+        for ours, theirs in zip(new_stored.partitions, sync_new.partitions, strict=True):
             assert ours.path.read_bytes() == theirs.path.read_bytes()
         assert result.bytes_read == sync_result.bytes_read
         assert result.bytes_written == sync_result.bytes_written

@@ -113,7 +113,7 @@ class TestExecuteBatch:
         ] + [Query(predicate=eq("y", 3))]
         batch = executor.execute_batch(stored_range, queries)
         assert len(batch) == len(queries)
-        for query, batched in zip(queries, batch):
+        for query, batched in zip(queries, batch, strict=True):
             single = executor.execute(stored_range, query)
             assert batched.rows_matched == single.rows_matched
             assert batched.rows_scanned == single.rows_scanned
@@ -123,7 +123,7 @@ class TestExecuteBatch:
 
     def test_batch_matches_brute_force(self, executor, stored_range, simple_table):
         queries = [Query(predicate=between("x", 5.0, 42.0)), Query(predicate=eq("color", 1))]
-        for query, result in zip(queries, executor.execute_batch(stored_range, queries)):
+        for query, result in zip(queries, executor.execute_batch(stored_range, queries), strict=True):
             expected = int(query.predicate.evaluate(simple_table.columns).sum())
             assert result.rows_matched == expected
 
@@ -183,7 +183,7 @@ class TestCompiledPlanCache:
         compiled = executor._compiled[key]
         second = executor.execute_batch(stored_range, queries)
         assert executor._compiled[key] is compiled  # reused, not recompiled
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert (a.rows_matched, a.rows_scanned, a.partitions_scanned) == (
                 b.rows_matched,
                 b.rows_scanned,

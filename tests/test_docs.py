@@ -72,6 +72,108 @@ def test_heading_slugs_disambiguate_duplicates():
     assert {"invariants", "invariants-1", "other"} <= slugs
 
 
+def test_anchor_with_unslugified_punctuation_is_broken(tmp_path):
+    """Linking ``#rule-ids-&-severity`` instead of the GitHub slug fails.
+
+    GitHub strips punctuation when slugging headings; a link that keeps
+    the literal ``&`` can never resolve and must be reported.
+    """
+    target = tmp_path / "catalogue.md"
+    target.write_text("# Catalogue\n\n## Rule IDs & Severity\n")
+    source = tmp_path / "index.md"
+    source.write_text(
+        "bad: [rules](catalogue.md#rule-ids-&-severity)\n"
+        "good: [rules](catalogue.md#rule-ids--severity)\n"
+    )
+    errors = check_docs.check_markdown_links([source])
+    assert len(errors) == 1
+    assert "rule-ids-&-severity" in errors[0] and "missing heading" in errors[0]
+
+
+def test_anchor_beyond_duplicate_count_is_broken(tmp_path):
+    """Two ``# Invariants`` headings yield ``-1`` but never ``-2``."""
+    target = tmp_path / "doc.md"
+    target.write_text("# Invariants\n\ntext\n\n# Invariants\n")
+    source = tmp_path / "index.md"
+    source.write_text(
+        "[first](doc.md#invariants) [second](doc.md#invariants-1) "
+        "[phantom](doc.md#invariants-2)\n"
+    )
+    errors = check_docs.check_markdown_links([source])
+    assert len(errors) == 1 and "invariants-2" in errors[0]
+
+
+def test_malformed_external_url_is_reported(tmp_path):
+    source = tmp_path / "ext.md"
+    source.write_text("see [spec](https://example.com/a%20b) and [broken](https://)\n")
+    errors = check_docs.check_markdown_links([source])
+    assert len(errors) == 1 and "malformed" in errors[0]
+
+
+def test_docstring_checker_covers_properties_and_classmethods():
+    """New public surface of every flavor lands in the audit.
+
+    ``_public_members`` must unwrap properties, staticmethods and
+    classmethods so an undocumented accessor cannot hide behind its
+    descriptor — the gap RPR008's ``__all__`` audit does not see.
+    """
+    import types
+
+    module = types.ModuleType("fake_pkg.fake_mod")
+
+    class Widget:
+        """Documented class."""
+
+        @property
+        def documented_prop(self):
+            """Has one."""
+
+        @property
+        def undocumented_prop(self):
+            return None
+
+        @staticmethod
+        def undocumented_static():
+            pass
+
+        @classmethod
+        def undocumented_cls(cls):
+            pass
+
+    Widget.__module__ = "fake_pkg.fake_mod"
+    module.Widget = Widget
+    members = dict(check_docs._public_members(module))
+    assert {
+        "Widget",
+        "Widget.documented_prop",
+        "Widget.undocumented_prop",
+        "Widget.undocumented_static",
+        "Widget.undocumented_cls",
+    } <= set(members)
+    import inspect
+
+    undocumented = [q for q, obj in members.items() if not inspect.getdoc(obj)]
+    assert sorted(undocumented) == [
+        "Widget.undocumented_cls",
+        "Widget.undocumented_prop",
+        "Widget.undocumented_static",
+    ]
+
+
+def test_docstring_checker_skips_reexports():
+    """A name re-exported from another module is audited where defined."""
+    import types
+
+    module = types.ModuleType("fake_pkg.facade")
+
+    def foreign():
+        pass
+
+    foreign.__module__ = "somewhere.else"
+    module.foreign = foreign
+    assert check_docs._public_members(module) == []
+
+
 def test_docstring_checker_flags_gaps():
     import types
 

@@ -67,7 +67,7 @@ def test_workload_drift_helpers():
         from repro.core import RunLedger
 
         ledger = RunLedger()
-        for query in stream:
+        for _query in stream:
             ledger.record(0.1, 0.0, "l", switched=False)
         rows = workload_drift.per_segment_costs(stream, ledger)
         assert len(rows) == 2

@@ -1,10 +1,13 @@
 """Local mirror of CI's mypy gate over the public API surface.
 
-CI installs mypy and type-checks ``repro.engine``, ``repro.storage`` and
-``repro.core.cost_model`` against ``mypy.ini`` so the policy/event
-protocol contracts stay honest.  This test reproduces that gate wherever
-mypy happens to be installed, and skips (rather than fails) where it is
-not — the tier-1 environment only guarantees numpy/pytest/hypothesis.
+CI installs mypy and type-checks ``repro.engine``, ``repro.storage``,
+``repro.core.cost_model`` and the three vectorized kernel tiers
+(``repro.layouts.zonemaps`` / ``workload_compiler`` / ``stacked``)
+against ``mypy.ini`` — strict-optional, so lifecycle invariants are
+narrowed explicitly — keeping the policy/event protocol contracts
+honest.  This test reproduces that gate wherever mypy happens to be
+installed, and skips (rather than fails) where it is not — the tier-1
+environment only guarantees numpy/pytest/hypothesis.
 """
 
 from __future__ import annotations
@@ -34,6 +37,12 @@ def test_public_api_surface_typechecks():
             "repro.storage",
             "-m",
             "repro.core.cost_model",
+            "-m",
+            "repro.layouts.zonemaps",
+            "-m",
+            "repro.layouts.workload_compiler",
+            "-m",
+            "repro.layouts.stacked",
         ],
         capture_output=True,
         text=True,

@@ -62,7 +62,7 @@ class TestGenerateStream:
     def test_no_consecutive_duplicate_templates(self, rng):
         stream = generate_stream(toy_templates(), 1000, 12, rng)
         names = [name for _, name in stream.segments]
-        for previous, current in zip(names, names[1:]):
+        for previous, current in zip(names, names[1:], strict=False):
             assert previous != current
 
     def test_single_template_allowed(self, rng):

@@ -1,0 +1,1 @@
+"""Repository tooling: documentation gate and the reprolint static checker."""

@@ -1,0 +1,97 @@
+"""Command-line interface: text or JSON findings, nonzero exit on any.
+
+``python -m tools.reprolint src/repro tools`` is the CI gate; the same
+invocation works from the repository root for local runs.  ``--json``
+emits a machine-readable report (one object per finding plus a summary),
+``--select`` restricts to specific rules, ``--list-rules`` prints the
+catalogue.  Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core import all_rules
+from .runner import run
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (default: src/repro and tools)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root for registry/doc lookups (default: cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit findings as JSON instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the checker; returns the process exit status."""
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for rule_cls in all_rules():
+            print(f"{rule_cls.rule_id}  {rule_cls.name}: {rule_cls.description}")
+        return 0
+    paths = args.paths or [Path("src/repro"), Path("tools")]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"reprolint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    select = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",") if part.strip()}
+    root = args.root if args.root is not None else Path.cwd()
+    findings = run(paths, root=root, select=select)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict(root) for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render(root))
+        if findings:
+            print(f"\n{len(findings)} reprolint finding(s)", file=sys.stderr)
+        else:
+            print("reprolint clean: all protocol invariants hold")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

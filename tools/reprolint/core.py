@@ -1,0 +1,218 @@
+"""Core model of the checker: findings, module/project contexts, rule base.
+
+Everything here is pure stdlib (``ast`` + ``tokenize``): reprolint never
+imports the code it checks, so a broken module can still be linted and
+the checker cannot be confused by import-time side effects.
+
+The moving parts:
+
+* :class:`Finding` — one violation, pointing at a file/line/column;
+* :class:`ModuleContext` — one parsed source file plus its reprolint
+  comment directives (suppressions and markers);
+* :class:`ProjectContext` — the whole checked tree, for rules that need
+  a cross-file view (oracle coverage, docs references);
+* :class:`Rule` — the visitor-style base class; subclasses register
+  themselves via :func:`register` and implement :meth:`Rule.check_module`
+  (per file) and/or :meth:`Rule.finalize` (once, after every file).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "register",
+]
+
+#: ``# reprolint: <directive>`` — the only comment syntax the tool owns
+_DIRECTIVE = re.compile(r"#\s*reprolint:\s*(?P<body>.+?)\s*$")
+_RULE_ID = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    message: str
+    path: Path
+    line: int
+    col: int = 0
+
+    def render(self, root: Path | None = None) -> str:
+        """``path:line:col: RPRxxx message`` with ``path`` relative to ``root``."""
+        path = self.path
+        if root is not None:
+            try:
+                path = path.relative_to(root)
+            except ValueError:
+                pass
+        return f"{path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self, root: Path | None = None) -> dict:
+        """JSON-serializable form (the ``--json`` output schema)."""
+        path = self.path
+        if root is not None:
+            try:
+                path = path.relative_to(root)
+            except ValueError:
+                pass
+        return {
+            "rule": self.rule_id,
+            "message": self.message,
+            "path": str(path),
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+class ModuleContext:
+    """One parsed source file: AST, raw source, and comment directives.
+
+    Directives are parsed with :mod:`tokenize` so strings containing the
+    magic comment cannot spoof a suppression.  A suppression on line *n*
+    silences matching findings reported on line *n*; a suppression on a
+    standalone comment line silences line *n + 1* as well, so either
+    style works::
+
+        store.write(...)  # reprolint: disable=RPR001
+        # reprolint: disable=RPR001
+        store.write(...)
+    """
+
+    def __init__(self, path: Path, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: line number -> rule ids disabled on that line
+        self.line_disables: dict[int, set[str]] = {}
+        #: rule ids disabled for the whole file
+        self.file_disables: set[str] = set()
+        #: bare markers, e.g. ``vectorized``
+        self.markers: set[str] = set()
+        self._parse_directives()
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleContext":
+        """Read and parse ``path`` (raises ``SyntaxError`` on broken source)."""
+        source = path.read_text()
+        return cls(path, source, ast.parse(source, filename=str(path)))
+
+    def _parse_directives(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+            return
+        lines = self.source.splitlines()
+        for line_no, comment in comments:
+            match = _DIRECTIVE.search(comment)
+            if match is None:
+                continue
+            body = match.group("body")
+            standalone = (
+                line_no <= len(lines) and lines[line_no - 1].lstrip().startswith("#")
+            )
+            for clause in body.split(";"):
+                clause = clause.strip()
+                if clause.startswith("disable-file="):
+                    self.file_disables.update(self._rule_ids(clause[13:]))
+                elif clause.startswith("disable="):
+                    ids = self._rule_ids(clause[8:])
+                    self.line_disables.setdefault(line_no, set()).update(ids)
+                    if standalone:
+                        self.line_disables.setdefault(line_no + 1, set()).update(ids)
+                elif clause:
+                    self.markers.add(clause)
+
+    @staticmethod
+    def _rule_ids(spec: str) -> set[str]:
+        return {part.strip() for part in spec.split(",") if _RULE_ID.match(part.strip())}
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether a finding in this module is silenced by a directive."""
+        if finding.rule_id in self.file_disables:
+            return True
+        return finding.rule_id in self.line_disables.get(finding.line, set())
+
+
+@dataclass
+class ProjectContext:
+    """The whole checked tree: every module plus the repository root."""
+
+    root: Path
+    modules: list[ModuleContext] = field(default_factory=list)
+
+    def relative(self, module: ModuleContext) -> str:
+        """Module path relative to the project root, with ``/`` separators."""
+        try:
+            return module.path.relative_to(self.root).as_posix()
+        except ValueError:
+            return module.path.as_posix()
+
+
+class Rule:
+    """Base class for one checkable invariant.
+
+    Subclasses set :attr:`rule_id` / :attr:`name` / :attr:`description`
+    and implement :meth:`check_module` (called once per parsed file)
+    and/or :meth:`finalize` (called once after the whole tree was seen —
+    for cross-file invariants).  Rules are stateless across runs when
+    instantiated fresh, which the runner does.
+    """
+
+    rule_id: str = "RPR000"
+    name: str = "abstract"
+    description: str = ""
+
+    def check_module(self, module: ModuleContext, project: ProjectContext) -> list[Finding]:
+        """Findings for one source file (default: none)."""
+        return []
+
+    def finalize(self, project: ProjectContext) -> list[Finding]:
+        """Cross-file findings after every module was checked (default: none)."""
+        return []
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """Convenience constructor anchored at ``node``'s location."""
+        return Finding(
+            rule_id=self.rule_id,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry (id-unique)."""
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    if not _RULE_ID.match(rule_cls.rule_id):
+        raise ValueError(f"rule id {rule_cls.rule_id!r} does not match RPRxxx")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule class, ordered by rule id."""
+    from . import rules  # noqa: F401  (importing registers the built-ins)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]

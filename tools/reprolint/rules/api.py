@@ -1,0 +1,249 @@
+"""Public-API consistency: ``__all__`` vs defined names vs docs references.
+
+This subsumes the ad-hoc export audit that previously ran by hand: the
+repository's convention is that every module curates an ``__all__``, the
+package ``__init__`` re-exports the facade surface, and the markdown
+docs reference APIs by dotted path.  All three drift independently —
+a renamed function leaves a dangling ``__all__`` entry (an ImportError
+only ``from x import *`` would surface), a new public class silently
+never reaches the facade, and docs keep naming an API that no longer
+exists.
+
+RPR008 checks, per module with a literal ``__all__``:
+
+* every ``__all__`` entry is actually defined (def/class/assignment/
+  import) at top level;
+* no duplicate entries;
+* every public top-level ``def``/``class`` appears in ``__all__``
+  (helpers meant to stay internal are underscore-prefixed — the same
+  line the docstring gate draws);
+
+and, across the project, that every backticked dotted reference like
+```` `repro.engine.LayoutEngine.query` ```` in ``README.md``,
+``ROADMAP.md`` and ``docs/*.md`` resolves against the parsed source
+tree (module path, then top-level name, then class member).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from ..core import Finding, ModuleContext, ProjectContext, Rule, register
+
+__all__ = ["PublicApiRule"]
+
+_DOC_REF = re.compile(r"`(repro\.[A-Za-z_][\w.]*)`")
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+#: markdown documents whose dotted references are validated
+_DOC_FILES = ("README.md", "ROADMAP.md")
+_DOC_DIRS = ("docs",)
+
+
+def _top_level_names(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (one level of If/Try recursion)."""
+    names: set[str] = set()
+
+    def scan(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                names.add(stmt.target.id)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name != "*":
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.If):
+                scan(stmt.body)
+                scan(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                scan(stmt.body)
+                for handler in stmt.handlers:
+                    scan(handler.body)
+                scan(stmt.orelse)
+                scan(stmt.finalbody)
+
+    scan(tree.body)
+    return names
+
+
+def _literal_all(tree: ast.Module) -> tuple[list[str] | None, ast.AST | None, bool]:
+    """``(entries, node, is_literal)`` for a top-level ``__all__``."""
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+        ):
+            continue
+        if isinstance(stmt.value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in stmt.value.elts
+        ):
+            return [e.value for e in stmt.value.elts], stmt, True
+        return None, stmt, False
+    return None, None, True
+
+
+def _class_members(tree: ast.Module, class_name: str) -> set[str] | None:
+    """Member names of a top-level class, or ``None`` if not a class here."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == class_name:
+            members: set[str] = set()
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    members.add(item.name)
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            members.add(target.id)
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    members.add(item.target.id)
+            return members
+    return None
+
+
+@register
+class PublicApiRule(Rule):
+    """RPR008: ``__all__``, defined names and docs references must agree."""
+
+    rule_id = "RPR008"
+    name = "public-api"
+    description = (
+        "__all__ entries must be defined, unique, and cover every public "
+        "top-level def/class; dotted repro.* references in the markdown "
+        "docs must resolve against the source tree."
+    )
+
+    #: path prefix (relative to project root) holding the importable tree
+    source_prefix = "src"
+
+    def check_module(self, module: ModuleContext, project: ProjectContext) -> list[Finding]:
+        """Audit one module's ``__all__`` against its definitions."""
+        entries, node, is_literal = _literal_all(module.tree)
+        if node is not None and not is_literal:
+            return [
+                self.finding(
+                    module,
+                    node,
+                    "__all__ is not a literal list of strings; reprolint "
+                    "(and static importers) cannot audit it",
+                )
+            ]
+        if entries is None:
+            return []
+        findings = []
+        defined = _top_level_names(module.tree)
+        seen: set[str] = set()
+        for entry in entries:
+            if entry in seen:
+                findings.append(
+                    self.finding(module, node, f"duplicate __all__ entry {entry!r}")
+                )
+            seen.add(entry)
+            if entry not in defined:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"__all__ exports {entry!r} which is not defined in "
+                        "the module",
+                    )
+                )
+        for stmt in module.tree.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if stmt.name.startswith("_") or stmt.name in seen:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    stmt,
+                    f"public {type(stmt).__name__.replace('Def', '').lower()} "
+                    f"{stmt.name!r} is missing from __all__ (underscore-prefix "
+                    "it if it is internal)",
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------- docs refs
+    def finalize(self, project: ProjectContext) -> list[Finding]:
+        """Validate dotted ``repro.*`` references in the markdown docs."""
+        index = self._module_index(project)
+        if not index:
+            return []
+        findings: list[Finding] = []
+        for doc in self._doc_files(project.root):
+            text = _CODE_FENCE.sub("", doc.read_text())
+            for line_no, line in enumerate(text.splitlines(), start=1):
+                for match in _DOC_REF.finditer(line):
+                    ref = match.group(1)
+                    problem = self._resolve(ref, index)
+                    if problem is not None:
+                        findings.append(
+                            Finding(
+                                self.rule_id,
+                                f"doc reference `{ref}` does not resolve: {problem}",
+                                doc,
+                                line_no,
+                            )
+                        )
+        return findings
+
+    def _doc_files(self, root: Path) -> list[Path]:
+        files = [root / name for name in _DOC_FILES if (root / name).exists()]
+        for directory in _DOC_DIRS:
+            if (root / directory).is_dir():
+                files.extend(sorted((root / directory).glob("*.md")))
+        return files
+
+    def _module_index(self, project: ProjectContext) -> dict[str, ModuleContext]:
+        """Dotted module name -> context, for modules under ``src/``."""
+        index: dict[str, ModuleContext] = {}
+        for module in project.modules:
+            rel = project.relative(module)
+            if not rel.startswith(f"{self.source_prefix}/"):
+                continue
+            dotted = rel[len(self.source_prefix) + 1 :]
+            dotted = dotted[: -len(".py")].replace("/", ".")
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            index[dotted] = module
+        return index
+
+    def _resolve(self, ref: str, index: dict[str, ModuleContext]) -> str | None:
+        """``None`` when ``ref`` resolves, else a human-readable reason."""
+        parts = ref.split(".")
+        for cut in range(len(parts), 0, -1):
+            module_name = ".".join(parts[:cut])
+            module = index.get(module_name)
+            if module is None:
+                continue
+            remainder = parts[cut:]
+            if not remainder:
+                return None
+            defined = _top_level_names(module.tree)
+            if remainder[0] not in defined:
+                return f"{module_name} defines no {remainder[0]!r}"
+            if len(remainder) == 1:
+                return None
+            members = _class_members(module.tree, remainder[0])
+            if members is None:
+                return None  # re-export or non-class: cannot go deeper statically
+            if remainder[1] not in members and not remainder[1].startswith("_"):
+                return f"{module_name}.{remainder[0]} has no member {remainder[1]!r}"
+            return None
+        return f"no module prefix of {ref!r} exists under {self.source_prefix}/"

@@ -1,0 +1,233 @@
+"""Revalidation-protocol rules: deltas must reach the caches they migrate.
+
+RPR002 — dropped-delta detection.  Every physical reorganization
+producer (``reorganize``, ``consolidate``, ``compute_reorg_delta``,
+``derive_delta``) returns the :class:`ReorgDelta` that downstream caches
+(zone-map indexes, stacked slabs, cost masks, compiled plans) need to
+revalidate surgically.  A call whose result is discarded means some
+cache somewhere keeps pricing the pre-reorg world — the bug class the
+incremental-maintenance suites exist to prevent, caught here statically.
+
+RPR007 — cache-pairing.  A class that holds a :class:`CostEvaluator`
+(an ``evaluator`` attribute assigned in ``__init__``) and mutates its
+own metadata snapshot must notify the evaluator on the same path
+(``revalidate`` / ``register_metadata`` / ``forget`` / ``adopt``),
+otherwise registered metadata goes stale while cached prices keep being
+served from it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..classinfo import summarize_class, transitive
+from ..core import Finding, ModuleContext, ProjectContext, Rule, register
+
+__all__ = ["DroppedDeltaRule", "CachePairingRule"]
+
+#: bare-name producers (module-level functions imported directly)
+_NAME_PRODUCERS = frozenset(
+    {
+        "reorganize",
+        "compute_reorg_delta",
+        "compute_reorg_delta_from_assignments",
+        "derive_delta",
+    }
+)
+#: attribute producers (methods whose result carries the delta)
+_ATTR_PRODUCERS = frozenset({"consolidate", "compute_reorg_delta"})
+
+#: evaluator calls that count as handing the delta over / notifying
+_CONSUMERS = frozenset({"revalidate", "apply_reorg", "register_metadata", "forget", "adopt"})
+
+
+def _producer_label(func: ast.expr) -> str | None:
+    """The producer's display name if ``func`` is a tracked producer."""
+    if isinstance(func, ast.Name) and func.id in _NAME_PRODUCERS:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in _ATTR_PRODUCERS:
+        return func.attr
+    return None
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    """Plain names bound by an assignment target (tuples flattened)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+def _scope_local(stmt: ast.stmt):
+    """Walk ``stmt`` without descending into nested function/class scopes.
+
+    Producer detection must stay scope-local — a call inside a nested
+    ``def`` belongs to that function's own scope check, not its parent's
+    (walking both would double-report every finding).
+    """
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Collects per-scope producer assignments and name loads."""
+
+    def __init__(self, rule: "DroppedDeltaRule", module: ModuleContext):
+        self.rule = rule
+        self.module = module
+        self.findings: list[Finding] = []
+
+    def _check_scope(self, body: list[ast.stmt]) -> None:
+        loads: dict[str, int] = {}
+        drops: list[tuple[ast.AST, str, list[str]]] = []
+        for stmt in body:
+            # Loads are counted through nested scopes too: a closure (or
+            # callback lambda) reading the name is a legitimate use.
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                    loads[node.id] = loads.get(node.id, 0) + 1
+            for node in _scope_local(stmt):
+                if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                    label = _producer_label(node.value.func)
+                    if label is not None:
+                        self.findings.append(
+                            self.rule.finding(
+                                self.module,
+                                node,
+                                f"result of {label}() is discarded; its "
+                                "ReorgDelta must reach revalidate()/"
+                                "apply_reorg() (or be explicitly returned)",
+                            )
+                        )
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    label = _producer_label(node.value.func)
+                    if label is None:
+                        continue
+                    names = [
+                        name
+                        for target in node.targets
+                        for name in _target_names(target)
+                    ]
+                    drops.append((node, label, names))
+        for node, label, names in drops:
+            useful = [name for name in names if name != "_"]
+            if not useful:
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        f"result of {label}() is bound to '_' and dropped; "
+                        "its ReorgDelta must reach revalidate()/apply_reorg()",
+                    )
+                )
+                continue
+            unused = [name for name in useful if loads.get(name, 0) == 0]
+            if unused:
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        f"result of {label}() bound to "
+                        f"{', '.join(repr(n) for n in unused)} but never "
+                        "used; the ReorgDelta never reaches a consumer",
+                    )
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_scope(node.body)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_scope(node.body)
+        self.generic_visit(node)
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._check_scope(node.body)
+        self.generic_visit(node)
+
+
+@register
+class DroppedDeltaRule(Rule):
+    """RPR002: a produced ReorgDelta must not be silently discarded."""
+
+    rule_id = "RPR002"
+    name = "dropped-delta"
+    description = (
+        "Calls to reorganize()/consolidate()/compute_reorg_delta()/"
+        "derive_delta() whose result (carrying the ReorgDelta) is "
+        "discarded or bound to a never-used name."
+    )
+
+    def check_module(self, module: ModuleContext, project: ProjectContext) -> list[Finding]:
+        """Flag discarded producer results, scope by scope."""
+        visitor = _ScopeVisitor(self, module)
+        visitor.visit(module.tree)
+        return visitor.findings
+
+
+@register
+class CachePairingRule(Rule):
+    """RPR007: snapshot mutation must notify the held CostEvaluator."""
+
+    rule_id = "RPR007"
+    name = "cache-pairing"
+    description = (
+        "In a class holding an evaluator attribute, methods that rebind "
+        "the metadata snapshot must call revalidate/register_metadata/"
+        "forget/adopt on the evaluator in the same path."
+    )
+
+    #: attributes whose rebinding means "my priced metadata changed"
+    snapshot_attrs = frozenset({"_snapshot", "_metadata"})
+    #: the evaluator-holding attribute names the rule recognizes
+    evaluator_attrs = frozenset({"evaluator", "_evaluator"})
+
+    def check_module(self, module: ModuleContext, project: ProjectContext) -> list[Finding]:
+        """Flag snapshot rebinding without an evaluator notification."""
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            summary = summarize_class(node)
+            init = summary.methods.get("__init__")
+            holders = self.evaluator_attrs & (init.writes if init else set())
+            if not holders:
+                continue
+            for name, method in summary.methods.items():
+                if name == "__init__":
+                    continue  # construction, not mutation of a live snapshot
+                rebinds = method.writes & self.snapshot_attrs
+                if not rebinds:
+                    continue
+                notified = any(
+                    transitive(summary, name, f"attrcall:{holder}.{consumer}")
+                    for holder in holders
+                    for consumer in _CONSUMERS
+                )
+                if notified:
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        method.node,
+                        f"{summary.name}.{name} rebinds "
+                        f"{', '.join(sorted(rebinds))} without notifying the "
+                        f"evaluator ({'/'.join(sorted(_CONSUMERS))}); cached "
+                        "prices would keep serving the stale snapshot",
+                    )
+                )
+        return findings

@@ -1,0 +1,145 @@
+"""Storage-protocol rules: staging discipline and the ingest guard.
+
+RPR001 enforces the epoch protocol's ownership story (five invariants in
+``docs/architecture.md``): every partition-file write, delete or rename
+flows through :class:`PartitionStore` — ``begin_staging`` /
+``commit_staging`` / ``abort_staging`` double-buffering, or the
+sanctioned synchronous rewrite the store's own writers implement.  Code
+anywhere else calling the raw file-mutation primitives can corrupt an
+epoch mid-flight without any test noticing until a crash lands between
+the two renames.
+
+RPR004 enforces the in-flight-consolidation guard: a class that owns an
+``_consolidating`` flag (the :class:`IncrementalStore` pattern) froze a
+pipelined reorganization's read set at start, so *every* public path
+that mutates its bookkeeping or writes partition files must consult the
+guard — a mutation path that skips it silently corrupts the frozen
+snapshot the pipeline will commit.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..classinfo import summarize_class, transitive, transitive_written
+from ..core import Finding, ModuleContext, ProjectContext, Rule, register
+
+__all__ = ["StagingDisciplineRule", "IngestGuardRule"]
+
+#: file-mutation primitives that only the partition store may touch
+_NP_WRITERS = frozenset({"savez", "savez_compressed", "save"})
+_FS_MUTATORS = frozenset({"rmtree", "unlink", "rmdir", "rename"})
+
+#: modules sanctioned to own partition-file lifecycle
+_SANCTIONED_FILES = frozenset({"partition_store.py"})
+
+#: PartitionStore methods that create or destroy partition files
+_STORE_MUTATORS = frozenset(
+    {"write_partitions", "write_partition_file", "materialize", "delete_layout",
+     "remove_directory"}
+)
+
+
+@register
+class StagingDisciplineRule(Rule):
+    """RPR001: no direct partition-file mutation outside the store."""
+
+    rule_id = "RPR001"
+    name = "staging-discipline"
+    description = (
+        "Partition-file writes/deletes/renames must flow through "
+        "PartitionStore (staging double-buffering or its sanctioned "
+        "writers), never raw np.savez/shutil.rmtree/Path.unlink calls."
+    )
+
+    def __init__(self, sanctioned_files: frozenset[str] = _SANCTIONED_FILES):
+        self.sanctioned_files = sanctioned_files
+
+    def check_module(self, module: ModuleContext, project: ProjectContext) -> list[Finding]:
+        """Flag raw file-mutation primitives in unsanctioned modules."""
+        if module.path.name in self.sanctioned_files:
+            return []
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            primitive = self._mutation_primitive(node.func)
+            if primitive is not None:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"direct file mutation {primitive!r} outside "
+                        "PartitionStore; route it through the store's "
+                        "staging or writer API",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _mutation_primitive(func: ast.expr) -> str | None:
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = func.value
+        if isinstance(owner, ast.Name) and owner.id in ("np", "numpy"):
+            if func.attr in _NP_WRITERS:
+                return f"np.{func.attr}"
+            return None
+        if isinstance(owner, ast.Name) and owner.id == "shutil":
+            if func.attr in _FS_MUTATORS:
+                return f"shutil.{func.attr}"
+            return None
+        if func.attr in _FS_MUTATORS - {"rmtree"}:
+            # path-object methods: anything.unlink() / .rmdir() / .rename()
+            return f".{func.attr}"
+        return None
+
+
+@register
+class IngestGuardRule(Rule):
+    """RPR004: mutation paths must consult the in-flight-consolidation guard."""
+
+    rule_id = "RPR004"
+    name = "ingest-guard"
+    description = (
+        "In a class owning an in-flight-consolidation flag "
+        "(_consolidating), every public method that mutates bookkeeping "
+        "state or writes partition files must reference the guard."
+    )
+
+    #: the guard attribute the protocol hangs off
+    guard_attr = "_consolidating"
+
+    def check_module(self, module: ModuleContext, project: ProjectContext) -> list[Finding]:
+        """Flag guarded-class methods that mutate without the guard."""
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            summary = summarize_class(node)
+            tracked = summary.init_attrs()
+            if self.guard_attr not in tracked:
+                continue
+            tracked.discard(self.guard_attr)
+            for name, method in summary.methods.items():
+                if name.startswith("_") or method.is_getter:
+                    continue
+                mutates = bool(transitive_written(summary, name) & tracked) or any(
+                    transitive(summary, name, f"attrcall:store.{mutator}")
+                    for mutator in _STORE_MUTATORS
+                )
+                if not mutates:
+                    continue
+                if transitive(summary, name, f"touches:{self.guard_attr}"):
+                    continue
+                findings.append(
+                    self.finding(
+                        module,
+                        method.node,
+                        f"{summary.name}.{name} mutates store state without "
+                        f"consulting the {self.guard_attr} guard; an "
+                        "in-flight consolidation's frozen read set could be "
+                        "corrupted silently",
+                    )
+                )
+        return findings

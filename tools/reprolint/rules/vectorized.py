@@ -1,0 +1,289 @@
+"""Vectorized-kernel rules: oracle coverage and hot-path numpy hygiene.
+
+The three kernel tiers (``zonemaps``, ``workload_compiler``, ``stacked``)
+carry the repository's speedup gates, and their only correctness anchor
+is bit-for-bit equality with the scalar oracle.  Modules opt in with a
+``# reprolint: vectorized`` marker comment.
+
+RPR005 keeps the oracle coverage honest: every marked module must map to
+a registered differential test file that exists and actually references
+both the module and the oracle.  Deleting or renaming the property suite
+(or adding a fourth kernel tier without one) fails the gate.
+
+RPR006 keeps Python out of the hot path inside marked modules:
+
+* ``np.append`` anywhere (quadratic growth, dtype-unstable);
+* array concatenation (``np.concatenate``/``vstack``/``hstack``/
+  ``column_stack``/``stack``) inside a ``for``/``while`` loop —
+  grow-by-concatenation re-copies the accumulated prefix every
+  iteration;
+* a ``for`` statement iterating per partition (the axis the kernels
+  exist to vectorize) whose body calls back into numpy — the
+  Python-level loop the compiled tiers were built to eliminate;
+* mutating the result of ``np.asarray`` — whether the mutation aliases
+  the input or writes a silent copy depends on the input's dtype, the
+  classic heisenbug.
+
+Compile-time paths that are legitimately scalar carry a
+``# reprolint: disable=RPR006`` with a short justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Finding, ModuleContext, ProjectContext, Rule, register
+
+__all__ = ["OracleCoverageRule", "NumpyHygieneRule"]
+
+#: kernel module -> (differential test file, required source tokens)
+_ORACLE_REGISTRY: dict[str, tuple[str, tuple[str, ...]]] = {
+    "src/repro/layouts/zonemaps.py": (
+        "tests/layouts/test_zonemaps_property.py",
+        ("ZoneMapIndex", "may_match"),
+    ),
+    "src/repro/layouts/workload_compiler.py": (
+        "tests/layouts/test_workload_compiler_property.py",
+        ("CompiledWorkload", "may_match"),
+    ),
+    "src/repro/layouts/stacked.py": (
+        "tests/layouts/test_stacked_property.py",
+        ("StackedStateSpace", "may_match"),
+    ),
+}
+
+#: modules that MUST carry the vectorized marker (the three kernel tiers)
+_REQUIRED_VECTORIZED = frozenset(_ORACLE_REGISTRY)
+
+_CONCAT_FUNCS = frozenset(
+    {"concatenate", "vstack", "hstack", "column_stack", "stack", "row_stack"}
+)
+
+
+def _np_call_name(func: ast.expr) -> str | None:
+    """``attr`` when ``func`` is ``np.<attr>`` / ``numpy.<attr>``."""
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+@register
+class OracleCoverageRule(Rule):
+    """RPR005: every vectorized kernel module has a registered oracle test."""
+
+    rule_id = "RPR005"
+    name = "oracle-coverage"
+    description = (
+        "Modules marked '# reprolint: vectorized' must map to a "
+        "registered differential test against the scalar oracle; the "
+        "three kernel tiers must carry the marker."
+    )
+
+    def __init__(
+        self,
+        registry: dict[str, tuple[str, tuple[str, ...]]] | None = None,
+        required: frozenset[str] | None = None,
+    ):
+        self.registry = _ORACLE_REGISTRY if registry is None else registry
+        self.required = _REQUIRED_VECTORIZED if required is None else required
+
+    def finalize(self, project: ProjectContext) -> list[Finding]:
+        """Check marker presence and registry coverage across the tree."""
+        findings: list[Finding] = []
+        for module in project.modules:
+            rel = project.relative(module)
+            marked = "vectorized" in module.markers
+            if rel in self.required and not marked:
+                findings.append(
+                    Finding(
+                        self.rule_id,
+                        f"kernel module {rel} must carry the "
+                        "'# reprolint: vectorized' marker (oracle-coverage "
+                        "and numpy-hygiene rules key on it)",
+                        module.path,
+                        1,
+                    )
+                )
+                continue
+            if not marked:
+                continue
+            entry = self.registry.get(rel)
+            if entry is None:
+                findings.append(
+                    Finding(
+                        self.rule_id,
+                        f"vectorized module {rel} has no registered "
+                        "differential test; add it to the oracle registry "
+                        "in tools/reprolint/rules/vectorized.py",
+                        module.path,
+                        1,
+                    )
+                )
+                continue
+            test_rel, tokens = entry
+            test_path = project.root / test_rel
+            if not test_path.exists():
+                findings.append(
+                    Finding(
+                        self.rule_id,
+                        f"registered differential test {test_rel} for {rel} "
+                        "does not exist",
+                        module.path,
+                        1,
+                    )
+                )
+                continue
+            source = test_path.read_text()
+            missing = [token for token in tokens if token not in source]
+            if missing:
+                findings.append(
+                    Finding(
+                        self.rule_id,
+                        f"differential test {test_rel} no longer references "
+                        f"{', '.join(repr(t) for t in missing)}; the oracle "
+                        f"coverage for {rel} looks broken",
+                        module.path,
+                        1,
+                    )
+                )
+        return findings
+
+
+class _HygieneVisitor(ast.NodeVisitor):
+    def __init__(self, rule: "NumpyHygieneRule", module: ModuleContext):
+        self.rule = rule
+        self.module = module
+        self.findings: list[Finding] = []
+        self._loop_depth = 0
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node, iter_node=node.iter, target=node.target)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node, iter_node=None, target=None)
+
+    def _visit_loop(self, node, iter_node, target) -> None:
+        if iter_node is not None and self._mentions_partition(iter_node, target):
+            if any(
+                isinstance(inner, ast.Call) and _np_call_name(inner.func) is not None
+                for stmt in node.body
+                for inner in ast.walk(stmt)
+            ):
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        "Python-level per-partition loop calling numpy in a "
+                        "vectorized module; lift it into a whole-array kernel",
+                    )
+                )
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    @staticmethod
+    def _mentions_partition(iter_node: ast.expr, target: ast.expr | None) -> bool:
+        for root in (iter_node, target):
+            if root is None:
+                continue
+            for inner in ast.walk(root):
+                if isinstance(inner, ast.Name) and "partition" in inner.id.lower():
+                    return True
+                if isinstance(inner, ast.Attribute) and "partition" in inner.attr.lower():
+                    return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _np_call_name(node.func)
+        if name == "append":
+            self.findings.append(
+                self.rule.finding(
+                    self.module,
+                    node,
+                    "np.append reallocates and copies on every call; build a "
+                    "list and concatenate once, or use np.diff/indexing",
+                )
+            )
+        elif name in _CONCAT_FUNCS and self._loop_depth > 0:
+            self.findings.append(
+                self.rule.finding(
+                    self.module,
+                    node,
+                    f"np.{name} inside a loop re-copies the accumulated "
+                    "prefix every iteration; collect pieces and concatenate "
+                    "once after the loop",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_asarray_mutation(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_asarray_mutation(node)
+        self.generic_visit(node)
+
+    def _check_asarray_mutation(self, func) -> None:
+        aliased: set[str] = set()
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and _np_call_name(node.value.func) in ("asarray", "asanyarray")
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                aliased.add(node.targets[0].id)
+        if not aliased:
+            return
+        for node in ast.walk(func):
+            target = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in aliased
+            ) or (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id in aliased
+            ):
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        "mutating the result of np.asarray: whether this "
+                        "writes through to the input or to a silent copy "
+                        "depends on the input's dtype; use np.array(copy=...) "
+                        "to make the intent explicit",
+                    )
+                )
+
+
+@register
+class NumpyHygieneRule(Rule):
+    """RPR006: no Python-level loops or silent-copy patterns in kernels."""
+
+    rule_id = "RPR006"
+    name = "numpy-hygiene"
+    description = (
+        "Inside '# reprolint: vectorized' modules: no np.append, no "
+        "concatenation inside loops, no per-partition Python loops "
+        "calling numpy, no mutation of np.asarray results."
+    )
+
+    def check_module(self, module: ModuleContext, project: ProjectContext) -> list[Finding]:
+        """Apply the hygiene patterns to marked modules only."""
+        if "vectorized" not in module.markers:
+            return []
+        visitor = _HygieneVisitor(self, module)
+        visitor.visit(module.tree)
+        return visitor.findings

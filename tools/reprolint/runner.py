@@ -1,0 +1,77 @@
+"""Collect source files, run every rule, apply suppressions.
+
+:func:`run` is the single entry point both the CLI and the test suite
+use: give it paths (files or directories), get back the surviving
+findings in a stable order.  Unparseable files are reported as RPR000
+findings rather than crashing the run — a syntax error in one module
+must not hide findings in the other hundred.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .core import Finding, ModuleContext, ProjectContext, Rule, all_rules
+
+__all__ = ["collect_files", "run"]
+
+#: directories never descended into
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", "node_modules"})
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS & set(candidate.parts):
+                    files.add(candidate.resolve())
+    return sorted(files)
+
+
+def run(
+    paths: list[Path],
+    root: Path | None = None,
+    rules: list[Rule] | None = None,
+    select: set[str] | None = None,
+) -> list[Finding]:
+    """Run the (selected) rules over ``paths``; returns surviving findings.
+
+    ``root`` anchors project-relative paths (the oracle registry, docs
+    scanning); it defaults to the current working directory.  ``rules``
+    overrides the registry (tests inject configured instances);
+    ``select`` restricts to a set of rule ids.
+    """
+    root = Path.cwd() if root is None else Path(root).resolve()
+    project = ProjectContext(root=root)
+    findings: list[Finding] = []
+    contexts: dict[Path, ModuleContext] = {}
+    for path in collect_files(paths):
+        try:
+            module = ModuleContext.parse(path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding("RPR000", f"syntax error: {exc.msg}", path, exc.lineno or 1)
+            )
+            continue
+        contexts[path] = module
+        project.modules.append(module)
+    if rules is None:
+        rules = [rule_cls() for rule_cls in all_rules()]
+    if select is not None:
+        rules = [rule for rule in rules if rule.rule_id in select]
+    for rule in rules:
+        for module in project.modules:
+            findings.extend(rule.check_module(module, project))
+        findings.extend(rule.finalize(project))
+    surviving = []
+    for finding in findings:
+        module = contexts.get(finding.path)
+        if module is not None and module.is_suppressed(finding):
+            continue
+        surviving.append(finding)
+    surviving.sort(key=lambda f: (str(f.path), f.line, f.col, f.rule_id))
+    return surviving
