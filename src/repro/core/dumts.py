@@ -64,8 +64,11 @@ class MovementAmortizer:
     """
 
     def __init__(self, alpha: float):
-        if alpha <= 0:
-            raise ValueError("alpha must be positive")
+        # alpha == 0.0 is a valid *tracked* budget (every installment and
+        # the settle are exactly 0.0), distinct from "no budget attached";
+        # only a negative budget is meaningless.
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
         self.alpha = float(alpha)
         self._charged = 0.0
 

@@ -65,7 +65,11 @@ class ReorgScheduler:
     ``executor`` and ``evaluator`` are both optional: attach whichever
     caches mirror the physical state.  ``alpha`` attaches a movement
     budget; every started reorganization then charges exactly ``alpha``
-    across its steps (:class:`~repro.core.dumts.MovementAmortizer`).
+    across its steps (:class:`~repro.core.dumts.MovementAmortizer`) —
+    ``alpha=0.0`` is a *tracked* free budget, distinct from ``None``
+    (untracked).  ``mover_threads`` fans each step's file I/O across a
+    bounded thread pool inside the pipeline; scheduling stays cooperative
+    (one step per tick) and the committed bytes are identical either way.
 
     Stable lower-level API; new code should usually reach it through
     :class:`~repro.engine.LayoutEngine` with ``async_reorg=True``, which
@@ -80,14 +84,18 @@ class ReorgScheduler:
         evaluator: CostEvaluator | None = None,
         alpha: float | None = None,
         step_partitions: int = 16,
+        mover_threads: int = 1,
     ):
         if step_partitions < 1:
             raise ValueError("step_partitions must be positive")
+        if mover_threads < 1:
+            raise ValueError("mover_threads must be positive")
         self.store = store
         self.executor = executor
         self.evaluator = evaluator
         self.alpha = alpha
         self.step_partitions = int(step_partitions)
+        self.mover_threads = int(mover_threads)
         self._pipeline: AsyncReorgPipeline | None = None
         self._amortizer: MovementAmortizer | None = None
         self._old_layout_id: str | None = None
@@ -145,7 +153,10 @@ class ReorgScheduler:
             raise RuntimeError("a reorganization is already in flight")
         # Validate everything that can raise before mutating any state:
         # a half-started scheduler would refuse both retry and drain.
-        amortizer = MovementAmortizer(self.alpha) if self.alpha else None
+        # ``is not None``, not truthiness: an explicit alpha=0.0 attaches
+        # a tracked-but-free budget (installments all 0.0, settling to
+        # exactly 0.0) rather than silently dropping the ledger.
+        amortizer = MovementAmortizer(self.alpha) if self.alpha is not None else None
         pipeline = AsyncReorgPipeline(
             self.store,
             stored,
@@ -153,6 +164,7 @@ class ReorgScheduler:
             schema,
             step_partitions=self.step_partitions,
             keep_old=keep_old,
+            mover_threads=self.mover_threads,
         )
         self._pipeline = pipeline
         self._old_layout_id = stored.layout.layout_id
@@ -243,6 +255,10 @@ class ReorgScheduler:
         refund = self._amortizer.charged if self._amortizer is not None else 0.0
         self._amortizer = None
         self._on_complete = None
+        # Clear the abandoned flight's identity so nothing started later
+        # can observe stale source/same-id flags.
+        self._old_layout_id = None
+        self._same_id = False
         if self._on_abort is not None:
             callback, self._on_abort = self._on_abort, None
             callback()

@@ -32,7 +32,11 @@ class EngineConfig:
     reorganization then charges exactly α to the engine's ledger (spread
     over the steps in pipelined mode, exactly as the decision ledger
     expects).  ``async_reorg`` selects the pipelined execution mode with
-    at most ``step_partitions`` partition files moved per step.
+    at most ``step_partitions`` partition files moved per step;
+    ``mover_threads`` fans one step's file I/O across a bounded thread
+    pool, and ``ingest_during_reorg`` keeps streaming appends flowing
+    through the dual-epoch sidecar while a pipelined consolidation is in
+    flight instead of refusing them.
     """
 
     #: directory the engine's :class:`~repro.storage.PartitionStore` lives in
@@ -50,6 +54,13 @@ class EngineConfig:
     async_reorg: bool = False
     #: partition files one pipelined movement step may touch
     step_partitions: int = 16
+    #: threads fanning one movement step's partition-file reads/writes
+    #: (1 = serial; the committed bytes are identical at any setting)
+    mover_threads: int = 1
+    #: route appends through the dual-epoch sidecar while a pipelined
+    #: consolidation is in flight (``False`` = refuse with an error, the
+    #: guard-and-wait behaviour)
+    ingest_during_reorg: bool = True
     #: zlib-compress partition files (the paper's cost structure)
     compress: bool = True
     #: delete the served layout's files when the engine closes
@@ -61,6 +72,8 @@ class EngineConfig:
         """Validate the configuration; raises ``ValueError`` on bad knobs."""
         if self.step_partitions < 1:
             raise ValueError("step_partitions must be positive")
+        if self.mover_threads < 1:
+            raise ValueError("mover_threads must be positive")
         if self.num_partitions < 1:
             raise ValueError("num_partitions must be positive")
         if not (0.0 < self.data_sample_fraction <= 1.0):

@@ -193,6 +193,7 @@ class LayoutEngine:
                 executor=self.executor,
                 alpha=self.config.alpha,
                 step_partitions=self.config.step_partitions,
+                mover_threads=self.config.mover_threads,
             )
         if getattr(self.policy, "wants_costs", False):
             self._wire_costs()
@@ -332,9 +333,13 @@ class LayoutEngine:
         clustering).  The first batch of a streaming engine derives the
         initial layout — from ``open(initial_layout=...)`` if given,
         otherwise built by the config's builder over a sample of the
-        batch.  Raises on an engine opened over a materialized table, and
-        while a pipelined consolidation is in flight (the pipeline's read
-        set is frozen).
+        batch.  While a pipelined consolidation is in flight the batch
+        takes the dual-epoch sidecar path: it is immediately queryable
+        against the old epoch and replayed through the new layout at the
+        final commit (``on_ingest_during_reorg`` fires in addition to
+        ``on_ingest``); with ``EngineConfig.ingest_during_reorg=False``
+        the call raises instead.  Raises on an engine opened over a
+        materialized table.
         """
         self._require_open()
         if self._stored is not None:
@@ -350,13 +355,22 @@ class LayoutEngine:
             layout = self._logical if self._logical is not None else self._derive_layout(batch)
             assert self.store is not None  # open() created it
             self._schema = batch.schema
-            self._incremental = IncrementalStore(self.store, batch.schema, layout)
+            self._incremental = IncrementalStore(
+                self.store,
+                batch.schema,
+                layout,
+                allow_ingest_during_consolidation=self.config.ingest_during_reorg,
+            )
             self._logical = layout
             if getattr(self.policy, "wants_costs", False) or self._evaluator is not None:
                 self._wire_costs()
+        routed_sidecar = self._incremental.consolidating
         written = self._incremental.ingest(batch)
         self._rows_ingested += batch.num_rows
         self._events.on_ingest(batch.num_rows, written)
+        if routed_sidecar:
+            target_id = self._inflight[1] if self._inflight else "?"
+            self._events.on_ingest_during_reorg(batch.num_rows, written, target_id)
         return written
 
     def query(self, query: Query) -> QueryResult:

@@ -44,6 +44,18 @@ class EngineEvents:
     def on_ingest(self, rows: int, partitions_written: int) -> None:
         """One batch was appended (``rows`` rows, ``partitions_written`` files)."""
 
+    def on_ingest_during_reorg(
+        self, rows: int, partitions_written: int, target_id: str
+    ) -> None:
+        """One batch took the dual-epoch sidecar path mid-consolidation.
+
+        Fires *in addition to* :meth:`on_ingest` (observers summing rows
+        over the plain hook stay correct); ``target_id`` is the in-flight
+        consolidation's target layout.  The batch is already visible
+        against the old epoch and will be replayed through the new layout
+        at the final commit.
+        """
+
     def on_query_served(self, query: Query, result: QueryResult) -> None:
         """One query was executed against the visible epoch."""
 
@@ -105,6 +117,17 @@ class EventLog(EngineEvents):
     def on_ingest(self, rows: int, partitions_written: int) -> None:
         """Record one ingested batch."""
         self._record("ingest", rows=rows, partitions_written=partitions_written)
+
+    def on_ingest_during_reorg(
+        self, rows: int, partitions_written: int, target_id: str
+    ) -> None:
+        """Record one sidecar-routed batch."""
+        self._record(
+            "ingest_during_reorg",
+            rows=rows,
+            partitions_written=partitions_written,
+            target_id=target_id,
+        )
 
     def on_query_served(self, query: Query, result: QueryResult) -> None:
         """Record one served query."""
@@ -185,6 +208,12 @@ class _EventFanout(EngineEvents):
     def on_ingest(self, rows: int, partitions_written: int) -> None:
         """Broadcast one ingested batch."""
         self._fan("on_ingest", rows, partitions_written)
+
+    def on_ingest_during_reorg(
+        self, rows: int, partitions_written: int, target_id: str
+    ) -> None:
+        """Broadcast one sidecar-routed batch."""
+        self._fan("on_ingest_during_reorg", rows, partitions_written, target_id)
 
     def on_query_served(self, query: Query, result: QueryResult) -> None:
         """Broadcast one served query."""

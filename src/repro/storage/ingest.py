@@ -23,10 +23,25 @@ carried, only the new batch partitions changed) through
 :meth:`CostEvaluator.revalidate`, so cached query prices migrate
 surgically — zone-map kernels run only over the appended partitions —
 and a consolidation re-registers the rewritten snapshot wholesale.
+
+**Dual-epoch ingest.**  A pipelined consolidation
+(:meth:`IncrementalStore.consolidate_async`) freezes its read set at
+start, but the stream does not stop for it.  Batches arriving while the
+pipeline is in flight are routed through the *old* layout into a sidecar
+batch directory: they join the visible snapshot (and the evaluator's
+cached prices) immediately — the same append-only delta path as an idle
+append — while the batch tables are retained in a replay queue.  When the
+final commit flips the epoch, the queue is replayed through the *new*
+layout's ``assign``, so the post-consolidation state is bit-for-bit the
+state a synchronous "consolidate, then ingest" sequence leaves behind:
+nothing pauses, nothing is dropped.  On abort the sidecar partitions
+simply remain ordinary appended partitions of the old epoch and the
+replay queue is discarded (its rows are already in the bookkeeping).
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 
 import numpy as np
 
@@ -66,11 +81,13 @@ class IncrementalStore:
         schema: Schema,
         layout: DataLayout,
         evaluator: CostEvaluator | None = None,
+        allow_ingest_during_consolidation: bool = True,
     ):
         self.store = store
         self.schema = schema
         self.layout = layout
         self.evaluator = evaluator
+        self.allow_ingest_during_consolidation = allow_ingest_during_consolidation
         self._partitions: list[StoredPartition] = []
         self._metadata: list[PartitionMetadata] = []
         self._snapshot = LayoutMetadata(partitions=())
@@ -78,6 +95,9 @@ class IncrementalStore:
         self._batches_ingested = 0
         self._consolidating = False
         self._consolidation_scheduler: ReorgScheduler | None = None
+        #: batches routed through the sidecar while a consolidation was in
+        #: flight, retained for replay through the new layout at commit
+        self._sidecar_batches: list[Table] = []
         if evaluator is not None:
             evaluator.register_metadata(layout.layout_id, self._snapshot)
 
@@ -86,12 +106,16 @@ class IncrementalStore:
         """Route a batch through the current layout; append its partitions.
 
         Returns the number of partition files written.  Existing partitions
-        are untouched (§III-C's incremental-clustering behaviour).
+        are untouched (§III-C's incremental-clustering behaviour).  While a
+        pipelined consolidation is in flight the batch takes the dual-epoch
+        sidecar path: immediately visible against the old epoch, replayed
+        through the new layout at the final commit (see the module notes).
+        With ``allow_ingest_during_consolidation=False`` the pre-sidecar
+        behaviour is restored and the call raises instead.
         """
-        if self._consolidating:
-            # The in-flight pipeline froze its read set at start: rows
-            # appended now would be silently dropped by the final commit's
-            # cleanup.  Refuse loudly instead.
+        if self._consolidating and not self.allow_ingest_during_consolidation:
+            # Opt-out (guard-and-wait) mode: the caller asked for the old
+            # contract where the stream must drain the scheduler first.
             raise RuntimeError(
                 "cannot ingest while an async consolidation is in flight; "
                 "drain the scheduler first"
@@ -100,17 +124,54 @@ class IncrementalStore:
             raise ValueError("batch schema does not match the store's schema")
         if batch.num_rows == 0:
             return 0
+        if self._consolidating:
+            # Dual-epoch path: the pipeline's read set is frozen, so the
+            # batch lands in a sidecar directory next to the ordinary
+            # per-batch files — visible (and priced) immediately against
+            # the old epoch — and is queued for replay through the new
+            # layout when the final commit flips.
+            written = self._append_batch(batch, self._sidecar_directory(self.layout.layout_id))
+            self._sidecar_batches.append(batch)
+        else:
+            written = self._append_batch(batch, self._batch_directory(self.layout.layout_id))
+        return written
+
+    def _batch_directory(self, layout_id: str) -> Path:
+        return self.store.root / f"incremental-{layout_id}"
+
+    def _sidecar_directory(self, layout_id: str) -> Path:
+        return self.store.root / f"incremental-{layout_id}.sidecar"
+
+    def _append_batch(self, batch: Table, directory: Path, count_batch: bool = True) -> int:
+        """Append one batch's partitions under the current layout, atomically.
+
+        All bookkeeping (partition list, metadata, next id, batch counter,
+        snapshot, evaluator revalidation) is staged locally and committed
+        only after every partition file of the batch landed on disk; a
+        mid-batch write failure removes the orphaned files and leaves the
+        store exactly as it was.
+        """
         assignment = self.layout.assign(batch)
-        directory = self.store.root / f"incremental-{self.layout.layout_id}"
-        written = 0
-        for _, rows in sorted(partition_row_indices(assignment).items()):
-            partition_id = self._next_partition_id
-            self._next_partition_id += 1
-            stored = self.store.write_partition_file(batch, rows, partition_id, directory)
-            self._partitions.append(stored)
-            self._metadata.append(build_partition_metadata(batch, rows, partition_id))
-            written += 1
-        self._batches_ingested += 1
+        next_id = self._next_partition_id
+        staged_parts: list[StoredPartition] = []
+        staged_meta: list[PartitionMetadata] = []
+        try:
+            for _, rows in sorted(partition_row_indices(assignment).items()):
+                partition_id = next_id
+                next_id += 1
+                staged_parts.append(
+                    self.store.write_partition_file(batch, rows, partition_id, directory)
+                )
+                staged_meta.append(build_partition_metadata(batch, rows, partition_id))
+        except BaseException:
+            for orphan in staged_parts:
+                self.store.remove_partition_file(orphan)
+            raise
+        self._next_partition_id = next_id
+        self._partitions.extend(staged_parts)
+        self._metadata.extend(staged_meta)
+        if count_batch:
+            self._batches_ingested += 1
         old_snapshot = self._snapshot
         self._snapshot = LayoutMetadata(partitions=tuple(self._metadata))
         if self.evaluator is not None:
@@ -119,7 +180,7 @@ class IncrementalStore:
             # cached prices migrate with kernel work on the new files only.
             delta = compute_reorg_delta(old_snapshot, self._snapshot)
             self.evaluator.revalidate(self.layout.layout_id, delta)
-        return written
+        return len(staged_parts)
 
     # ------------------------------------------------------------------ views
     def stored(self) -> StoredLayout:
@@ -144,6 +205,11 @@ class IncrementalStore:
     def batches_ingested(self) -> int:
         """Number of ingest() calls that wrote data."""
         return self._batches_ingested
+
+    @property
+    def consolidating(self) -> bool:
+        """Whether an async consolidation is currently in flight."""
+        return self._consolidating
 
     def fragmentation(self, target_partition_rows: int) -> float:
         """How fragmented the store is versus an ideal consolidation.
@@ -189,9 +255,11 @@ class IncrementalStore:
         :class:`~repro.core.reorg_scheduler.ReorgScheduler` over this
         store's :class:`PartitionStore`; attach this store's evaluator to
         it to have cached prices migrate incrementally with each partial
-        commit.  Ingesting while a consolidation is in flight is not
-        supported — the pipeline's read set is frozen at start, so
-        :meth:`ingest` raises until the final commit lands.
+        commit.  Ingesting while the consolidation is in flight takes the
+        dual-epoch sidecar path (see the module notes): the pipeline's
+        frozen read set stays frozen, the batch is visible immediately,
+        and the final commit replays it through the new layout so the
+        outcome equals a synchronous consolidate-then-ingest sequence.
         """
         if self._consolidating:
             raise RuntimeError(
@@ -220,9 +288,17 @@ class IncrementalStore:
         self._consolidation_scheduler = scheduler
 
     def _release_consolidation(self) -> None:
-        """Drop the in-flight consolidation guard and its scheduler."""
+        """Drop the in-flight consolidation guard and its scheduler.
+
+        Also discards the sidecar replay queue: on an abort the sidecar
+        partitions already sit in the bookkeeping as ordinary appends of
+        the old epoch, so replaying them later would duplicate their rows.
+        (:meth:`_finish_consolidation` detaches the queue before calling
+        this.)
+        """
         self._consolidating = False
         self._consolidation_scheduler = None
+        self._sidecar_batches = []
 
     def abort_consolidation(self, scheduler: ReorgScheduler) -> None:
         """Abandon an in-flight async consolidation without committing.
@@ -246,8 +322,9 @@ class IncrementalStore:
         self._release_consolidation()
 
     def _remove_batch_files(self, layout_id: str) -> None:
-        """Drop the per-batch partition files of ``layout_id``'s ingest dir."""
-        self.store.remove_directory(self.store.root / f"incremental-{layout_id}")
+        """Drop ``layout_id``'s per-batch partition files (ingest + sidecar)."""
+        self.store.remove_directory(self._batch_directory(layout_id))
+        self.store.remove_directory(self._sidecar_directory(layout_id))
 
     def delete_files(self) -> None:
         """Remove everything this store wrote to disk.
@@ -268,8 +345,12 @@ class IncrementalStore:
 
     def _finish_consolidation(self, new_layout: DataLayout, new_stored) -> None:
         """Swap the store's state onto a freshly consolidated layout."""
+        # Detach the replay queue before releasing the guard (which
+        # discards it): these batches arrived after the pipeline froze its
+        # read set, so the consolidated snapshot does not contain them yet.
+        replay, self._sidecar_batches = self._sidecar_batches, []
         self._release_consolidation()
-        # The incremental directory holds the old batch files; drop them.
+        # The incremental directories hold the old batch files; drop them.
         self._remove_batch_files(self.layout.layout_id)
         old_layout_id = self.layout.layout_id
         self.layout = new_layout
@@ -287,3 +368,12 @@ class IncrementalStore:
             if old_layout_id != new_layout.layout_id:
                 self.evaluator.forget(old_layout_id)
             self.evaluator.register_metadata(new_layout.layout_id, self._snapshot)
+        # Dual-epoch replay: batches that arrived mid-flight now route
+        # through the *new* layout, exactly as if they had been ingested
+        # right after a synchronous consolidate() — same partition ids,
+        # same files, same metadata, same evaluator deltas.  They were
+        # already counted as ingested batches on arrival.
+        for batch in replay:
+            self._append_batch(
+                batch, self._batch_directory(new_layout.layout_id), count_batch=False
+            )

@@ -190,6 +190,21 @@ class PartitionStore:
         if layout_dir.exists():
             shutil.rmtree(layout_dir)
 
+    def remove_partition_file(self, partition: StoredPartition) -> None:
+        """Remove one partition file written by :meth:`write_partition_file`.
+
+        The sanctioned unwind path for a failed batch append: when a
+        mid-batch write raises, the files already landed are orphans — no
+        bookkeeping references them — and the ingest path removes them
+        here so a retry starts from a clean directory.  Like
+        :meth:`remove_directory`, refuses paths outside :attr:`root`, so
+        callers cannot launder arbitrary deletes through the store.
+        """
+        path = Path(partition.path)
+        if self.root.resolve() not in path.resolve().parents:
+            raise ValueError(f"{path} is not under the store root {self.root}")
+        path.unlink(missing_ok=True)
+
     def remove_directory(self, directory: Path | str) -> None:
         """Remove one partition directory under the store root, if present.
 

@@ -3,15 +3,26 @@
 from __future__ import annotations
 
 import math
+import shutil
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
 
 from repro.core import CostEvaluator, MovementAmortizer, Reorganizer, ReorganizerConfig
 from repro.core.reorg_scheduler import ReorgScheduler
 from repro.layouts import CompiledWorkload, RangeLayoutBuilder, RoundRobinLayout, ZoneMapIndex
 from repro.queries import Query, between
-from repro.storage import IncrementalStore, PartitionStore, QueryExecutor, reorganize
+from repro.storage import ColumnSpec, IncrementalStore, PartitionStore, QueryExecutor, Schema, reorganize
 
 
 @pytest.fixture
@@ -289,6 +300,9 @@ class TestLedgerEquality:
         assert charged > 0.0
         refund = scheduler.abort()
         assert refund == charged  # net charge for the aborted move is zero
+        # abort clears the abandoned flight's identity entirely
+        assert scheduler._old_layout_id is None
+        assert scheduler._same_id is False
         scheduler.start(stored, target, simple_table.schema)
         retry_charges = []
         while scheduler.active:
@@ -310,7 +324,28 @@ class TestLedgerEquality:
 
     def test_amortizer_rejects_bad_alpha(self):
         with pytest.raises(ValueError):
-            MovementAmortizer(0.0)
+            MovementAmortizer(-1.0)
+
+    def test_amortizer_accepts_zero_alpha(self):
+        # α = 0.0 is a valid tracked budget: every installment is 0.0 and
+        # the ledger settles at exactly zero (distinct from "untracked").
+        amortizer = MovementAmortizer(0.0)
+        assert amortizer.charge(0.5) == 0.0
+        assert amortizer.settle() == 0.0
+        assert amortizer.charged == 0.0
+
+    def test_zero_alpha_attaches_tracked_budget(self, store, simple_table, target):
+        # Regression for the falsy-zero bug: `if self.alpha` treated an
+        # explicit alpha=0.0 like alpha=None and attached no amortizer.
+        stored = store.materialize(simple_table, RoundRobinLayout(5))
+        scheduler = ReorgScheduler(store, alpha=0.0, step_partitions=1)
+        scheduler.start(stored, target, simple_table.schema)
+        assert scheduler._amortizer is not None  # tracked, not dropped
+        charges = []
+        while scheduler.active:
+            charges.append(scheduler.tick().movement_charge)
+        assert scheduler.charged == 0.0
+        assert charges and all(charge == 0.0 for charge in charges)
 
     def test_decision_charge_equals_pipeline_total(
         self, store, simple_table, target, rng
@@ -499,9 +534,9 @@ class TestIncrementalStoreAsync:
         other = ReorgScheduler(store, step_partitions=1)
         with pytest.raises(ValueError, match="not the one driving"):
             incremental.abort_consolidation(other)
-        with pytest.raises(RuntimeError):  # guard still armed
-            incremental.ingest(batches[1])
+        assert incremental.consolidating  # guard still armed
         incremental.abort_consolidation(driving)
+        assert not incremental.consolidating
         incremental.ingest(batches[1])
 
     def test_abort_consolidation_without_one_raises(self, tmp_path, simple_schema):
@@ -546,6 +581,8 @@ class TestIncrementalStoreAsync:
             scheduler.tick()
         scheduler.abort()
         assert not scheduler.active
+        assert scheduler._old_layout_id is None  # no stale flight identity
+        assert scheduler._same_id is False
         assert target.layout_id not in evaluator._metadata
         assert target.layout_id not in executor._zonemaps
         # restartable, and completion still matches the synchronous result
@@ -554,15 +591,19 @@ class TestIncrementalStoreAsync:
         assert result.delta is not None
         assert evaluator._metadata[target.layout_id] is new_stored.metadata
 
-    def test_ingest_rejected_while_consolidation_in_flight(
+    def test_ingest_guard_opt_out_still_rejects_mid_flight(
         self, tmp_path, simple_schema, simple_table, rng
     ):
-        # The pipeline's read set is frozen at start: a concurrent append
-        # would be silently destroyed by the final commit's cleanup, so it
-        # must raise instead — and work again once the commit lands.
+        # allow_ingest_during_consolidation=False restores the pre-sidecar
+        # contract: refuse mid-flight appends, work again after the commit.
         batches = self._batches(simple_schema, count=3)
         store = PartitionStore(tmp_path / "guard")
-        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        incremental = IncrementalStore(
+            store,
+            simple_schema,
+            RoundRobinLayout(3),
+            allow_ingest_during_consolidation=False,
+        )
         for batch in batches[:2]:
             incremental.ingest(batch)
         target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
@@ -576,3 +617,285 @@ class TestIncrementalStoreAsync:
         assert incremental.total_rows == rows_before
         incremental.ingest(batches[2])  # post-commit ingest works again
         assert incremental.total_rows == rows_before + batches[2].num_rows
+
+
+class TestDualEpochIngest:
+    """Ingest during an in-flight consolidation: visible now, replayed at commit."""
+
+    def _batches(self, simple_schema, count=4, rows=200):
+        from repro.storage import Table
+
+        batches = []
+        for seed in range(count):
+            generator = np.random.default_rng(1000 + seed)
+            batches.append(
+                Table(
+                    simple_schema,
+                    {
+                        "x": generator.uniform(0.0, 100.0, size=rows),
+                        "y": generator.integers(0, 50, size=rows).astype(np.int64),
+                        "color": generator.integers(0, 3, size=rows).astype(np.int32),
+                    },
+                )
+            )
+        return batches
+
+    def test_matches_serialized_consolidate_then_ingest_bit_for_bit(
+        self, tmp_path, simple_schema, simple_table, rng, queries
+    ):
+        batches = self._batches(simple_schema, count=5)
+        layout = RoundRobinLayout(3)
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+
+        # --- serialized reference: consolidate fully, then ingest ------
+        ref_store = PartitionStore(tmp_path / "ref")
+        ref_evaluator = CostEvaluator(simple_table)
+        reference = IncrementalStore(ref_store, simple_schema, layout, ref_evaluator)
+        for batch in batches[:3]:
+            reference.ingest(batch)
+        reference.consolidate(target)
+        for batch in batches[3:]:
+            reference.ingest(batch)
+
+        # --- dual-epoch run: the same late batches arrive mid-flight ---
+        store = PartitionStore(tmp_path / "dual")
+        evaluator = CostEvaluator(simple_table)
+        incremental = IncrementalStore(store, simple_schema, layout, evaluator)
+        for batch in batches[:3]:
+            incremental.ingest(batch)
+        scheduler = ReorgScheduler(store, evaluator=evaluator, step_partitions=1)
+        incremental.consolidate_async(target, scheduler)
+        pending = list(batches[3:])
+        while scheduler.active:
+            scheduler.tick()
+            if pending and scheduler.active:
+                incremental.ingest(pending.pop(0))
+        assert not pending  # every late batch arrived while in flight
+
+        # bookkeeping equality: metadata, ids, counters
+        assert incremental.layout is target
+        assert incremental.stored().metadata == reference.stored().metadata
+        assert incremental._next_partition_id == reference._next_partition_id
+        assert incremental.batches_ingested == reference.batches_ingested
+        # file equality: same relative paths, same bytes, partition by
+        # partition — the post-commit store IS the serialized one
+        ours = incremental.stored().partitions
+        theirs = reference.stored().partitions
+        assert len(ours) == len(theirs)
+        for mine, ref in zip(ours, theirs):
+            assert mine.partition_id == ref.partition_id
+            assert mine.path.relative_to(store.root) == ref.path.relative_to(ref_store.root)
+            assert mine.path.read_bytes() == ref.path.read_bytes()
+        # evaluator equality: cached prices migrated through the sidecar
+        # deltas and the replay agree with the serialized evaluator
+        np.testing.assert_array_equal(
+            evaluator.cost_vector(target, queries),
+            ref_evaluator.cost_vector(target, queries),
+        )
+
+    def test_sidecar_rows_queryable_before_commit(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        batches = self._batches(simple_schema, count=3)
+        store = PartitionStore(tmp_path / "visible")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        for batch in batches[:2]:
+            incremental.ingest(batch)
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        executor = QueryExecutor(store)
+        scheduler = ReorgScheduler(store, executor=executor, step_partitions=1)
+        incremental.consolidate_async(target, scheduler)
+        scheduler.tick()
+        rows_before = incremental.total_rows
+        written = incremental.ingest(batches[2])
+        assert written > 0
+        assert incremental.consolidating  # still in flight: sidecar path
+        assert incremental.total_rows == rows_before + batches[2].num_rows
+        everything = Query(predicate=between("x", -1.0, 101.0))
+        served = executor.execute(incremental.stored(), everything)
+        assert served.rows_matched == incremental.total_rows
+        scheduler.drain()
+        # nothing dropped by the commit's replay either
+        served = executor.execute(incremental.stored(), everything)
+        assert served.rows_matched == sum(b.num_rows for b in batches)
+
+    def test_abort_keeps_sidecar_rows_without_replay_duplication(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        batches = self._batches(simple_schema, count=3)
+        store = PartitionStore(tmp_path / "abort-sidecar")
+        incremental = IncrementalStore(store, simple_schema, RoundRobinLayout(3))
+        for batch in batches[:2]:
+            incremental.ingest(batch)
+        target = RangeLayoutBuilder("x").build(simple_table, [], 5, rng)
+        scheduler = ReorgScheduler(store, step_partitions=1)
+        incremental.consolidate_async(target, scheduler)
+        scheduler.tick()
+        incremental.ingest(batches[2])  # lands in the sidecar
+        total = sum(b.num_rows for b in batches)
+        incremental.abort_consolidation(scheduler)
+        # the sidecar partitions are ordinary appends of the old epoch now
+        assert incremental.total_rows == total
+        assert all(p.path.exists() for p in incremental.stored().partitions)
+        # a fresh consolidation must not replay the abandoned queue on top
+        incremental.consolidate_async(target, scheduler)
+        scheduler.drain()
+        assert incremental.total_rows == total
+
+    def test_same_id_consolidation_with_sidecar_appends(
+        self, tmp_path, simple_schema, simple_table, rng, queries
+    ):
+        # Same-id defragmentation while the stream keeps appending: the
+        # evaluator's cached index reflects the sidecar-extended snapshot,
+        # the final commit's delta the frozen one — revalidate degrades to
+        # a clean re-register instead of crashing, and no row is lost.
+        batches = self._batches(simple_schema, count=3)
+        layout = RoundRobinLayout(3)
+        store = PartitionStore(tmp_path / "same-id")
+        evaluator = CostEvaluator(simple_table)
+        incremental = IncrementalStore(store, simple_schema, layout, evaluator)
+        for batch in batches[:2]:
+            incremental.ingest(batch)
+        scheduler = ReorgScheduler(store, evaluator=evaluator, step_partitions=1)
+        incremental.consolidate_async(layout, scheduler)
+        scheduler.tick()
+        incremental.ingest(batches[2])
+        scheduler.drain()
+        assert incremental.total_rows == sum(b.num_rows for b in batches)
+        assert incremental.layout is layout
+        # the evaluator landed on the final (replayed) snapshot and prices it
+        assert evaluator._metadata[layout.layout_id] is incremental.stored().metadata
+        assert evaluator.cost_vector(layout, queries).shape == (len(queries),)
+
+
+class IngestDuringConsolidationMachine(RuleBasedStateMachine):
+    """Interleaved ingest-during-consolidation vs a serialized reference.
+
+    Three stores advance together under a random interleaving of ingest,
+    consolidation starts and movement ticks:
+
+    * ``live`` takes the dual-epoch path — mid-flight batches route
+      through the sidecar and are replayed at the commit;
+    * ``reference`` serializes every flight: consolidate first, then the
+      batches that arrived mid-flight — the semantics the dual-epoch path
+      must reproduce exactly, checked at every commit (metadata and ids);
+    * ``mirror`` never consolidates — it pins per-row query equality of
+      the *visible* snapshot at every step: the old epoch plus the
+      sidecar always serves every row ever ingested, never a row twice.
+
+    Each flight's movement installments must also sum to exactly α
+    (ledger equality, aborted flights refunded to zero).
+    """
+
+    ALPHA = 2.5
+    QUERIES = (
+        Query(predicate=between("x", 10.0, 40.0)),
+        Query(predicate=between("x", 35.0, 90.0)),
+    )
+
+    def __init__(self):
+        super().__init__()
+        self._tmp = Path(tempfile.mkdtemp(prefix="dual-epoch-stateful-"))
+        self.schema = Schema(
+            columns=(
+                ColumnSpec("x", "numeric"),
+                ColumnSpec("y", "numeric"),
+            )
+        )
+        layout = RoundRobinLayout(3)
+        self.live_store = PartitionStore(self._tmp / "live")
+        self.ref_store = PartitionStore(self._tmp / "ref")
+        self.mirror_store = PartitionStore(self._tmp / "mirror")
+        self.live = IncrementalStore(self.live_store, self.schema, layout)
+        self.reference = IncrementalStore(self.ref_store, self.schema, layout)
+        self.mirror = IncrementalStore(self.mirror_store, self.schema, layout)
+        self.live_executor = QueryExecutor(self.live_store)
+        self.mirror_executor = QueryExecutor(self.mirror_store)
+        self.scheduler = ReorgScheduler(
+            self.live_store, alpha=self.ALPHA, step_partitions=1
+        )
+        self.deferred: list = []
+        self.flight_charges: list[float] = []
+        self.target = None
+
+    def teardown(self):
+        shutil.rmtree(self._tmp, ignore_errors=True)
+
+    def _make_batch(self, seed: int, rows: int):
+        from repro.storage import Table
+
+        generator = np.random.default_rng(seed)
+        return Table(
+            self.schema,
+            {
+                "x": generator.uniform(0.0, 100.0, size=rows),
+                "y": generator.uniform(0.0, 1.0, size=rows),
+            },
+        )
+
+    @rule(seed=st.integers(0, 10**6), rows=st.integers(20, 60))
+    def ingest(self, seed, rows):
+        batch = self._make_batch(seed, rows)
+        in_flight = self.live.consolidating
+        self.live.ingest(batch)
+        self.mirror.ingest(batch)
+        if in_flight:
+            self.deferred.append(batch)  # the reference sees it post-commit
+        else:
+            self.reference.ingest(batch)
+
+    @precondition(lambda self: not self.live.consolidating and self.live.num_partitions > 0)
+    @rule(k=st.sampled_from([2, 4, 5]))
+    def start_consolidation(self, k):
+        self.target = RoundRobinLayout(k)
+        self.live.consolidate_async(self.target, self.scheduler)
+        self.flight_charges = []
+
+    @precondition(lambda self: self.live.consolidating)
+    @rule()
+    def tick(self):
+        scheduled = self.scheduler.tick()
+        self.flight_charges.append(scheduled.movement_charge)
+        if scheduled.completed:
+            # ledger equality: the flight charged exactly α over its steps
+            assert math.fsum(self.flight_charges) == pytest.approx(
+                self.ALPHA, abs=1e-9
+            )
+            # serialize the reference: consolidate, then the deferred stream
+            self.reference.consolidate(self.target)
+            for batch in self.deferred:
+                self.reference.ingest(batch)
+            self.deferred = []
+            # commit equality: dual-epoch == consolidate-then-ingest
+            assert self.live.stored().metadata == self.reference.stored().metadata
+            assert self.live._next_partition_id == self.reference._next_partition_id
+            assert self.live.batches_ingested == self.reference.batches_ingested
+
+    @precondition(lambda self: self.live.consolidating)
+    @rule()
+    def abort_flight(self):
+        refund = self.scheduler.abort()
+        assert refund == pytest.approx(math.fsum(self.flight_charges), abs=1e-9)
+        # the sidecar rows stay as ordinary appends; re-sync the reference
+        # (which never saw a consolidation) with the abandoned deferrals
+        for batch in self.deferred:
+            self.reference.ingest(batch)
+        self.deferred = []
+        self.flight_charges = []
+
+    @invariant()
+    def visible_rows_never_pause(self):
+        # every row ever ingested is queryable right now, exactly once
+        assert self.live.total_rows == self.mirror.total_rows
+        live_stored = self.live.stored()
+        mirror_stored = self.mirror.stored()
+        for query in self.QUERIES:
+            ours = self.live_executor.execute(live_stored, query)
+            theirs = self.mirror_executor.execute(mirror_stored, query)
+            assert ours.rows_matched == theirs.rows_matched
+
+
+IngestDuringConsolidationMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+TestIngestDuringConsolidationStateful = IngestDuringConsolidationMachine.TestCase

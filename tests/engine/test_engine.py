@@ -329,16 +329,72 @@ class TestStreamingReorg:
             total_rows = engine.stored().total_rows
             engine.reorganize(target)
             assert engine.reorg_active
-            # ingest is frozen while the pipeline's read set is in flight
-            with pytest.raises(RuntimeError, match="consolidation"):
-                engine.ingest(bundle.table.sample(0.1, rng))
+            # the stream never pauses: a mid-flight batch takes the
+            # dual-epoch sidecar and is queryable immediately
+            mid_flight = bundle.table.sample(0.1, rng)
+            assert engine.ingest(mid_flight) > 0
+            total_rows += mid_flight.num_rows
             served = engine.query(queries[0])
             assert served.total_rows == total_rows
             engine.run_until_idle()
             assert engine.stored().layout is target
+            assert engine.stored().total_rows == total_rows  # nothing dropped
             assert engine.stats().movement_charged == pytest.approx(5.0)
-            # ingestion resumes under the new layout
+            # ingestion continues under the new layout
             assert engine.ingest(bundle.table.sample(0.1, rng)) > 0
+
+    def test_ingest_during_reorg_opt_out_restores_guard(
+        self, tmp_path, bundle, queries
+    ):
+        rng = np.random.default_rng(3)
+        target = RangeLayoutBuilder("l_quantity").build(bundle.table, [], 4, rng)
+        with self._streaming_engine(
+            tmp_path,
+            bundle,
+            alpha=5.0,
+            async_reorg=True,
+            step_partitions=1,
+            ingest_during_reorg=False,
+        ) as engine:
+            for chunk in range(3):
+                engine.ingest(bundle.table.sample(0.2, np.random.default_rng(chunk)))
+            engine.reorganize(target)
+            assert engine.reorg_active
+            with pytest.raises(RuntimeError, match="consolidation"):
+                engine.ingest(bundle.table.sample(0.1, rng))
+            engine.run_until_idle()
+            assert engine.ingest(bundle.table.sample(0.1, rng)) > 0
+
+    def test_mover_threads_commit_identical_partition_bytes(
+        self, tmp_path, bundle, queries
+    ):
+        # mover_threads=4 must be invisible in the committed state: same
+        # files, same bytes, same query answers as the serial engine.
+        rng = np.random.default_rng(3)
+        target = RangeLayoutBuilder("l_quantity").build(bundle.table, [], 4, rng)
+        stored = {}
+        for threads in (1, 4):
+            with self._streaming_engine(
+                tmp_path / f"threads-{threads}",
+                bundle,
+                alpha=5.0,
+                async_reorg=True,
+                step_partitions=2,
+                mover_threads=threads,
+            ) as engine:
+                for chunk in range(4):
+                    engine.ingest(
+                        bundle.table.sample(0.2, np.random.default_rng(chunk))
+                    )
+                engine.reorganize(target)
+                engine.run_until_idle()
+                snapshot = engine.stored()
+                stored[threads] = [
+                    (p.partition_id, p.epoch, p.path.read_bytes())
+                    for p in snapshot.partitions
+                ]
+                assert snapshot.layout is target
+        assert stored[1] == stored[4]
 
 
 class TestPolicies:

@@ -159,6 +159,46 @@ def test_ingest_events(tmp_path, bundle):
     assert len(ingests) == 2
     assert all(payload["rows"] > 0 for payload in ingests)
     assert all(payload["partitions_written"] > 0 for payload in ingests)
+    # no consolidation ran: the sidecar hook never fired
+    assert "ingest_during_reorg" not in log.names()
+
+
+def test_ingest_during_reorg_fires_both_hooks(tmp_path, bundle, layouts):
+    _, second = layouts
+    log = EventLog()
+    config = EngineConfig(
+        store_root=tmp_path / "s",
+        builder=RangeLayoutBuilder(bundle.default_sort_column),
+        data_sample_fraction=0.5,
+        num_partitions=4,
+        async_reorg=True,
+        step_partitions=1,
+        cleanup_on_close=True,
+    )
+    with LayoutEngine(config, events=log) as engine:
+        engine.ingest(bundle.table.sample(0.3, np.random.default_rng(0)))
+        engine.ingest(bundle.table.sample(0.3, np.random.default_rng(1)))
+        engine.reorganize(second)
+        assert engine.reorg_active
+        mid_flight = bundle.table.sample(0.2, np.random.default_rng(2))
+        engine.ingest(mid_flight)
+        engine.run_until_idle()
+    sidecar = [
+        payload for name, payload in log.records if name == "ingest_during_reorg"
+    ]
+    assert len(sidecar) == 1
+    assert sidecar[0]["rows"] == mid_flight.num_rows
+    assert sidecar[0]["partitions_written"] > 0
+    assert sidecar[0]["target_id"] == second.layout_id
+    # the plain ingest hook fired for every batch, sidecar ones included:
+    # an observer summing rows over on_ingest alone stays correct
+    ingests = [payload for name, payload in log.records if name == "ingest"]
+    assert len(ingests) == 3
+    assert sum(p["rows"] for p in ingests) == engine.stats().rows_ingested
+    # the sidecar hook fired immediately after its batch's plain hook
+    names = log.names()
+    position = names.index("ingest_during_reorg")
+    assert names[position - 1] == "ingest"
 
 
 def test_multiple_observers_fan_out_in_order(tmp_path, bundle, layouts, query):

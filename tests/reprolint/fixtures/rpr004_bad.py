@@ -17,6 +17,10 @@ class UnguardedStore:
     def reset(self):
         self._partitions = []
 
+    def compact(self, partition):
+        # Deletes a partition file the frozen read set may still reference.
+        self.store.remove_partition_file(partition)
+
     def consolidate(self, new_layout):
         if self._consolidating:
             raise RuntimeError("in flight")

@@ -23,6 +23,19 @@ class GuardedStore:
             raise RuntimeError("an async consolidation is in flight")
         self._partitions = []
 
+    def append(self, batch):
+        # Dual-epoch sidecar idiom: consulting the guard means branching
+        # on it — routing mid-flight batches instead of raising.
+        directory = "sidecar" if self._consolidating else "dir"
+        stored = self.store.write_partition_file(batch, None, 0, directory)
+        self._partitions.append(stored)
+
+    def compact(self, partition):
+        self._check_guard()
+        # remove_partition_file is a store mutator: the guard still applies.
+        self.store.remove_partition_file(partition)
+        self._partitions.remove(partition)
+
     @property
     def num_partitions(self):
         # Read-only surface: no guard needed.

@@ -94,7 +94,11 @@ def test_rpr003_quiet_on_transitive_emission_and_lazy_getters():
 def test_rpr004_flags_unguarded_mutation_paths():
     findings = check("rpr004_bad.py", "RPR004")
     flagged = sorted(f.message.split(" ")[0] for f in findings)
-    assert flagged == ["UnguardedStore.ingest", "UnguardedStore.reset"]
+    assert flagged == [
+        "UnguardedStore.compact",
+        "UnguardedStore.ingest",
+        "UnguardedStore.reset",
+    ]
 
 
 def test_rpr004_quiet_when_guard_is_consulted_transitively():

@@ -173,7 +173,10 @@ class TestPipelinePhases:
 
 
 class TestPipelineEquivalence:
-    def test_matches_synchronous_reorganize(self, store, simple_table, target, tmp_path):
+    @pytest.mark.parametrize("mover_threads", [1, 4])
+    def test_matches_synchronous_reorganize(
+        self, store, simple_table, target, tmp_path, mover_threads
+    ):
         sync_store = PartitionStore(tmp_path / "sync")
         sync_stored = sync_store.materialize(simple_table, RoundRobinLayout(5))
         sync_new, sync_result = reorganize(
@@ -182,7 +185,12 @@ class TestPipelineEquivalence:
 
         stored = store.materialize(simple_table, RoundRobinLayout(5))
         pipeline = AsyncReorgPipeline(
-            store, stored, target, simple_table.schema, step_partitions=2
+            store,
+            stored,
+            target,
+            simple_table.schema,
+            step_partitions=2,
+            mover_threads=mover_threads,
         )
         new_stored, result = pipeline.run_to_completion()
 
@@ -239,6 +247,13 @@ class TestPipelineEquivalence:
         restored = store.read_all(new_stored, simple_table.schema)
         assert np.sort(restored["x"]).tolist() == np.sort(simple_table["x"]).tolist()
 
+    def test_mover_threads_must_be_positive(self, store, simple_table, target):
+        stored = store.materialize(simple_table, RoundRobinLayout(3))
+        with pytest.raises(ValueError, match="mover_threads"):
+            AsyncReorgPipeline(
+                store, stored, target, simple_table.schema, mover_threads=0
+            )
+
     def test_elapsed_covers_all_steps(self, store, simple_table, target):
         stored = store.materialize(simple_table, RoundRobinLayout(5))
         pipeline = AsyncReorgPipeline(
@@ -249,6 +264,51 @@ class TestPipelineEquivalence:
         assert result.elapsed_seconds == pytest.approx(
             sum(s.elapsed_seconds for s in steps)
         )
+
+
+class TestEmptyStore:
+    """A pipeline over a zero-partition snapshot is a clean no-op."""
+
+    def _empty_stored(self):
+        from repro.layouts import LayoutMetadata
+        from repro.storage import StoredLayout
+
+        return StoredLayout(
+            layout=RoundRobinLayout(3),
+            metadata=LayoutMetadata(partitions=()),
+            partitions=(),
+        )
+
+    def test_pipeline_commits_empty_snapshot(self, store, simple_table, target):
+        pipeline = AsyncReorgPipeline(
+            store, self._empty_stored(), target, simple_table.schema
+        )
+        steps = run_pipeline(pipeline)
+        # Nothing to read or write: one empty read step, then assign+commit.
+        assert [s.kind for s in steps] == ["read", "assign", "commit"]
+        assert steps[0].partitions_touched == 0
+        new_stored, result = pipeline.result
+        assert new_stored.partitions == ()
+        assert new_stored.metadata.partitions == ()
+        assert result.rows_moved == 0
+        assert result.partitions_written == 0
+        assert result.bytes_read == 0
+        assert result.bytes_written == 0
+
+    def test_matches_synchronous_reorganize_on_empty(
+        self, store, simple_table, target, tmp_path
+    ):
+        sync_store = PartitionStore(tmp_path / "sync")
+        sync_new, sync_result = reorganize(
+            sync_store, self._empty_stored(), target, simple_table.schema
+        )
+        pipeline = AsyncReorgPipeline(
+            store, self._empty_stored(), target, simple_table.schema
+        )
+        new_stored, result = pipeline.run_to_completion()
+        assert new_stored.metadata == sync_new.metadata
+        assert new_stored.partitions == sync_new.partitions == ()
+        assert result.rows_moved == sync_result.rows_moved == 0
 
 
 class TestPartialCommits:

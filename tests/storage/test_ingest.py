@@ -150,6 +150,99 @@ class TestConsolidate:
         assert incremental.total_rows == 1000
 
 
+class FlakyStore(PartitionStore):
+    """Fault-injection store: the ``fail_at``-th file write raises."""
+
+    def __init__(self, root):
+        super().__init__(root)
+        self.writes = 0
+        self.fail_at: int | None = None
+
+    def write_partition_file(self, *args, **kwargs):
+        self.writes += 1
+        if self.fail_at is not None and self.writes == self.fail_at:
+            self.fail_at = None
+            raise OSError("injected: disk full")
+        return super().write_partition_file(*args, **kwargs)
+
+
+class TestIngestAtomicity:
+    """A mid-batch write failure leaves the store exactly as it was."""
+
+    def _disk_files(self, store):
+        return sorted(p for p in store.root.rglob("*") if p.is_file())
+
+    def test_mid_batch_failure_rolls_back_everything(
+        self, tmp_path, simple_schema, simple_table, rng
+    ):
+        from repro.core import CostEvaluator
+        from repro.layouts import compute_reorg_delta
+
+        store = FlakyStore(tmp_path / "store")
+        layout = RangeLayout("x", np.array([25.0, 50.0, 75.0]))
+        evaluator = CostEvaluator(simple_table)
+        incremental = IncrementalStore(
+            store, simple_schema, layout, evaluator=evaluator
+        )
+        first = make_batch(simple_schema, rng)
+        incremental.ingest(first)
+        query = Query(predicate=between("x", 10.0, 40.0))
+        price_before = evaluator.query_cost(layout, query)
+        snapshot_before = incremental.stored()
+        files_before = self._disk_files(store)
+        next_id_before = incremental._next_partition_id
+
+        # Fail on the 3rd file of the next batch: files 1-2 become orphans.
+        store.fail_at = store.writes + 3
+        doomed = make_batch(simple_schema, rng)
+        with pytest.raises(OSError, match="injected"):
+            incremental.ingest(doomed)
+
+        # Bookkeeping is untouched: no half-ingested batch is visible.
+        after = incremental.stored()
+        assert after.metadata is snapshot_before.metadata
+        assert after.partitions == snapshot_before.partitions
+        assert incremental.batches_ingested == 1
+        assert incremental.total_rows == 500
+        assert incremental._next_partition_id == next_id_before
+        # The orphaned files written before the failure were removed.
+        assert self._disk_files(store) == files_before
+        # The evaluator still prices the pre-failure snapshot.
+        assert evaluator._metadata[layout.layout_id] is snapshot_before.metadata
+        assert evaluator.query_cost(layout, query) == price_before
+
+        # A retry of the same batch succeeds cleanly with contiguous ids.
+        assert incremental.ingest(doomed) > 0
+        assert incremental.total_rows == 1000
+        assert incremental.batches_ingested == 2
+        ids = [p.partition_id for p in incremental.stored().partitions]
+        assert ids == sorted(ids) and len(ids) == len(set(ids))
+        # The retry's delta carried every pre-failure partition verbatim.
+        delta = compute_reorg_delta(
+            snapshot_before.metadata, incremental.stored().metadata
+        )
+        assert len(delta.carried_new) == len(snapshot_before.metadata.partitions)
+        # Every row of both batches is queryable.
+        merged = Table.concat([first, doomed])
+        result = QueryExecutor(store).execute(incremental.stored(), query)
+        assert result.rows_matched == int(query.predicate.evaluate(merged.columns).sum())
+
+    def test_failure_on_first_file_leaves_empty_store_empty(
+        self, tmp_path, simple_schema, rng
+    ):
+        store = FlakyStore(tmp_path / "store")
+        layout = RangeLayout("x", np.array([25.0, 50.0, 75.0]))
+        incremental = IncrementalStore(store, simple_schema, layout)
+        store.fail_at = 1
+        with pytest.raises(OSError, match="injected"):
+            incremental.ingest(make_batch(simple_schema, rng))
+        assert incremental.num_partitions == 0
+        assert incremental.total_rows == 0
+        assert incremental.batches_ingested == 0
+        assert incremental._next_partition_id == 0
+        assert self._disk_files(store) == []
+
+
 class TestEvaluatorSync:
     """An attached CostEvaluator prices the live materialized metadata and
     is revalidated surgically as batches append."""

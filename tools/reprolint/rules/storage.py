@@ -14,7 +14,11 @@ RPR004 enforces the in-flight-consolidation guard: a class that owns an
 pipelined reorganization's read set at start, so *every* public path
 that mutates its bookkeeping or writes partition files must consult the
 guard — a mutation path that skips it silently corrupts the frozen
-snapshot the pipeline will commit.
+snapshot the pipeline will commit.  Consulting means *branching on* the
+flag, not necessarily refusing: the dual-epoch sidecar idiom routes
+mid-flight appends into a sidecar directory plus a replay queue instead
+of raising, and satisfies the rule the same way — what RPR004 rejects is
+a mutator that never reads the flag at all.
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ _SANCTIONED_FILES = frozenset({"partition_store.py"})
 #: PartitionStore methods that create or destroy partition files
 _STORE_MUTATORS = frozenset(
     {"write_partitions", "write_partition_file", "materialize", "delete_layout",
-     "remove_directory"}
+     "remove_directory", "remove_partition_file"}
 )
 
 
