@@ -66,9 +66,14 @@ from .engine import (
     OreoPolicy,
     ReorgPolicy,
     SchedulePolicy,
+    ShardedEngine,
+    ShardedEventLog,
+    ShardEventObserver,
+    derive_shard_configs,
+    merge_query_results,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BLSAlgorithm",
@@ -93,9 +98,13 @@ __all__ = [
     "RunLedger",
     "RunSummary",
     "SchedulePolicy",
+    "ShardEventObserver",
+    "ShardedEngine",
+    "ShardedEventLog",
     "StepResult",
     "TwoStateCounterAlgorithm",
     "WorkFunctionAlgorithm",
     "__version__",
-    "solve_offline",
+    "derive_shard_configs",
+    "merge_query_results",
 ]

@@ -38,6 +38,13 @@ from .policies import (
     ReorgPolicy,
     SchedulePolicy,
 )
+from .sharded import (
+    ShardedEngine,
+    ShardedEventLog,
+    ShardEventObserver,
+    derive_shard_configs,
+    merge_query_results,
+)
 
 __all__ = [
     "Decision",
@@ -51,4 +58,9 @@ __all__ = [
     "OreoPolicy",
     "ReorgPolicy",
     "SchedulePolicy",
+    "ShardEventObserver",
+    "ShardedEngine",
+    "ShardedEventLog",
+    "derive_shard_configs",
+    "merge_query_results",
 ]

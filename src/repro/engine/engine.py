@@ -29,8 +29,11 @@ differential suite can assert bit-for-bit equality between the two.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import functools
+import threading
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
+from typing import Any, TypeVar, cast
 
 import numpy as np
 
@@ -49,6 +52,27 @@ from .events import EngineEvents, _EventFanout
 from .policies import NeverReorganize, ReorgPolicy
 
 __all__ = ["EngineStats", "LayoutEngine"]
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def _serialized(method: _F) -> _F:
+    """Run a public engine entry point under the per-engine serving lock.
+
+    The lock is *reentrant*: one serving call may legitimately nest
+    others (``query`` steps the scheduler, observers fired mid-call may
+    read ``stats()``), and those must not self-deadlock.  Cross-thread
+    callers — the sharded router's fan-out pool — serialize instead, so
+    the engine's cooperative decision → serve → step interleaving is
+    preserved no matter which thread a call arrives on.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self: "LayoutEngine", *args: Any, **kwargs: Any) -> Any:
+        with self._serving_lock:
+            return method(self, *args, **kwargs)
+
+    return cast("_F", wrapper)
 
 
 @dataclass(frozen=True)
@@ -85,6 +109,14 @@ class LayoutEngine:
     cooperative, like the scheduler it wraps: queries and movement steps
     interleave deterministically, which is what the differential
     equivalence suites rely on.
+
+    **Thread-safety contract:** every public entry point serializes on a
+    per-engine reentrant serving lock, so concurrent callers (the
+    :class:`~repro.engine.sharded.ShardedEngine` router's fan-out
+    threads) are safe — their calls simply queue, each one running the
+    full cooperative interleaving atomically.  The lock never makes two
+    engines wait on each other: a sharded deployment's shards progress
+    independently.
     """
 
     def __init__(
@@ -99,6 +131,10 @@ class LayoutEngine:
         else:
             observers = tuple(events)
         self._events = _EventFanout(observers)
+        # Created once per engine (not per lifetime): a close() racing a
+        # query must serialize on the same lock, so the lock cannot live
+        # in _reset_lifetime_state.
+        self._serving_lock = threading.RLock()
         self._is_open = False
         self._reset_lifetime_state()
         self.policy = policy if policy is not None else NeverReorganize()
@@ -137,11 +173,12 @@ class LayoutEngine:
         maintenance starts from the current snapshot instead of degrading
         to per-batch cache wipes.
         """
-        self._policy = policy
-        if self._is_open:
-            self._bind_policy()
-            if getattr(policy, "wants_costs", False):
-                self._wire_costs()
+        with self._serving_lock:
+            self._policy = policy
+            if self._is_open:
+                self._bind_policy()
+                if getattr(policy, "wants_costs", False):
+                    self._wire_costs()
 
     def _bind_policy(self) -> None:
         bind = getattr(self._policy, "bind", None)
@@ -166,6 +203,7 @@ class LayoutEngine:
             )
 
     # --------------------------------------------------------------- lifecycle
+    @_serialized
     def open(
         self,
         table: Table | None = None,
@@ -213,6 +251,7 @@ class LayoutEngine:
         self._events.on_open(self)
         return self
 
+    @_serialized
     def close(self) -> None:
         """Close the engine: abort any in-flight reorg, optionally clean up.
 
@@ -281,11 +320,23 @@ class LayoutEngine:
         """Whether a pipelined reorganization is currently in flight."""
         return self._scheduler is not None and self._scheduler.active
 
+    @property
+    def holds_data(self) -> bool:
+        """Whether the engine holds any rows (materialized or ingested).
+
+        A streaming engine that has not ingested yet reports ``False``;
+        the sharded router uses this to skip data-less shards instead of
+        tripping their "holds no data" guard.
+        """
+        return self._stored is not None or self._incremental is not None
+
+    @_serialized
     def stored(self) -> StoredLayout:
         """Snapshot of the currently visible stored layout."""
         self._require_open()
         return self._visible()
 
+    @_serialized
     def fragmentation(self, target_partition_rows: int) -> float:
         """How fragmented a streaming engine's store is (1.0 = consolidated).
 
@@ -299,6 +350,7 @@ class LayoutEngine:
             return 1.0
         return self._incremental.fragmentation(target_partition_rows)
 
+    @_serialized
     def stats(self) -> EngineStats:
         """Counters of everything the engine did since ``open()``."""
         return EngineStats(
@@ -326,6 +378,7 @@ class LayoutEngine:
         return self._stored
 
     # -------------------------------------------------------------- data plane
+    @_serialized
     def ingest(self, batch: Table) -> int:
         """Append one batch under the current layout; returns files written.
 
@@ -373,6 +426,7 @@ class LayoutEngine:
             self._events.on_ingest_during_reorg(batch.num_rows, written, target_id)
         return written
 
+    @_serialized
     def query(self, query: Query) -> QueryResult:
         """Serve one query through the full online loop.
 
@@ -385,6 +439,7 @@ class LayoutEngine:
         assert result is not None  # execute=True always serves
         return result
 
+    @_serialized
     def observe(self, query: Query) -> None:
         """Drive the decision loop for one query without executing it.
 
@@ -394,6 +449,7 @@ class LayoutEngine:
         """
         self._advance(query, execute=False)
 
+    @_serialized
     def query_batch(self, queries: Sequence[Query]) -> list[QueryResult]:
         """Serve a batch with one compiled planning pass.
 
@@ -468,6 +524,7 @@ class LayoutEngine:
                 layouts.append(layout)
         return evaluator.costs_for_query(layouts, query)
 
+    @_serialized
     def reorganize(self, target: DataLayout) -> None:
         """Explicitly reorganize into ``target``, bypassing the policy.
 
@@ -577,6 +634,7 @@ class LayoutEngine:
             self._events.on_movement_charged(self.config.alpha)
 
     # ----------------------------------------------------------- reorg progress
+    @_serialized
     def step(self) -> ScheduledStep | None:
         """Advance an in-flight pipelined reorganization by one step.
 
@@ -601,12 +659,14 @@ class LayoutEngine:
             self._settle()
         return scheduled
 
+    @_serialized
     def run_until_idle(self) -> None:
         """Drain any in-flight pipelined reorganization to its final commit."""
         self._require_open()
         while self.reorg_active:
             self.step()
 
+    @_serialized
     def abort_reorg(self) -> float:
         """Abandon an in-flight pipelined reorganization without committing.
 

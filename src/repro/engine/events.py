@@ -15,6 +15,7 @@ ordering is asserted against it) and the examples all consume.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any
 
 from ..queries.query import Query
@@ -93,18 +94,29 @@ class EngineEvents:
 
 
 class EventLog(EngineEvents):
-    """Records every event as ``(name, payload)`` — telemetry & test observer."""
+    """Records every event as ``(name, payload)`` — telemetry & test observer.
+
+    Recording is thread-safe: one log can be shared across the engines of
+    a :class:`~repro.engine.sharded.ShardedEngine`, whose fan-out threads
+    fire hooks concurrently.  The lock keeps ``records`` a consistent
+    sequence under that interleaving; *within* one engine the recorded
+    order is still exactly the firing order (hooks fire synchronously),
+    which is what the event-ordering tests pin.
+    """
 
     def __init__(self):
         #: ``(event_name, payload_dict)`` tuples in firing order
         self.records: list[tuple[str, dict[str, Any]]] = []
+        self._lock = threading.Lock()
 
     def names(self) -> list[str]:
         """The event names in firing order (the ordering tests' view)."""
-        return [name for name, _ in self.records]
+        with self._lock:
+            return [name for name, _ in self.records]
 
     def _record(self, name: str, **payload: Any) -> None:
-        self.records.append((name, payload))
+        with self._lock:
+            self.records.append((name, payload))
 
     def on_open(self, engine: "LayoutEngine") -> None:
         """Record the open."""

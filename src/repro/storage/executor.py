@@ -29,6 +29,7 @@ compiled when they switch over.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -80,7 +81,14 @@ class ScanResult:
 
 
 class QueryExecutor:
-    """Executes queries against stored layouts with partition pruning."""
+    """Executes queries against stored layouts with partition pruning.
+
+    The compiled-index and compiled-workload caches are lock-protected,
+    so concurrent ``execute``/``execute_batch`` callers (the sharded
+    router's fan-out threads hitting one engine) cannot corrupt the LRU
+    bookkeeping; execution itself reads immutable snapshots and needs no
+    further coordination.
+    """
 
     #: Most retirements arrive explicitly (:meth:`forget`,
     #: :meth:`apply_reorg`), but replay drivers can also drop layouts
@@ -96,34 +104,44 @@ class QueryExecutor:
         self.store = store
         self._zonemaps: dict[str, ZoneMapIndex] = {}
         self._compiled: dict[tuple, CompiledWorkload] = {}
+        # The plain-dict LRU helpers pop-and-reinsert on every hit, so
+        # two concurrent query_batch calls on one executor can interleave
+        # mid-refresh and drop or duplicate entries; every cache access
+        # serializes on this lock.  Compilation inside the critical
+        # section is deliberate: racing callers would otherwise compile
+        # the same index twice and publish whichever finished last.
+        self._cache_lock = threading.Lock()
 
     def _zone_maps(self, stored: StoredLayout) -> ZoneMapIndex:
-        """Compiled zone maps for a stored layout (bounded per-id cache)."""
+        """Compiled zone maps for a stored layout (bounded, thread-safe)."""
         key = stored.layout.layout_id
-        cached = lru_get(self._zonemaps, key)
-        if cached is not None and cached.metadata is stored.metadata:
-            return cached
-        self._zonemaps.pop(key, None)
-        return lru_put(
-            self._zonemaps, key, ZoneMapIndex(stored.metadata), self.ZONEMAP_CACHE_CAP
-        )
+        with self._cache_lock:
+            cached = lru_get(self._zonemaps, key)
+            if cached is not None and cached.metadata is stored.metadata:
+                return cached
+            self._zonemaps.pop(key, None)
+            return lru_put(
+                self._zonemaps, key, ZoneMapIndex(stored.metadata), self.ZONEMAP_CACHE_CAP
+            )
 
     def _compiled_workload(self, queries: Sequence[Query]) -> CompiledWorkload:
-        """Compiled plan for a query batch (bounded LRU, layout-agnostic)."""
+        """Compiled plan for a query batch (bounded LRU, thread-safe)."""
         key = tuple(query.predicate.cache_key() for query in queries)
-        cached = lru_get(self._compiled, key)
-        if cached is None:
-            cached = lru_put(
-                self._compiled,
-                key,
-                CompiledWorkload([query.predicate for query in queries]),
-                self.COMPILED_CACHE_CAP,
-            )
-        return cached
+        with self._cache_lock:
+            cached = lru_get(self._compiled, key)
+            if cached is None:
+                cached = lru_put(
+                    self._compiled,
+                    key,
+                    CompiledWorkload([query.predicate for query in queries]),
+                    self.COMPILED_CACHE_CAP,
+                )
+            return cached
 
     def forget(self, layout_id: str) -> None:
         """Drop the compiled index for a retired layout (O(1))."""
-        self._zonemaps.pop(layout_id, None)
+        with self._cache_lock:
+            self._zonemaps.pop(layout_id, None)
 
     def prewarm(self, stored: StoredLayout) -> None:
         """Compile (and cache) a stored layout's index ahead of its queries.
@@ -147,20 +165,21 @@ class QueryExecutor:
         the reorg touched — and cached under the new id.  Otherwise this
         degrades to :meth:`forget` (the next query compiles lazily).
         """
-        cached = self._zonemaps.pop(old_layout_id, None)
-        if (
-            cached is None
-            or delta is None
-            or cached.metadata is not delta.old_metadata
-            or delta.new_metadata is not new_stored.metadata
-        ):
-            return
-        lru_put(
-            self._zonemaps,
-            new_stored.layout.layout_id,
-            cached.apply_reorg(delta),
-            self.ZONEMAP_CACHE_CAP,
-        )
+        with self._cache_lock:
+            cached = self._zonemaps.pop(old_layout_id, None)
+            if (
+                cached is None
+                or delta is None
+                or cached.metadata is not delta.old_metadata
+                or delta.new_metadata is not new_stored.metadata
+            ):
+                return
+            lru_put(
+                self._zonemaps,
+                new_stored.layout.layout_id,
+                cached.apply_reorg(delta),
+                self.ZONEMAP_CACHE_CAP,
+            )
 
     def execute(self, stored: StoredLayout, query: Query) -> QueryResult:
         """Run one query: prune partitions by metadata, scan the rest."""

@@ -236,6 +236,41 @@ def test_observer_sees_engine_on_open(tmp_path, bundle, layouts):
     assert seen == {"open": first.layout_id, "close": True}
 
 
+def test_event_log_records_concurrently_without_loss():
+    """Regression: ``EventLog._record`` used to append to a plain list
+    with no lock, so concurrent shard threads sharing one observer could
+    interleave mid-append and drop records.  With the lock, every record
+    from every thread lands exactly once."""
+    import threading
+
+    log = EventLog()
+    threads_n, per_thread = 8, 200
+    barrier = threading.Barrier(threads_n)
+
+    def hammer(tag: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            log.on_movement_charged(float(tag * per_thread + i))
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(threads_n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(log.records) == threads_n * per_thread
+    amounts = sorted(payload["amount"] for _, payload in log.records)
+    assert amounts == [float(i) for i in range(threads_n * per_thread)]
+    # per-thread subsequences stay in each thread's firing order
+    for tag in range(threads_n):
+        lo, hi = tag * per_thread, (tag + 1) * per_thread
+        own = [
+            payload["amount"]
+            for _, payload in log.records
+            if lo <= payload["amount"] < hi
+        ]
+        assert own == [float(i) for i in range(lo, hi)]
+
+
 def test_default_hooks_are_noops(tmp_path, bundle, layouts, query):
     first, _ = layouts
     config = EngineConfig(store_root=tmp_path / "s", cleanup_on_close=True)

@@ -1,0 +1,268 @@
+"""Sharded-vs-single differential suite: the composition correctness anchor.
+
+A :class:`ShardedEngine` must be observationally equal to one
+:class:`LayoutEngine` over the unsharded stream: every query's matched
+rows are identical (hash routing places each row on exactly one shard),
+and the merged movement ledger charges exactly what the single engine
+charges (per-shard α = α/N, summing back across shards).  The
+deterministic tests pin a full 4-shard materialized run and a streaming
+run against their single-engine references; the hypothesis machine
+interleaves ingest / query / step / reorganize across shards and checks
+the equalities at every step.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.engine import EngineConfig, LayoutEngine, ShardedEngine
+from repro.layouts import RangeLayoutBuilder, RoundRobinLayout
+from repro.queries import Query, between
+from repro.storage import ColumnSpec, Schema, Table
+from repro.workloads import tpch
+
+SHARD_KEY = "l_orderkey"
+NUM_SHARDS = 4
+ALPHA = 80.0
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return tpch.load(4_000, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def layouts(bundle):
+    rng = np.random.default_rng(1)
+    first = RangeLayoutBuilder(bundle.default_sort_column).build(
+        bundle.table, [], 6, rng
+    )
+    second = RangeLayoutBuilder("l_quantity").build(bundle.table, [], 6, rng)
+    return first, second
+
+
+@pytest.fixture(scope="module")
+def stream(bundle):
+    return bundle.workload(30, 3, np.random.default_rng(2))
+
+
+def test_materialized_4_shard_run_matches_single_engine(
+    tmp_path, bundle, layouts, stream
+):
+    first, second = layouts
+    single_config = EngineConfig(
+        store_root=tmp_path / "single", alpha=ALPHA, cleanup_on_close=True
+    )
+    sharded_config = EngineConfig(
+        store_root=tmp_path / "sharded", alpha=ALPHA, cleanup_on_close=True
+    )
+    with LayoutEngine(single_config).open(bundle.table, first) as single:
+        single_before = [r.rows_matched for r in single.query_batch(stream)]
+        single.reorganize(second)
+        single_after = [r.rows_matched for r in single.query_batch(stream)]
+        single_stats = single.stats()
+    with ShardedEngine(sharded_config, SHARD_KEY, NUM_SHARDS).open(
+        bundle.table, first
+    ) as sharded:
+        # the stream also covers single queries, not just batches
+        assert all(e.holds_data for e in sharded.shards)
+        merged_before = [r.rows_matched for r in sharded.query_batch(stream)]
+        assert [sharded.query(q).rows_matched for q in stream[:5]] == single_before[:5]
+        sharded.reorganize(second)
+        merged_after = [r.rows_matched for r in sharded.query_batch(stream)]
+        merged_stats = sharded.stats()
+        per_shard_rows = [
+            e.stored().total_rows for e in sharded.shards if e.holds_data
+        ]
+    # per-row result equality, before and after the reorganization
+    assert merged_before == single_before
+    assert merged_after == single_after
+    # every result aggregates the whole logical table
+    assert sum(per_shard_rows) == bundle.table.num_rows
+    # movement-ledger equality: 4 shards × α/4 == one engine × α
+    assert merged_stats.movement_charged == pytest.approx(
+        single_stats.movement_charged
+    )
+    assert merged_stats.movement_charged == pytest.approx(ALPHA)
+    # same logical work: both switched every row's layout exactly once
+    assert single_stats.reorgs_completed == 1
+    assert merged_stats.reorgs_completed == NUM_SHARDS
+
+
+def test_streaming_run_matches_single_engine(tmp_path, bundle, layouts, stream):
+    first, second = layouts
+    builder = RangeLayoutBuilder(bundle.default_sort_column)
+    batches = [
+        bundle.table.sample(0.25, np.random.default_rng(seed)) for seed in range(3)
+    ]
+    queries = stream[:10]
+
+    def run(engine):
+        matched = []
+        for batch in batches:
+            engine.ingest(batch)
+        matched.extend(r.rows_matched for r in engine.query_batch(queries))
+        engine.reorganize(second)
+        engine.run_until_idle()
+        matched.extend(r.rows_matched for r in engine.query_batch(queries))
+        return matched, engine.stats()
+
+    single_config = EngineConfig(
+        store_root=tmp_path / "single",
+        builder=builder,
+        data_sample_fraction=0.5,
+        num_partitions=4,
+        alpha=ALPHA,
+        async_reorg=True,
+        step_partitions=2,
+        cleanup_on_close=True,
+    )
+    sharded_config = single_config.with_overrides(store_root=tmp_path / "sharded")
+    with LayoutEngine(single_config) as single:
+        single_matched, single_stats = run(single)
+    with ShardedEngine(sharded_config, SHARD_KEY, NUM_SHARDS) as sharded:
+        sharded_matched, sharded_stats = run(sharded)
+        data_shards = sum(e.holds_data for e in sharded.shards)
+    assert sharded_matched == single_matched
+    assert sharded_stats.rows_ingested == single_stats.rows_ingested
+    assert single_stats.movement_charged == pytest.approx(ALPHA)
+    # only the shards holding data consolidate; each charges its α/N split
+    assert sharded_stats.movement_charged == pytest.approx(
+        ALPHA * data_shards / NUM_SHARDS
+    )
+
+
+class ShardedVsSingleMachine(RuleBasedStateMachine):
+    """Random interleavings of ingest/query/step/reorganize across shards.
+
+    A 3-shard router and a single mirror engine consume identical
+    streams; at every step the machine checks the observational
+    equalities that make sharding transparent:
+
+    * every query matches the same rows on both sides, mid-flight moves
+      included (per-shard epoch visibility);
+    * ingested-row totals agree;
+    * each engine's movement ledger equals ``reorgs_completed × its α``
+      (the per-shard α/N split composes, aborts refund to zero) — at
+      *all* times, because pipelined charges settle only at commit.
+    """
+
+    ALPHA = 3.0
+    NUM_SHARDS = 3
+
+    def __init__(self):
+        super().__init__()
+        self._tmp = Path(tempfile.mkdtemp(prefix="sharded-stateful-"))
+        self.schema = Schema(
+            columns=(ColumnSpec("x", "numeric"), ColumnSpec("y", "numeric"))
+        )
+        base = EngineConfig(
+            store_root=self._tmp / "sharded",
+            builder=RangeLayoutBuilder("x"),
+            data_sample_fraction=0.5,
+            num_partitions=3,
+            alpha=self.ALPHA,
+            async_reorg=True,
+            step_partitions=2,
+        )
+        self.sharded = ShardedEngine(base, "x", self.NUM_SHARDS).open()
+        self.mirror = LayoutEngine(
+            base.with_overrides(store_root=self._tmp / "mirror")
+        ).open()
+        sample = self._make_batch(0, 200)
+        rng = np.random.default_rng(9)
+        self.targets = [
+            RangeLayoutBuilder("x").build(sample, [], 3, rng),
+            RangeLayoutBuilder("y").build(sample, [], 4, rng),
+            RoundRobinLayout(2),
+        ]
+        self.queries = [
+            Query(predicate=between("x", 10.0, 45.0)),
+            Query(predicate=between("x", 40.0, 95.0)),
+            Query(predicate=between("y", 0.2, 0.7)),
+        ]
+
+    def teardown(self):
+        self.sharded.close()
+        self.mirror.close()
+        shutil.rmtree(self._tmp, ignore_errors=True)
+
+    def _make_batch(self, seed: int, rows: int) -> Table:
+        generator = np.random.default_rng(seed)
+        return Table(
+            self.schema,
+            {
+                "x": generator.uniform(0.0, 100.0, size=rows),
+                "y": generator.uniform(0.0, 1.0, size=rows),
+            },
+        )
+
+    @rule(seed=st.integers(0, 10**6), rows=st.integers(20, 60))
+    def ingest(self, seed, rows):
+        batch = self._make_batch(seed, rows)
+        self.sharded.ingest(batch)
+        self.mirror.ingest(batch)
+
+    @precondition(lambda self: self.mirror.holds_data)
+    @rule(index=st.integers(0, 2))
+    def query(self, index):
+        query = self.queries[index]
+        merged = self.sharded.query(query)
+        single = self.mirror.query(query)
+        assert merged.rows_matched == single.rows_matched
+        assert merged.total_rows == single.total_rows
+
+    @rule()
+    def step(self):
+        self.sharded.step()
+        self.mirror.step()
+
+    @precondition(lambda self: self.mirror.holds_data)
+    @rule(index=st.integers(0, 2))
+    def reorganize(self, index):
+        target = self.targets[index]
+        self.sharded.reorganize(target)
+        self.mirror.reorganize(target)
+
+    @rule()
+    def drain(self):
+        self.sharded.run_until_idle()
+        self.mirror.run_until_idle()
+
+    @rule()
+    def abort(self):
+        self.sharded.abort_reorg()
+        self.mirror.abort_reorg()
+
+    @invariant()
+    def totals_and_ledgers_agree(self):
+        assert self.sharded.stats().rows_ingested == self.mirror.stats().rows_ingested
+        mirror_stats = self.mirror.stats()
+        assert mirror_stats.movement_charged == pytest.approx(
+            mirror_stats.reorgs_completed * self.ALPHA
+        )
+        shard_alpha = self.ALPHA / self.NUM_SHARDS
+        for shard in self.sharded.shards:
+            stats = shard.stats()
+            assert stats.movement_charged == pytest.approx(
+                stats.reorgs_completed * shard_alpha
+            )
+
+
+ShardedVsSingleMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)
+TestShardedVsSingleStateful = ShardedVsSingleMachine.TestCase

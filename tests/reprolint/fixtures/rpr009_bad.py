@@ -1,0 +1,51 @@
+"""RPR009 fixture: a relay that silently drops base hooks."""
+
+
+class EngineEvents:
+    def on_open(self, engine):
+        pass
+
+    def on_query(self, query, result):
+        pass
+
+    def on_commit(self, source_id, target_id):
+        pass
+
+    def on_charge(self, amount):
+        pass
+
+
+class LeakyRecorder(EngineEvents):
+    # Relays through one private channel but forgot on_commit and
+    # on_charge: a follower replaying this stream never sees either.
+    def __init__(self):
+        self.records = []
+
+    def _record(self, name, **payload):
+        self.records.append((name, payload))
+
+    def on_open(self, engine):
+        self._record("open")
+
+    def on_query(self, query, result):
+        self._record("query", rows=result.rows)
+
+
+class LeakyFanout(EngineEvents):
+    # Same bug, broadcast flavour: only on_charge is missing — exactly
+    # the hook the ledger-equality tests replay.
+    def __init__(self, sinks):
+        self._sinks = sinks
+
+    def _fan(self, name, *args):
+        for sink in self._sinks:
+            getattr(sink, name)(*args)
+
+    def on_open(self, engine):
+        self._fan("on_open", engine)
+
+    def on_query(self, query, result):
+        self._fan("on_query", query, result)
+
+    def on_commit(self, source_id, target_id):
+        self._fan("on_commit", source_id, target_id)

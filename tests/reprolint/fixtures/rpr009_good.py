@@ -1,0 +1,83 @@
+"""RPR009 fixture: complete relays and selective observers stay quiet."""
+
+
+class EngineEvents:
+    def on_open(self, engine):
+        pass
+
+    def on_query(self, query, result):
+        pass
+
+    def on_commit(self, source_id, target_id):
+        pass
+
+    def on_charge(self, amount):
+        pass
+
+
+class CompleteRecorder(EngineEvents):
+    # The relay idiom, complete: every base hook forwards through the
+    # same private channel, so nothing is dropped from the stream.
+    def __init__(self):
+        self.records = []
+
+    def _record(self, name, **payload):
+        self.records.append((name, payload))
+
+    def on_open(self, engine):
+        self._record("open")
+
+    def on_query(self, query, result):
+        self._record("query", rows=result.rows)
+
+    def on_commit(self, source_id, target_id):
+        self._record("commit", source_id=source_id, target_id=target_id)
+
+    def on_charge(self, amount):
+        self._record("charge", amount=amount)
+
+
+class CompleteFanout(EngineEvents):
+    # Broadcast flavour: the channel is an attr call (self._sinks is a
+    # list forwarded through a private helper).
+    def __init__(self, sinks):
+        self._sinks = sinks
+
+    def _fan(self, name, *args):
+        for sink in self._sinks:
+            getattr(sink, name)(*args)
+
+    def on_open(self, engine):
+        self._fan("on_open", engine)
+
+    def on_query(self, query, result):
+        self._fan("on_query", query, result)
+
+    def on_commit(self, source_id, target_id):
+        self._fan("on_commit", source_id, target_id)
+
+    def on_charge(self, amount):
+        self._fan("on_charge", amount)
+
+
+class SelectiveObserver(EngineEvents):
+    # Not a relay: handles two hooks directly with no shared private
+    # channel — watching a subset is a legitimate observer shape.
+    def __init__(self):
+        self.opened = False
+        self.total = 0.0
+
+    def on_open(self, engine):
+        self.opened = True
+
+    def on_charge(self, amount):
+        self.total += amount
+
+
+class SingleHookProbe(EngineEvents):
+    # One override can never establish the relay idiom.
+    def _note(self, name):
+        print(name)
+
+    def on_open(self, engine):
+        self._note("open")

@@ -67,5 +67,5 @@ def test_select_restricts_to_named_rules(capsys):
 def test_list_rules_prints_the_full_catalogue(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in [f"RPR00{i}" for i in range(1, 9)]:
+    for rule_id in [f"RPR00{i}" for i in range(1, 10)]:
         assert rule_id in out

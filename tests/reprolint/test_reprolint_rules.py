@@ -201,6 +201,37 @@ def test_rpr008_quiet_on_consistent_module():
     assert check("rpr008_good.py", "RPR008") == []
 
 
+def test_rpr009_flags_both_leaky_relays():
+    findings = check("rpr009_bad.py", "RPR009")
+    assert len(findings) == 2
+    by_class = {f.message.split(" ")[0]: f.message for f in findings}
+    assert set(by_class) == {"LeakyRecorder", "LeakyFanout"}
+    assert "on_charge, on_commit" in by_class["LeakyRecorder"]
+    assert "'_record'" in by_class["LeakyRecorder"]
+    assert "on_charge" in by_class["LeakyFanout"]
+    assert "on_commit" not in by_class["LeakyFanout"].split("missing")[1]
+
+
+def test_rpr009_quiet_on_complete_relays_and_selective_observers():
+    assert check("rpr009_good.py", "RPR009") == []
+
+
+def test_rpr009_quiet_without_an_engine_events_base(tmp_path):
+    # No EngineEvents class in the tree: the hook set is unknown, so the
+    # rule must stay silent instead of guessing.
+    module = tmp_path / "loose.py"
+    module.write_text(
+        "class Relay:\n"
+        "    def _record(self, name):\n"
+        "        pass\n"
+        "    def on_open(self):\n"
+        "        self._record('open')\n"
+        "    def on_close(self):\n"
+        "        self._record('close')\n"
+    )
+    assert run([module], root=tmp_path, select={"RPR009"}) == []
+
+
 def test_rpr008_docs_references_resolve_against_source_tree(tmp_path):
     package = tmp_path / "src" / "repro"
     package.mkdir(parents=True)

@@ -1,0 +1,120 @@
+"""Observer-completeness rule: event relays must forward *every* hook.
+
+Several classes relay the whole :class:`EngineEvents` stream through one
+private channel — ``EventLog`` records every hook via ``_record``,
+``_EventFanout`` broadcasts via ``_fan``, the sharded router's tagger
+re-emits via ``_emit``.  Their correctness contract is completeness: a
+follower replaying a relayed stream (or a test asserting against a
+recorded one) assumes nothing was dropped on the way.  When
+``EngineEvents`` gains a hook, a relay that misses the override silently
+swallows the new event — no test fails, downstream observers just never
+see it.
+
+RPR009 checks it statically.  The base hook set is the union of ``on_*``
+methods defined on any class named ``EngineEvents`` in the checked tree.
+A subclass of ``EngineEvents`` is a *relay* when it overrides at least
+two base hooks and all of its overrides forward through a common private
+channel (a ``self._x(...)`` call or a ``self._x.y(...)`` call with the
+same ``_x`` in every hook).  A relay must override every base hook;
+selective observers — subclasses handling a few hooks directly, with no
+shared forwarding channel — are exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..classinfo import MethodSummary, summarize_class
+from ..core import Finding, ProjectContext, Rule, register
+
+__all__ = ["ObserverCompletenessRule"]
+
+#: the observer base class whose hook set defines completeness
+_BASE_CLASS = "EngineEvents"
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    """The plain names a class inherits from (``Base`` or ``mod.Base``)."""
+    names = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _forward_channels(method: MethodSummary) -> set[str]:
+    """Private channels a hook forwards through: ``self._x(...)`` targets
+    and the owners of ``self._x.y(...)`` calls."""
+    channels = {name for name in method.calls if name.startswith("_")}
+    channels |= {
+        owner for owner, _ in method.attr_calls if owner.startswith("_")
+    }
+    return channels
+
+
+@register
+class ObserverCompletenessRule(Rule):
+    """RPR009: an EngineEvents relay must override every base hook."""
+
+    rule_id = "RPR009"
+    name = "observer-completeness"
+    description = (
+        "A subclass of EngineEvents that relays hooks through a common "
+        "private channel (the EventLog/_EventFanout/shard-tagger idiom) "
+        "must override every hook the base class defines; a missing "
+        "override silently drops that event from the relayed stream."
+    )
+
+    def finalize(self, project: ProjectContext) -> list[Finding]:
+        """Flag relay subclasses missing base hooks, across the tree."""
+        base_hooks: set[str] = set()
+        subclasses: list[tuple[ast.ClassDef, "object"]] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if node.name == _BASE_CLASS:
+                    base_hooks |= {
+                        item.name
+                        for item in node.body
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name.startswith("on_")
+                    }
+                elif _BASE_CLASS in _base_names(node):
+                    subclasses.append((node, module))
+        if not base_hooks:
+            return []
+        findings = []
+        for node, module in subclasses:
+            summary = summarize_class(node)
+            overridden = {
+                name for name in summary.methods if name in base_hooks
+            }
+            if len(overridden) < 2:
+                continue  # selective observer, not a relay
+            common = None
+            for name in overridden:
+                channels = _forward_channels(summary.methods[name])
+                common = channels if common is None else common & channels
+                if not common:
+                    break
+            if not common:
+                continue  # hooks handled directly, no shared relay channel
+            missing = base_hooks - overridden
+            if not missing:
+                continue
+            channel = sorted(common)[0]
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    f"{summary.name} relays EngineEvents through "
+                    f"'{channel}' but overrides only {len(overridden)} of "
+                    f"{len(base_hooks)} hooks; missing "
+                    f"{', '.join(sorted(missing))} — those events are "
+                    "silently dropped from the relayed stream",
+                )
+            )
+        return findings
