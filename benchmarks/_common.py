@@ -105,6 +105,21 @@ def validate_bench_json(payload) -> list[str]:
             errors.append(f"workload {name!r}: params is not an object")
     return errors
 
+#: Scenario-suite trajectory: per-pack competitive accounting plus the
+#: cost-model calibration summary (Q-Errors are wall-clock-derived and
+#: therefore volatile across machines, like the microbench speedups; the
+#: regression gates assert the ceilings, not exact values).
+BENCH_SCENARIOS_JSON = RESULTS_DIR / "BENCH_scenarios.json"
+
+
+def write_scenarios_json(payload: dict) -> None:
+    """Persist the scenario-suite payload as ``BENCH_scenarios.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BENCH_SCENARIOS_JSON.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
 #: Bench scales: large enough for the paper's shapes to be visible, small
 #: enough that the whole suite runs in minutes.  Paper scale is 30k queries
 #: over ~26-40M rows; drivers accept larger values for full-scale runs.

@@ -450,6 +450,18 @@ class LayoutEngine:
         self._advance(query, execute=False)
 
     @_serialized
+    def mark_phase(self, scenario: str, phase: str) -> None:
+        """Mark a scenario workload-phase boundary on the event stream.
+
+        Scenario runners call this when the driving workload transitions
+        between phases (a flash crowd starting, a drift window advancing,
+        a hot tenant rotating) so observers can segment the event stream
+        per phase.  Purely observational: engine state is untouched.
+        """
+        self._require_open()
+        self._events.on_scenario_phase(scenario, phase)
+
+    @_serialized
     def query_batch(self, queries: Sequence[Query]) -> list[QueryResult]:
         """Serve a batch with one compiled planning pass.
 

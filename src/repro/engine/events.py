@@ -92,6 +92,15 @@ class EngineEvents:
         always reconstructs the engine's movement ledger exactly.
         """
 
+    def on_scenario_phase(self, scenario: str, phase: str) -> None:
+        """A scenario driver marked a workload-phase boundary.
+
+        Fired by :meth:`~repro.engine.LayoutEngine.mark_phase` when a
+        scenario runner transitions between workload phases (e.g. a
+        flash crowd starting, a drift window advancing), so event
+        streams can be segmented per phase when analysing a run.
+        """
+
 
 class EventLog(EngineEvents):
     """Records every event as ``(name, payload)`` — telemetry & test observer.
@@ -198,6 +207,10 @@ class EventLog(EngineEvents):
         """Record one movement-budget installment."""
         self._record("movement_charged", amount=amount)
 
+    def on_scenario_phase(self, scenario: str, phase: str) -> None:
+        """Record one scenario phase marker."""
+        self._record("scenario_phase", scenario=scenario, phase=phase)
+
 
 class _EventFanout(EngineEvents):
     """Internal: broadcast every hook to an observer list, in order."""
@@ -264,3 +277,7 @@ class _EventFanout(EngineEvents):
     def on_movement_charged(self, amount: float) -> None:
         """Broadcast one movement-budget installment."""
         self._fan("on_movement_charged", amount)
+
+    def on_scenario_phase(self, scenario: str, phase: str) -> None:
+        """Broadcast one scenario phase marker."""
+        self._fan("on_scenario_phase", scenario, phase)

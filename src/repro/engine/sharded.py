@@ -289,6 +289,10 @@ class _ShardTagger(EngineEvents):
         """Tag and forward one movement-budget installment."""
         self._emit("movement_charged", amount=amount)
 
+    def on_scenario_phase(self, scenario: str, phase: str) -> None:
+        """Tag and forward one scenario phase marker."""
+        self._emit("scenario_phase", scenario=scenario, phase=phase)
+
 
 class ShardedEngine:
     """Hash-partitioned serving across N :class:`LayoutEngine` instances.
@@ -517,6 +521,16 @@ class ShardedEngine:
             {
                 shard: (lambda e=self._engines[shard]: e.observe(query))
                 for shard in self._data_shards()
+            }
+        )
+
+    def mark_phase(self, scenario: str, phase: str) -> None:
+        """Mark a scenario phase boundary on every shard's event stream."""
+        self._require_open()
+        self._fan_out(
+            {
+                shard: (lambda e=self._engines[shard]: e.mark_phase(scenario, phase))
+                for shard in range(self._num_shards)
             }
         )
 

@@ -1,5 +1,12 @@
-"""Experiment harness, physical replay and per-figure drivers."""
+"""Experiment harness, physical replay, scenario runs and per-figure drivers."""
 
+from .calibration import (
+    CalibrationReport,
+    CalibrationSample,
+    calibrate,
+    qerror,
+    validate_scenarios_payload,
+)
 from .figures import (
     figure3_end_to_end,
     figure4_gap_to_optimal,
@@ -13,22 +20,41 @@ from .figures import (
 from .harness import ExperimentHarness, HarnessConfig, MethodResult, make_builder
 from .physical import PhysicalRunResult, replay_physical
 from .reporting import format_rows, format_table
+from .scenarios import (
+    SCENARIO_POLICIES,
+    ScenarioRunResult,
+    build_scenarios_payload,
+    initial_scenario_layout,
+    run_all_scenarios,
+    run_scenario,
+)
 
 __all__ = [
+    "SCENARIO_POLICIES",
+    "CalibrationReport",
+    "CalibrationSample",
     "ExperimentHarness",
     "HarnessConfig",
     "MethodResult",
     "PhysicalRunResult",
+    "ScenarioRunResult",
+    "build_scenarios_payload",
+    "calibrate",
     "figure3_end_to_end",
     "figure4_gap_to_optimal",
     "figure5_alpha_sweep",
     "figure6_epsilon_sweep",
     "format_rows",
     "format_table",
+    "initial_scenario_layout",
     "load_bundle",
     "make_builder",
     "measure_alpha",
+    "qerror",
     "replay_physical",
+    "run_all_scenarios",
+    "run_scenario",
     "table1_alpha_measurement",
     "table2_ablations",
+    "validate_scenarios_payload",
 ]

@@ -1,0 +1,218 @@
+"""Cost-model calibration: measured wall-clock vs fraction-of-rows cost.
+
+The paper's cost model prices ``c(s, q)`` as the fraction of the dataset
+a query accesses under layout ``s``.  The physical executor makes that
+fraction observable (``QueryResult.accessed_fraction`` *is* the model
+cost: zone maps prune, the survivors are scanned in full), and also
+reports measured wall-clock per query — so fidelity is testable: fit the
+affine model ``seconds ≈ a + b · fraction`` per scenario, then summarize
+the multiplicative miss per query with the Q-Error familiar from
+learned-cardinality leaderboards::
+
+    qerror = max(predicted / measured, measured / predicted)
+
+A perfectly linear cost model scores 1.0 everywhere; the report carries
+the median/p95/max plus a per-layout breakdown, and the benchmark suite
+gates the summary under a regression ceiling so cost-model fidelity is a
+tracked number, not an assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CalibrationReport",
+    "CalibrationSample",
+    "calibrate",
+    "qerror",
+    "validate_scenarios_payload",
+]
+
+#: floor applied to predictions and measurements before the ratio, so
+#: zero-cost queries (everything pruned) cannot produce infinite scores
+_EPS_SECONDS = 1e-9
+
+SCENARIOS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One query's model cost vs measured wall-clock, on one layout."""
+
+    layout_id: str
+    model_fraction: float
+    measured_seconds: float
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Q-Error summary of the cost model's fidelity over one scenario."""
+
+    scenario: str
+    num_samples: int
+    intercept_seconds: float
+    seconds_per_fraction: float
+    median_qerror: float
+    p95_qerror: float
+    max_qerror: float
+    per_layout: Mapping[str, Mapping[str, float]]
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict (the ``calibration.<scenario>`` BENCH entry)."""
+        return {
+            "samples": self.num_samples,
+            "intercept_seconds": self.intercept_seconds,
+            "seconds_per_fraction": self.seconds_per_fraction,
+            "median_qerror": self.median_qerror,
+            "p95_qerror": self.p95_qerror,
+            "max_qerror": self.max_qerror,
+            "per_layout": {k: dict(v) for k, v in self.per_layout.items()},
+        }
+
+
+def qerror(predicted: float, measured: float, eps: float = _EPS_SECONDS) -> float:
+    """Multiplicative error ``max(pred/meas, meas/pred)`` with an eps floor."""
+    predicted = max(float(predicted), eps)
+    measured = max(float(measured), eps)
+    return max(predicted / measured, measured / predicted)
+
+
+def calibrate(scenario: str, samples: Sequence[CalibrationSample]) -> CalibrationReport:
+    """Fit ``seconds ≈ a + b·fraction`` and summarize per-query Q-Errors.
+
+    The fit is ordinary least squares over all samples of the scenario;
+    a degenerate scenario (all fractions identical) falls back to a flat
+    model at the mean measured time.  Raises on an empty sample set —
+    a scenario that served no queries has nothing to calibrate.
+    """
+    if not samples:
+        raise ValueError(f"scenario {scenario!r} produced no calibration samples")
+    fractions = np.asarray([s.model_fraction for s in samples], dtype=np.float64)
+    seconds = np.asarray([s.measured_seconds for s in samples], dtype=np.float64)
+    if np.ptp(fractions) > 0.0:
+        slope, intercept = np.polyfit(fractions, seconds, 1)
+    else:
+        slope, intercept = 0.0, float(seconds.mean())
+    predicted = intercept + slope * fractions
+    errors = np.asarray(
+        [qerror(p, m) for p, m in zip(predicted, seconds, strict=True)],
+        dtype=np.float64,
+    )
+
+    per_layout: dict[str, dict[str, float]] = {}
+    by_layout: dict[str, list[float]] = {}
+    for sample, error in zip(samples, errors, strict=True):
+        by_layout.setdefault(sample.layout_id, []).append(float(error))
+    for layout_id in sorted(by_layout):
+        layout_errors = np.asarray(by_layout[layout_id])
+        per_layout[layout_id] = {
+            "samples": int(layout_errors.size),
+            "median_qerror": float(np.median(layout_errors)),
+            "max_qerror": float(layout_errors.max()),
+        }
+
+    return CalibrationReport(
+        scenario=scenario,
+        num_samples=len(samples),
+        intercept_seconds=float(intercept),
+        seconds_per_fraction=float(slope),
+        median_qerror=float(np.median(errors)),
+        p95_qerror=float(np.quantile(errors, 0.95)),
+        max_qerror=float(errors.max()),
+        per_layout=per_layout,
+    )
+
+
+# --------------------------------------------------------------------- schema
+_SCENARIO_FIELDS = {
+    "policy": str,
+    "num_queries": int,
+    "num_ingest_events": int,
+    "num_phases": int,
+    "online_cost": float,
+    "offline_cost": float,
+    "competitive_ratio": float,
+    "bound": float,
+    "num_states": int,
+    "reorg_count": int,
+    "movement_charged": float,
+}
+
+_CALIBRATION_FIELDS = {
+    "samples": int,
+    "intercept_seconds": float,
+    "seconds_per_fraction": float,
+    "median_qerror": float,
+    "p95_qerror": float,
+    "max_qerror": float,
+    "per_layout": dict,
+}
+
+
+def _check_fields(entry: dict, fields: Mapping[str, type], where: str) -> None:
+    missing = sorted(set(fields) - set(entry))
+    if missing:
+        raise ValueError(f"{where}: missing fields {missing}")
+    for field, kind in fields.items():
+        value = entry[field]
+        if kind is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            ok = ok and math.isfinite(float(value))
+        elif kind is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, kind)
+        if not ok:
+            raise ValueError(
+                f"{where}.{field}: expected {kind.__name__}, got {value!r}"
+            )
+
+
+def validate_scenarios_payload(
+    payload: dict, expected_scenarios: Sequence[str] | None = None
+) -> None:
+    """Validate a ``BENCH_scenarios.json`` payload; raises ``ValueError``.
+
+    Checks the envelope (schema version, suite marker), every scenario
+    entry's fields/types, every calibration entry's fields/types, and —
+    when ``expected_scenarios`` is given — that exactly those scenarios
+    are present in both sections.
+    """
+    if payload.get("schema_version") != SCENARIOS_SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version must be {SCENARIOS_SCHEMA_VERSION}, "
+            f"got {payload.get('schema_version')!r}"
+        )
+    if payload.get("suite") != "scenarios":
+        raise ValueError(f"suite must be 'scenarios', got {payload.get('suite')!r}")
+    for section in ("scenarios", "calibration"):
+        if not isinstance(payload.get(section), dict) or not payload[section]:
+            raise ValueError(f"payload needs a non-empty {section!r} mapping")
+    if set(payload["scenarios"]) != set(payload["calibration"]):
+        raise ValueError("scenarios and calibration sections must cover the same packs")
+    if expected_scenarios is not None and set(payload["scenarios"]) != set(
+        expected_scenarios
+    ):
+        raise ValueError(
+            f"expected scenarios {sorted(expected_scenarios)}, "
+            f"got {sorted(payload['scenarios'])}"
+        )
+    for name, entry in payload["scenarios"].items():
+        _check_fields(entry, _SCENARIO_FIELDS, f"scenarios.{name}")
+        if entry["competitive_ratio"] < 0.0 or entry["bound"] <= 0.0:
+            raise ValueError(f"scenarios.{name}: ratio/bound out of range")
+    for name, entry in payload["calibration"].items():
+        _check_fields(entry, _CALIBRATION_FIELDS, f"calibration.{name}")
+        if entry["median_qerror"] < 1.0 or entry["max_qerror"] < entry["median_qerror"]:
+            raise ValueError(f"calibration.{name}: inconsistent Q-Error summary")
+        for layout_id, stats in entry["per_layout"].items():
+            _check_fields(
+                stats,
+                {"samples": int, "median_qerror": float, "max_qerror": float},
+                f"calibration.{name}.per_layout.{layout_id}",
+            )

@@ -1,0 +1,376 @@
+"""Scenario runner: drive a :class:`LayoutEngine` through a scenario pack.
+
+This extends the Figure-3 harness family from steady query streams to
+the scripted event streams of :mod:`repro.workloads.scenarios`: the
+runner replays a pack's timed query/ingest events against a live
+engine (phase boundaries are marked on the event stream via
+``engine.mark_phase``), records which layout physically served every
+query, and settles the accounts afterwards:
+
+* **competitive ratio** — online cost (service priced on the served
+  layouts over the full dataset, plus the α actually charged) against
+  the exact offline optimum (:func:`~repro.core.offline.solve_offline`)
+  over the same state space.  For the OREO policy the offline player is
+  restricted to the layouts that existed online at each instant (the
+  D-UMTS availability mask); static policies compare against a
+  fully-available candidate space.
+* **calibration samples** — per query, the model's fraction-of-rows
+  cost (``QueryResult.accessed_fraction``) paired with measured
+  wall-clock, feeding :func:`~repro.experiments.calibration.calibrate`.
+
+``run_scenario`` is the single entry point; ``build_scenarios_payload``
+shapes results into the ``BENCH_scenarios.json`` schema that
+:func:`~repro.experiments.calibration.validate_scenarios_payload` gates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.cost_model import CostEvaluator
+from ..core.offline import solve_offline
+from ..core.oreo import OREO, OreoConfig
+from ..engine import EngineConfig, LayoutEngine
+from ..engine.events import EngineEvents
+from ..engine.policies import Decision, GreedyPolicy, NeverReorganize, OreoPolicy
+from ..layouts.base import DataLayout
+from ..layouts.qdtree import QdTreeBuilder
+from ..layouts.range_layout import RangeLayout, equal_frequency_boundaries
+from ..queries.query import Query
+from ..storage.table import Table
+from ..workloads.scenarios import IngestEvent, QueryEvent, ScenarioPack
+from .calibration import CalibrationReport, CalibrationSample, calibrate
+
+__all__ = [
+    "SCENARIO_POLICIES",
+    "ScenarioRunResult",
+    "build_scenarios_payload",
+    "initial_scenario_layout",
+    "run_all_scenarios",
+    "run_scenario",
+]
+
+SCENARIO_POLICIES = ("oreo", "greedy", "never")
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """Everything one scenario run produced, accounts settled."""
+
+    scenario: str
+    policy: str
+    num_queries: int
+    num_ingest_events: int
+    num_phases: int
+    online_cost: float
+    offline_cost: float
+    competitive_ratio: float
+    bound: float
+    num_states: int
+    reorg_count: int
+    movement_charged: float
+    samples: tuple[CalibrationSample, ...]
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict (the ``scenarios.<name>`` BENCH entry)."""
+        return {
+            "policy": self.policy,
+            "num_queries": self.num_queries,
+            "num_ingest_events": self.num_ingest_events,
+            "num_phases": self.num_phases,
+            "online_cost": self.online_cost,
+            "offline_cost": self.offline_cost,
+            "competitive_ratio": self.competitive_ratio,
+            "bound": self.bound,
+            "num_states": self.num_states,
+            "reorg_count": self.reorg_count,
+            "movement_charged": self.movement_charged,
+        }
+
+
+def initial_scenario_layout(pack: ScenarioPack, table: Table, num_partitions: int) -> RangeLayout:
+    """The workload-oblivious starting layout: range on the default sort column."""
+    return RangeLayout(
+        pack.default_sort_column,
+        equal_frequency_boundaries(table[pack.default_sort_column], num_partitions),
+        layout_id=f"{pack.name}-initial",
+    )
+
+
+class _OreoRecorder:
+    """OreoPolicy plus a trace of the per-step available state space."""
+
+    wants_costs = False
+
+    def __init__(self, oreo: OREO):
+        self.oreo = oreo
+        self._policy = OreoPolicy(oreo)
+        #: per observed query, the layout ids available to the reorganizer
+        self.available: list[tuple[str, ...]] = []
+        #: every layout object that was ever available, by id
+        self.layouts: dict[str, DataLayout] = {}
+
+    def observe(self, query: Query, costs: Mapping[str, float]) -> Decision:
+        """Record the pre-step state space, then delegate to OREO."""
+        ids = tuple(self.oreo.reorganizer.layout_ids())
+        for layout_id in ids:
+            if layout_id not in self.layouts:
+                self.layouts[layout_id] = self.oreo.manager.get(layout_id)
+        self.available.append(ids)
+        return self._policy.observe(query, costs)
+
+
+def _default_oreo_config(alpha: float, num_partitions: int) -> OreoConfig:
+    # Windows sized for scenario streams (hundreds of events, not the
+    # paper's millions): generate frequently enough to track phase flips.
+    return OreoConfig(
+        alpha=alpha,
+        window_size=40,
+        generation_interval=40,
+        admission_sample_size=32,
+        num_partitions=num_partitions,
+        data_sample_fraction=0.05,
+        max_states=8,
+    )
+
+
+def run_scenario(
+    pack: ScenarioPack,
+    policy: str = "oreo",
+    *,
+    store_root: Path | str,
+    alpha: float = 20.0,
+    num_partitions: int = 8,
+    seed: int = 0,
+    oreo_config: OreoConfig | None = None,
+    events: EngineEvents | Sequence[EngineEvents] = (),
+) -> ScenarioRunResult:
+    """Drive one pack through a live engine under one policy; settle accounts.
+
+    ``policy`` is one of ``"oreo"`` (the paper's controller over the full
+    dataset), ``"greedy"`` (movement-blind switching among the pack's
+    candidate layouts) or ``"never"`` (the static baseline).  The engine
+    runs streaming — the base table is the first ingested batch — with
+    synchronous reorganizations, so each switch charges exactly α and
+    every query executes on its decision's layout.
+    """
+    if policy not in SCENARIO_POLICIES:
+        raise ValueError(f"policy must be one of {SCENARIO_POLICIES}, got {policy!r}")
+    base = pack.base_table()
+    full = pack.full_table()
+    initial = initial_scenario_layout(pack, base, num_partitions)
+    candidates = pack.candidate_layouts(full, num_partitions)
+
+    recorder: _OreoRecorder | None = None
+    if policy == "oreo":
+        oreo = OREO(
+            full,
+            QdTreeBuilder(),
+            initial,
+            oreo_config or _default_oreo_config(alpha, num_partitions),
+            rng=np.random.default_rng(seed),
+        )
+        recorder = _OreoRecorder(oreo)
+        engine_policy: object = recorder
+    elif policy == "greedy":
+        engine_policy = GreedyPolicy(candidates)
+    else:
+        engine_policy = NeverReorganize()
+
+    config = EngineConfig(
+        store_root=store_root,
+        num_partitions=num_partitions,
+        alpha=alpha,
+        async_reorg=False,
+        seed=seed,
+    )
+    engine = LayoutEngine(config, policy=engine_policy, events=events)
+    engine.open(initial_layout=initial)
+
+    served: list[tuple[str, CalibrationSample]] = []
+    num_ingest = 0
+    phases: list[str] = []
+    # A streaming engine prices only layouts with registered metadata;
+    # snapshot each candidate's metadata over the full dataset once, and
+    # re-register after every switch (committing a reorganization forgets
+    # the source layout's registration).
+    candidate_metadata = (
+        {layout.layout_id: layout.metadata_for(full) for layout in candidates}
+        if policy == "greedy"
+        else {}
+    )
+
+    def _refresh_candidates() -> None:
+        for layout in candidates:
+            if not engine.evaluator.has_metadata(layout.layout_id):
+                engine.evaluator.register_metadata(
+                    layout.layout_id, candidate_metadata[layout.layout_id]
+                )
+
+    try:
+        engine.ingest(base)
+        if candidate_metadata:
+            _refresh_candidates()
+        last_phase: str | None = None
+        for event in pack.events():
+            if event.phase != last_phase:
+                engine.mark_phase(pack.name, event.phase)
+                phases.append(event.phase)
+                last_phase = event.phase
+            if isinstance(event, IngestEvent):
+                engine.ingest(event.batch)
+                num_ingest += 1
+                continue
+            assert isinstance(event, QueryEvent)
+            if candidate_metadata:
+                _refresh_candidates()
+            result = engine.query(event.query)
+            layout = engine.current_layout
+            assert layout is not None  # the engine holds data by now
+            served.append(
+                (
+                    layout.layout_id,
+                    CalibrationSample(
+                        layout_id=layout.layout_id,
+                        model_fraction=result.accessed_fraction,
+                        measured_seconds=result.elapsed_seconds,
+                    ),
+                )
+            )
+        stats = engine.stats()
+    finally:
+        engine.close()
+
+    queries = [
+        event.query for event in pack.events() if isinstance(event, QueryEvent)
+    ]
+    served_ids = [layout_id for layout_id, _ in served]
+    states, availability = _state_space(
+        initial, candidates, recorder, served_ids, len(queries)
+    )
+    pricing = CostEvaluator(full)
+    matrix = pricing.cost_matrix(list(states.values()), queries)  # (S, T)
+    index = {layout_id: i for i, layout_id in enumerate(states)}
+
+    service = float(
+        sum(matrix[index[layout_id], t] for t, layout_id in enumerate(served_ids))
+    )
+    online = service + stats.movement_charged
+    offline = solve_offline(
+        matrix.T, alpha, availability=availability, initial_state=index[initial.layout_id]
+    )
+    smax = (
+        max((len(ids) for ids in recorder.available), default=len(states))
+        if recorder is not None
+        else len(states)
+    )
+    bound = 2.0 * (1.0 + math.log(max(smax, 1)))
+    ratio = online / offline.total_cost if offline.total_cost > 0.0 else math.inf
+
+    return ScenarioRunResult(
+        scenario=pack.name,
+        policy=policy,
+        num_queries=len(queries),
+        num_ingest_events=num_ingest,
+        num_phases=len(phases),
+        online_cost=online,
+        offline_cost=offline.total_cost,
+        competitive_ratio=ratio,
+        bound=bound,
+        num_states=smax,
+        reorg_count=stats.num_switches,
+        movement_charged=stats.movement_charged,
+        samples=tuple(sample for _, sample in served),
+    )
+
+
+def _state_space(
+    initial: DataLayout,
+    candidates: Sequence[DataLayout],
+    recorder: _OreoRecorder | None,
+    served_ids: Sequence[str],
+    num_queries: int,
+) -> tuple[dict[str, DataLayout], np.ndarray]:
+    """The offline player's states and per-query availability mask.
+
+    Static policies (greedy/never) play on ``{initial} ∪ candidates``,
+    fully available.  OREO plays on its own dynamic space: the layouts
+    its reorganizer actually held at each step (§III-A's oblivious
+    adversary shares the online player's state space), with the initial
+    layout available throughout.
+    """
+    states: dict[str, DataLayout] = {initial.layout_id: initial}
+    if recorder is None:
+        for layout in candidates:
+            states.setdefault(layout.layout_id, layout)
+        availability = np.ones((num_queries, len(states)), dtype=bool)
+        return states, availability
+    for layout_id, layout in recorder.layouts.items():
+        states.setdefault(layout_id, layout)
+    index = {layout_id: i for i, layout_id in enumerate(states)}
+    availability = np.zeros((num_queries, len(states)), dtype=bool)
+    availability[:, index[initial.layout_id]] = True
+    for t, ids in enumerate(recorder.available):
+        for layout_id in ids:
+            availability[t, index[layout_id]] = True
+        # The layout that actually served the query is available to the
+        # offline player too, whatever the capture timing.
+        availability[t, index[served_ids[t]]] = True
+    return states, availability
+
+
+def build_scenarios_payload(
+    results: Sequence[ScenarioRunResult],
+    reports: Sequence[CalibrationReport],
+    *,
+    alpha: float,
+    num_partitions: int,
+) -> dict:
+    """Shape runner results + calibration reports into the BENCH payload."""
+    names = [result.scenario for result in results]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate scenario results: {names}")
+    if sorted(names) != sorted(report.scenario for report in reports):
+        raise ValueError("results and calibration reports must cover the same packs")
+    return {
+        "schema_version": 1,
+        "suite": "scenarios",
+        "alpha": alpha,
+        "num_partitions": num_partitions,
+        "scenarios": {result.scenario: result.to_payload() for result in results},
+        "calibration": {report.scenario: report.to_payload() for report in reports},
+    }
+
+
+def run_all_scenarios(
+    packs: Sequence[ScenarioPack],
+    *,
+    store_root: Path | str,
+    policy: str = "oreo",
+    alpha: float = 20.0,
+    num_partitions: int = 8,
+    seed: int = 0,
+) -> dict:
+    """Run every pack under one policy and return the BENCH payload."""
+    root = Path(store_root)
+    results: list[ScenarioRunResult] = []
+    reports: list[CalibrationReport] = []
+    for pack in packs:
+        result = run_scenario(
+            pack,
+            policy,
+            store_root=root / pack.name,
+            alpha=alpha,
+            num_partitions=num_partitions,
+            seed=seed,
+        )
+        results.append(result)
+        reports.append(calibrate(pack.name, list(result.samples)))
+    return build_scenarios_payload(
+        results, reports, alpha=alpha, num_partitions=num_partitions
+    )

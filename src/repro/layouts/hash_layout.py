@@ -22,6 +22,7 @@ from .base import DataLayout, LayoutBuilder, next_layout_id
 __all__ = ["HashLayout", "HashLayoutBuilder", "RoundRobinLayout", "RoundRobinLayoutBuilder"]
 
 _HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)  # Fibonacci hashing constant
+_HASH_MIXER = np.uint64(0xD6E8FEB86659FD93)  # splitmix64 finalizer constant
 
 
 class HashLayout(DataLayout):
@@ -37,7 +38,15 @@ class HashLayout(DataLayout):
         # and nothing else systematically does.
         as_int = np.ascontiguousarray(values).view(np.uint64) if values.dtype == np.float64 \
             else values.astype(np.uint64)
-        hashed = (as_int * _HASH_MULTIPLIER) >> np.uint64(40)
+        # Multiplication alone only propagates key differences toward the
+        # high bits, so keys differing solely in their top bits — every
+        # small integral float, whose mantissa bits are all zero — would
+        # collide under a bare modulo.  The xor-fold finalizer feeds the
+        # high bits back down before reducing.
+        hashed = as_int * _HASH_MULTIPLIER
+        hashed ^= hashed >> np.uint64(32)
+        hashed *= _HASH_MIXER
+        hashed ^= hashed >> np.uint64(32)
         return (hashed % np.uint64(self.num_partitions)).astype(np.int64)
 
     def describe(self) -> str:

@@ -1,19 +1,40 @@
 """Workloads: datasets, query templates, stream generation and sampling."""
 
-from . import telemetry, tpcds, tpch
+from . import scenarios, telemetry, tpcds, tpch
 from .dataset import DatasetBundle, zipf_codes
 from .generator import generate_stream, segment_lengths
 from .sampling import ReservoirSample, SlidingWindow, TimeBiasedReservoir, WorkloadSampler
+from .scenarios import (
+    AdversarialPack,
+    DriftingPredicatesPack,
+    FlashCrowdPack,
+    IngestEvent,
+    MultiTenantPack,
+    QueryEvent,
+    ScenarioEvent,
+    ScenarioPack,
+    default_packs,
+)
 from .templates import QueryTemplate
 
 __all__ = [
+    "AdversarialPack",
     "DatasetBundle",
+    "DriftingPredicatesPack",
+    "FlashCrowdPack",
+    "IngestEvent",
+    "MultiTenantPack",
+    "QueryEvent",
     "QueryTemplate",
     "ReservoirSample",
+    "ScenarioEvent",
+    "ScenarioPack",
     "SlidingWindow",
     "TimeBiasedReservoir",
     "WorkloadSampler",
+    "default_packs",
     "generate_stream",
+    "scenarios",
     "segment_lengths",
     "telemetry",
     "tpcds",

@@ -1,0 +1,56 @@
+"""Scenario packs: adversarial and shifting workloads as event streams.
+
+Each pack scripts a production traffic pattern the steady-state dataset
+bundles cannot express — see :mod:`.base` for the event/seed contract,
+and the four concrete packs:
+
+* :class:`FlashCrowdPack` — sudden template flips mid-stream;
+* :class:`DriftingPredicatesPack` — rolling time windows sliding the hot
+  range while ingest appends at the frontier;
+* :class:`MultiTenantPack` — zipf-mixed tenants over a shared key space,
+  shard-aware for :class:`~repro.engine.sharded.ShardedEngine`;
+* :class:`AdversarialPack` — regime rotations forcing the D-UMTS worst
+  case and maximal reorganization churn.
+
+``default_packs()`` builds all four at a given scale — the scenario
+runner, benchmark suite and CI smoke job all start there.
+"""
+
+from __future__ import annotations
+
+from .adversarial import AdversarialPack
+from .base import IngestEvent, QueryEvent, ScenarioEvent, ScenarioPack
+from .drifting import DriftingPredicatesPack
+from .flash_crowd import FlashCrowdPack
+from .multi_tenant import MultiTenantPack
+
+__all__ = [
+    "AdversarialPack",
+    "DriftingPredicatesPack",
+    "FlashCrowdPack",
+    "IngestEvent",
+    "MultiTenantPack",
+    "QueryEvent",
+    "ScenarioEvent",
+    "ScenarioPack",
+    "default_packs",
+]
+
+
+def default_packs(
+    *,
+    seed: int = 0,
+    num_events: int = 240,
+    base_rows: int = 12_000,
+    ingest_rows: int = 400,
+) -> list[ScenarioPack]:
+    """All four packs at one scale (each still derives its own streams)."""
+    common = dict(
+        seed=seed, num_events=num_events, base_rows=base_rows, ingest_rows=ingest_rows
+    )
+    return [
+        FlashCrowdPack(**common),
+        DriftingPredicatesPack(**common),
+        MultiTenantPack(**common),
+        AdversarialPack(**common),
+    ]

@@ -1,0 +1,107 @@
+"""Adversarial pack: the D-UMTS worst case, built to maximize reorg churn.
+
+The construction follows the lower-bound style of competitive
+dynamization arguments: ``k`` independent uniform columns, and a query
+regime that rotates round-robin between them every ``regime_length``
+events.  Each regime issues narrow range scans on its column, so exactly
+one clustered layout is cheap (≈ the scan width) while every other
+candidate prices near 1.0 — and as soon as a policy pays α to chase the
+regime, the adversary rotates on.
+
+Against this stream a movement-blind greedy policy pays α every
+``regime_length`` queries and its total blows past the
+``2·(1 + ln |S|)`` guarantee, while a D-UMTS policy accumulates
+per-state counters before moving and stays within the bound — the exact
+separation Theorem IV.1 is about, and what the differential test pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...layouts.base import DataLayout
+from ...layouts.range_layout import RangeLayout, equal_frequency_boundaries
+from ...queries.predicates import Between
+from ...queries.query import Query
+from ...storage.table import ColumnSpec, Schema, Table
+from .base import ScenarioPack
+
+__all__ = ["AdversarialPack"]
+
+
+class AdversarialPack(ScenarioPack):
+    """Regime-rotating narrow scans forcing maximal layout churn."""
+
+    name = "adversarial"
+    default_sort_column = "c0"
+
+    def __init__(self, *, num_columns: int = 4, regime_length: int = 2,
+                 scan_width: float = 0.02, **kwargs):
+        """``num_columns`` rotating targets; each regime lasts
+        ``regime_length`` events and scans a window of ``scan_width``."""
+        kwargs.setdefault("ingest_every", 50)
+        super().__init__(**kwargs)
+        if num_columns < 2:
+            raise ValueError("num_columns must be at least 2")
+        if regime_length < 1:
+            raise ValueError("regime_length must be positive")
+        if not 0.0 < scan_width < 1.0:
+            raise ValueError("scan_width must be in (0, 1)")
+        self.num_columns = int(num_columns)
+        self.regime_length = int(regime_length)
+        self.scan_width = float(scan_width)
+
+    def columns(self) -> list[str]:
+        """The rotating target columns, ``c0`` through ``c{k-1}``."""
+        return [f"c{i}" for i in range(self.num_columns)]
+
+    def schema(self) -> Schema:
+        """``k`` independent uniform measures — no natural clustering."""
+        return Schema(
+            columns=tuple(ColumnSpec(name, "numeric") for name in self.columns())
+        )
+
+    def _make_base_table(self, rng: np.random.Generator) -> Table:
+        return self._rows(self.base_rows, rng)
+
+    def _rows(self, num_rows: int, rng: np.random.Generator) -> Table:
+        return Table(
+            self.schema(),
+            {name: rng.random(num_rows) for name in self.columns()},
+        )
+
+    def candidate_layouts(self, table: Table, num_partitions: int) -> list[DataLayout]:
+        """One range-clustered candidate per rotating column."""
+        return [
+            RangeLayout(
+                name,
+                equal_frequency_boundaries(table[name], num_partitions),
+                layout_id=f"{self.name}-range-{name}",
+            )
+            for name in self.columns()
+        ]
+
+    # ------------------------------------------------------------ event plane
+    def regime_of(self, index: int) -> int:
+        """The adversary's regime counter at stream position ``index``."""
+        return index // self.regime_length
+
+    def regime_column(self, regime: int) -> str:
+        """The column regime ``regime`` targets (round-robin rotation)."""
+        return f"c{regime % self.num_columns}"
+
+    def phase_of(self, index: int) -> str:
+        """One phase per adversarial regime."""
+        return f"regime{self.regime_of(index)}"
+
+    def _make_query(self, index: int, rng: np.random.Generator, phase: str) -> Query:
+        regime = self.regime_of(index)
+        column = self.regime_column(regime)
+        # The window's position is the regime's (deterministic), so every
+        # query inside one regime hits the same narrow range.
+        lo = float(self._phase_rng(regime).uniform(0.0, 1.0 - self.scan_width))
+        predicate = Between(column, lo, lo + self.scan_width)
+        return Query(predicate, template=column, timestamp=float(index))
+
+    def _make_batch(self, index: int, rng: np.random.Generator, phase: str) -> Table:
+        return self._rows(self.ingest_rows, rng)

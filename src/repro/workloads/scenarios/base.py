@@ -1,0 +1,211 @@
+"""Scenario packs: seeded, resumable generators of timed workload events.
+
+The workload stable (tpch/tpcds/telemetry/generator) covers steady
+states; production traffic does not stay steady.  A :class:`ScenarioPack`
+is a *closed-loop workload script*: an ordered stream of
+:class:`QueryEvent`/:class:`IngestEvent` items, each stamped with a
+logical time and a phase label, that a scenario runner feeds to a
+:class:`~repro.engine.LayoutEngine` verbatim.  Packs are the adversarial
+counterpart of the dataset bundles — each one is constructed to stress a
+specific failure mode of layout switching (sudden template flips,
+drifting hot ranges, tenant skew, the D-UMTS worst case).
+
+Two properties are contractual, and the property suite pins both:
+
+* **Seed determinism** — a pack is a pure function of its constructor
+  arguments.  Every event derives its own generator from
+  ``SeedSequence([seed, salt, index])``, so the same pack yields the
+  same stream, bit for bit, on every iteration.
+* **Resumability** — ``events(start=k)`` yields exactly the suffix of
+  ``events()`` from index ``k``, in O(1) per-event work, because no
+  event's randomness depends on a predecessor's draw.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...layouts.base import DataLayout
+from ...queries.query import Query
+from ...storage.table import Schema, Table
+
+__all__ = ["IngestEvent", "QueryEvent", "ScenarioEvent", "ScenarioPack"]
+
+# Salts keeping the per-purpose generator families independent.
+_BASE_SALT = 101
+_EVENT_SALT = 202
+_PHASE_SALT = 303
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One timed query in a scenario stream, tagged with its phase."""
+
+    time: float
+    query: Query
+    phase: str
+
+
+@dataclass(frozen=True)
+class IngestEvent:
+    """One timed ingest batch in a scenario stream, tagged with its phase."""
+
+    time: float
+    batch: Table
+    phase: str
+
+
+ScenarioEvent = QueryEvent | IngestEvent
+
+
+class ScenarioPack(ABC):
+    """A seeded, resumable script of timed query/ingest events.
+
+    Subclasses define the data (``schema``/``_make_base_table``), the
+    phase structure (``phase_of``), the per-event content
+    (``_make_query``/``_make_batch``) and the candidate layouts a policy
+    should weigh (``candidate_layouts``).  The base class owns event
+    sequencing, ingest cadence and the seed discipline that makes every
+    pack deterministic and resumable.
+    """
+
+    #: stable pack identifier (used in BENCH_scenarios.json keys)
+    name: str = "scenario"
+    #: column suitable for hash-sharding rows, or ``None`` if the pack
+    #: is not shard-aware
+    shard_key: str | None = None
+    #: the workload-oblivious default sort column (initial layouts)
+    default_sort_column: str = ""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        num_events: int = 240,
+        base_rows: int = 12_000,
+        ingest_every: int = 24,
+        ingest_rows: int = 400,
+    ):
+        """Configure the pack; every argument participates in the seed contract."""
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        if num_events < 1:
+            raise ValueError("num_events must be positive")
+        if base_rows < 1:
+            raise ValueError("base_rows must be positive")
+        if ingest_every < 0:
+            raise ValueError("ingest_every must be >= 0 (0 disables ingest)")
+        if ingest_rows < 1:
+            raise ValueError("ingest_rows must be positive")
+        self.seed = int(seed)
+        self.num_events = int(num_events)
+        self.base_rows = int(base_rows)
+        self.ingest_every = int(ingest_every)
+        self.ingest_rows = int(ingest_rows)
+
+    # ------------------------------------------------------------- data plane
+    @abstractmethod
+    def schema(self) -> Schema:
+        """The columnar schema every batch (and the base table) conforms to."""
+
+    def base_table(self) -> Table:
+        """The deterministic starting dataset the engine is seeded with."""
+        return self._make_base_table(self._rng(_BASE_SALT))
+
+    @abstractmethod
+    def _make_base_table(self, rng: np.random.Generator) -> Table:
+        """Synthesize the base dataset from the pack's base-table generator."""
+
+    @abstractmethod
+    def candidate_layouts(self, table: Table, num_partitions: int) -> list[DataLayout]:
+        """Candidate layouts (stable explicit ids) a policy should price.
+
+        Ids are derived from the pack name, not the global layout
+        counter, so repeated runs produce identical BENCH payloads.
+        """
+
+    # ------------------------------------------------------------ event plane
+    def events(self, start: int = 0) -> Iterator[ScenarioEvent]:
+        """Yield the event stream from index ``start`` (default: the top).
+
+        Resumable: ``events(start=k)`` equals the suffix of ``events()``
+        — every event's randomness is derived from its own index.
+        """
+        if not 0 <= start <= self.num_events:
+            raise ValueError(f"start must be in [0, {self.num_events}], got {start}")
+        for index in range(start, self.num_events):
+            yield self._event(index)
+
+    def _event(self, index: int) -> ScenarioEvent:
+        rng = self._rng(_EVENT_SALT, index)
+        phase = self.phase_of(index)
+        time = float(index)
+        if self.is_ingest_event(index):
+            return IngestEvent(time, self._make_batch(index, rng, phase), phase)
+        return QueryEvent(time, self._make_query(index, rng, phase), phase)
+
+    def is_ingest_event(self, index: int) -> bool:
+        """Whether stream position ``index`` carries a batch (vs a query)."""
+        if self.ingest_every == 0:
+            return False
+        return index % self.ingest_every == self.ingest_every - 1
+
+    @abstractmethod
+    def phase_of(self, index: int) -> str:
+        """The phase label owning stream position ``index``."""
+
+    @abstractmethod
+    def _make_query(self, index: int, rng: np.random.Generator, phase: str) -> Query:
+        """Instantiate the query at ``index`` from its per-index generator."""
+
+    @abstractmethod
+    def _make_batch(self, index: int, rng: np.random.Generator, phase: str) -> Table:
+        """Synthesize the ingest batch at ``index`` from its generator."""
+
+    # -------------------------------------------------------------- utilities
+    def phases(self) -> list[str]:
+        """Distinct phase labels in order of first appearance."""
+        seen: dict[str, None] = {}
+        for index in range(self.num_events):
+            seen.setdefault(self.phase_of(index))
+        return list(seen)
+
+    def num_queries(self) -> int:
+        """How many of the pack's events are queries."""
+        return sum(
+            1 for index in range(self.num_events) if not self.is_ingest_event(index)
+        )
+
+    def full_table(self) -> Table:
+        """Base table plus every ingest batch, in stream order.
+
+        This is the dataset the engine holds after the full stream — the
+        table competitive-ratio pricing and calibration run against.
+        """
+        batches = [self.base_table()]
+        batches.extend(
+            event.batch for event in self.events() if isinstance(event, IngestEvent)
+        )
+        return Table.concat(batches)
+
+    def _rng(self, salt: int, index: int = 0) -> np.random.Generator:
+        """A fresh generator keyed by ``(seed, salt, index)``."""
+        return np.random.default_rng(np.random.SeedSequence([self.seed, salt, index]))
+
+    def _phase_rng(self, block: int) -> np.random.Generator:
+        """A fresh generator keyed to a phase block (hot pages, hot tenants)."""
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, _PHASE_SALT, block])
+        )
+
+    def __repr__(self) -> str:
+        """Constructor-style description with the determinism-relevant knobs."""
+        return (
+            f"{type(self).__name__}(seed={self.seed}, num_events={self.num_events}, "
+            f"base_rows={self.base_rows}, ingest_every={self.ingest_every}, "
+            f"ingest_rows={self.ingest_rows})"
+        )

@@ -1,0 +1,114 @@
+"""Drifting predicates: a rolling time window slides the hot range forward.
+
+Models dashboard traffic over an append-heavy sensor log: queries always
+scan "the last few hours", but the wall clock advances, so the hot range
+creeps forward while ingest keeps appending rows at the frontier.  A
+layout clustered on ``ts`` with boundaries learned at time zero slowly
+decays — new rows pile into the tail partition — so the policy must
+periodically re-cluster to keep skipping effective, without chasing
+every small advance of the window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...layouts.base import DataLayout
+from ...layouts.hash_layout import RoundRobinLayout
+from ...layouts.range_layout import RangeLayout, equal_frequency_boundaries
+from ...queries.predicates import Between, Comparison
+from ...queries.query import Query
+from ...storage.table import ColumnSpec, Schema, Table
+from .base import ScenarioPack
+
+__all__ = ["DriftingPredicatesPack"]
+
+_BASE_SPAN = 2000.0  # ts range covered by the base table
+_WINDOW_SPAN = 150.0  # width of the rolling hot window
+_NUM_SENSORS = 32
+
+
+class DriftingPredicatesPack(ScenarioPack):
+    """Rolling time-window scans whose hot range drifts with the stream."""
+
+    name = "drifting"
+    default_sort_column = "ts"
+
+    def __init__(self, *, drift_per_event: float = 2.0, phase_length: int = 80, **kwargs):
+        """``drift_per_event`` is how far the hot window slides per stream
+        position; ``phase_length`` events share one phase label."""
+        super().__init__(**kwargs)
+        if drift_per_event < 0.0:
+            raise ValueError("drift_per_event must be non-negative")
+        if phase_length < 1:
+            raise ValueError("phase_length must be positive")
+        self.drift_per_event = float(drift_per_event)
+        self.phase_length = int(phase_length)
+
+    def schema(self) -> Schema:
+        """Sensor log: reading time, sensor id, measured value."""
+        return Schema(
+            columns=(
+                ColumnSpec("ts", "numeric"),
+                ColumnSpec("sensor", "numeric"),
+                ColumnSpec("value", "numeric"),
+            )
+        )
+
+    def _make_base_table(self, rng: np.random.Generator) -> Table:
+        return self._rows(self.base_rows, rng, 0.0, _BASE_SPAN)
+
+    def _rows(
+        self, num_rows: int, rng: np.random.Generator, lo: float, hi: float
+    ) -> Table:
+        return Table(
+            self.schema(),
+            {
+                "ts": rng.uniform(lo, hi, size=num_rows),
+                "sensor": rng.integers(0, _NUM_SENSORS, size=num_rows).astype(np.float64),
+                "value": rng.normal(0.0, 1.0, size=num_rows),
+            },
+        )
+
+    def candidate_layouts(self, table: Table, num_partitions: int) -> list[DataLayout]:
+        """Time-clustered (fresh boundaries), sensor-clustered, and oblivious."""
+        return [
+            RangeLayout(
+                "ts",
+                equal_frequency_boundaries(table["ts"], num_partitions),
+                layout_id=f"{self.name}-range-ts",
+            ),
+            RangeLayout(
+                "sensor",
+                equal_frequency_boundaries(table["sensor"], num_partitions),
+                layout_id=f"{self.name}-range-sensor",
+            ),
+            RoundRobinLayout(num_partitions, layout_id=f"{self.name}-roundrobin"),
+        ]
+
+    # ------------------------------------------------------------ event plane
+    def window_start(self, index: int) -> float:
+        """Where the hot window begins at stream position ``index``."""
+        return self.drift_per_event * index
+
+    def phase_of(self, index: int) -> str:
+        """Phases track drift progress in ``phase_length``-event blocks."""
+        return f"window{index // self.phase_length}"
+
+    def _make_query(self, index: int, rng: np.random.Generator, phase: str) -> Query:
+        start = self.window_start(index)
+        window = Between("ts", start, start + _WINDOW_SPAN)
+        if rng.random() < 0.2:
+            # A per-sensor drill-down inside the hot window.
+            sensor = float(rng.integers(0, _NUM_SENSORS))
+            predicate = window & Comparison("sensor", "==", sensor)
+            template = "drill_down"
+        else:
+            predicate = window
+            template = "rolling_window"
+        return Query(predicate, template=template, timestamp=float(index))
+
+    def _make_batch(self, index: int, rng: np.random.Generator, phase: str) -> Table:
+        # Fresh rows land at (and just past) the advancing frontier.
+        start = self.window_start(index)
+        return self._rows(self.ingest_rows, rng, start, start + 2.0 * _WINDOW_SPAN)

@@ -1,0 +1,119 @@
+"""Flash crowd: a steady time-window workload hit by sudden template flips.
+
+Models the classic viral-content incident on a clickstream log: most of
+the time analysts scan recent time windows (which a range layout on
+``event_time`` serves by skipping everything else), then a burst phase
+flips nearly the whole stream to point-lookups on one suddenly-hot page
+(which only a layout clustered on ``page`` can skip for).  The flips are
+abrupt and repeated, so a reorganization policy must decide — under the
+movement budget — whether each burst is worth re-clustering for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...layouts.base import DataLayout
+from ...layouts.range_layout import RangeLayout, equal_frequency_boundaries
+from ...queries.predicates import Between, Comparison
+from ...queries.query import Query
+from ...storage.table import ColumnSpec, Schema, Table
+from ..dataset import zipf_codes
+from .base import ScenarioPack
+
+__all__ = ["FlashCrowdPack"]
+
+_TIME_SPAN = 1000.0  # logical clock covered by event_time
+_WINDOW_SPAN = 80.0  # width of a steady time-window scan
+_NUM_PAGES = 64
+_NUM_USERS = 10_000
+
+
+class FlashCrowdPack(ScenarioPack):
+    """Steady time-window scans interrupted by hot-page burst phases."""
+
+    name = "flash_crowd"
+    default_sort_column = "event_time"
+
+    def __init__(self, *, phase_length: int = 60, burst_purity: float = 0.9, **kwargs):
+        """``phase_length`` events per steady/burst block; ``burst_purity``
+        is the fraction of burst-phase queries that hit the hot page."""
+        super().__init__(**kwargs)
+        if phase_length < 1:
+            raise ValueError("phase_length must be positive")
+        if not 0.0 <= burst_purity <= 1.0:
+            raise ValueError("burst_purity must be in [0, 1]")
+        self.phase_length = int(phase_length)
+        self.burst_purity = float(burst_purity)
+
+    def schema(self) -> Schema:
+        """Clickstream log: arrival time, page, user, payload size."""
+        return Schema(
+            columns=(
+                ColumnSpec("event_time", "numeric"),
+                ColumnSpec("page", "numeric"),
+                ColumnSpec("user", "numeric"),
+                ColumnSpec("bytes", "numeric"),
+            )
+        )
+
+    def _make_base_table(self, rng: np.random.Generator) -> Table:
+        return self._rows(self.base_rows, rng, hot_page=None)
+
+    def _rows(
+        self, num_rows: int, rng: np.random.Generator, hot_page: int | None
+    ) -> Table:
+        page = zipf_codes(num_rows, _NUM_PAGES, rng, exponent=1.2).astype(np.float64)
+        if hot_page is not None:
+            # A burst batch: most arrivals are the viral page itself.
+            hot_mask = rng.random(num_rows) < 0.8
+            page[hot_mask] = float(hot_page)
+        return Table(
+            self.schema(),
+            {
+                "event_time": rng.uniform(0.0, _TIME_SPAN, size=num_rows),
+                "page": page,
+                "user": rng.integers(0, _NUM_USERS, size=num_rows).astype(np.float64),
+                "bytes": np.exp(rng.normal(8.0, 1.5, size=num_rows)),
+            },
+        )
+
+    def candidate_layouts(self, table: Table, num_partitions: int) -> list[DataLayout]:
+        """Range on arrival time (steady phases) vs range on page (bursts)."""
+        return [
+            RangeLayout(
+                "event_time",
+                equal_frequency_boundaries(table["event_time"], num_partitions),
+                layout_id=f"{self.name}-range-event_time",
+            ),
+            RangeLayout(
+                "page",
+                equal_frequency_boundaries(table["page"], num_partitions),
+                layout_id=f"{self.name}-range-page",
+            ),
+        ]
+
+    # ------------------------------------------------------------ event plane
+    def _block(self, index: int) -> int:
+        return index // self.phase_length
+
+    def phase_of(self, index: int) -> str:
+        """Even blocks are steady traffic, odd blocks are flash crowds."""
+        block = self._block(index)
+        return "steady" if block % 2 == 0 else f"burst{block // 2}"
+
+    def _hot_page(self, block: int) -> int:
+        return int(self._phase_rng(block).integers(0, _NUM_PAGES))
+
+    def _make_query(self, index: int, rng: np.random.Generator, phase: str) -> Query:
+        burst = phase != "steady"
+        if burst and rng.random() < self.burst_purity:
+            predicate = Comparison("page", "==", float(self._hot_page(self._block(index))))
+        else:
+            start = rng.uniform(0.0, _TIME_SPAN - _WINDOW_SPAN)
+            predicate = Between("event_time", start, start + _WINDOW_SPAN)
+        return Query(predicate, template="burst" if burst else "steady", timestamp=float(index))
+
+    def _make_batch(self, index: int, rng: np.random.Generator, phase: str) -> Table:
+        hot = self._hot_page(self._block(index)) if phase != "steady" else None
+        return self._rows(self.ingest_rows, rng, hot_page=hot)

@@ -1,0 +1,142 @@
+"""Skewed multi-tenant mix: zipf-weighted tenants over one shared key space.
+
+Models a multi-tenant analytics store: every tenant's rows live in the
+same table, query traffic is zipf-skewed across tenants, and which
+tenant is *hot* rotates over time.  A layout clustered on ``tenant``
+skips all other tenants' rows for the dominant point-plus-window shape;
+a layout clustered on ``ts`` serves the time dimension instead — the
+policy has to weigh the rotation cadence against the movement budget.
+
+The pack is shard-aware (``shard_key = "tenant"``): routed through a
+:class:`~repro.engine.sharded.ShardedEngine`, each query's matching rows
+live on exactly one shard, so a sharded run must merge back to the same
+per-row results as a single engine over the unsharded stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...layouts.base import DataLayout
+from ...layouts.range_layout import RangeLayout, equal_frequency_boundaries
+from ...queries.predicates import Between, Comparison
+from ...queries.query import Query
+from ...storage.table import ColumnSpec, Schema, Table
+from ..dataset import zipf_codes
+from .base import ScenarioPack
+
+__all__ = ["MultiTenantPack"]
+
+_TIME_SPAN = 1000.0
+_WINDOW_SPAN = 200.0
+_NUM_ITEMS = 1000
+
+
+class MultiTenantPack(ScenarioPack):
+    """Zipf-mixed tenant traffic with a rotating hot tenant."""
+
+    name = "multi_tenant"
+    shard_key = "tenant"
+    default_sort_column = "ts"
+
+    def __init__(
+        self,
+        *,
+        num_tenants: int = 16,
+        phase_length: int = 70,
+        hot_fraction: float = 0.6,
+        **kwargs,
+    ):
+        """``num_tenants`` share the key space; each ``phase_length``-event
+        block promotes a different hot tenant receiving ``hot_fraction``
+        of the queries."""
+        super().__init__(**kwargs)
+        if num_tenants < 2:
+            raise ValueError("num_tenants must be at least 2")
+        if phase_length < 1:
+            raise ValueError("phase_length must be positive")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        self.num_tenants = int(num_tenants)
+        self.phase_length = int(phase_length)
+        self.hot_fraction = float(hot_fraction)
+
+    def schema(self) -> Schema:
+        """Shared fact table: tenant, item, event time, measure."""
+        return Schema(
+            columns=(
+                ColumnSpec("tenant", "numeric"),
+                ColumnSpec("item", "numeric"),
+                ColumnSpec("ts", "numeric"),
+                ColumnSpec("value", "numeric"),
+            )
+        )
+
+    def _make_base_table(self, rng: np.random.Generator) -> Table:
+        return self._rows(self.base_rows, rng, hot_tenant=None)
+
+    def _rows(
+        self, num_rows: int, rng: np.random.Generator, hot_tenant: int | None
+    ) -> Table:
+        tenant = zipf_codes(num_rows, self.num_tenants, rng, exponent=1.3).astype(
+            np.float64
+        )
+        if hot_tenant is not None:
+            # Hot tenants also ingest more: half of a batch is theirs.
+            hot_mask = rng.random(num_rows) < 0.5
+            tenant[hot_mask] = float(hot_tenant)
+        return Table(
+            self.schema(),
+            {
+                "tenant": tenant,
+                "item": rng.integers(0, _NUM_ITEMS, size=num_rows).astype(np.float64),
+                "ts": rng.uniform(0.0, _TIME_SPAN, size=num_rows),
+                "value": np.exp(rng.normal(3.0, 1.0, size=num_rows)),
+            },
+        )
+
+    def candidate_layouts(self, table: Table, num_partitions: int) -> list[DataLayout]:
+        """Tenant-clustered vs time-clustered."""
+        return [
+            RangeLayout(
+                "tenant",
+                equal_frequency_boundaries(table["tenant"], num_partitions),
+                layout_id=f"{self.name}-range-tenant",
+            ),
+            RangeLayout(
+                "ts",
+                equal_frequency_boundaries(table["ts"], num_partitions),
+                layout_id=f"{self.name}-range-ts",
+            ),
+        ]
+
+    # ------------------------------------------------------------ event plane
+    def _block(self, index: int) -> int:
+        return index // self.phase_length
+
+    def hot_tenant(self, block: int) -> int:
+        """The tenant promoted to hot during phase ``block``."""
+        return int(self._phase_rng(block).integers(0, self.num_tenants))
+
+    def phase_of(self, index: int) -> str:
+        """One phase per hot-tenant rotation."""
+        block = self._block(index)
+        return f"hot_tenant{self.hot_tenant(block)}_block{block}"
+
+    def _sample_tenant(self, index: int, rng: np.random.Generator) -> int:
+        if rng.random() < self.hot_fraction:
+            return self.hot_tenant(self._block(index))
+        return int(zipf_codes(1, self.num_tenants, rng, exponent=1.3)[0])
+
+    def _make_query(self, index: int, rng: np.random.Generator, phase: str) -> Query:
+        tenant = self._sample_tenant(index, rng)
+        start = rng.uniform(0.0, _TIME_SPAN - _WINDOW_SPAN)
+        predicate = Comparison("tenant", "==", float(tenant)) & Between(
+            "ts", start, start + _WINDOW_SPAN
+        )
+        return Query(predicate, template="tenant_window", timestamp=float(index))
+
+    def _make_batch(self, index: int, rng: np.random.Generator, phase: str) -> Table:
+        return self._rows(
+            self.ingest_rows, rng, hot_tenant=self.hot_tenant(self._block(index))
+        )

@@ -1,0 +1,129 @@
+"""4-shard ShardedEngine vs single engine through the multi-tenant pack.
+
+The multi-tenant pack is shard-aware (``shard_key = "tenant"``): routed
+through a hash-sharded fleet, each tenant's rows land on exactly one
+shard.  Replaying the *same* scripted event stream — every ingest batch,
+every query, every phase marker, and a mid-stream reorganization into
+the tenant-clustered candidate — through a 4-shard router and through
+one engine must produce identical per-row results and equal movement
+ledgers (per-shard α = α/N sums back to the single engine's α).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig, EventLog, LayoutEngine, ShardedEngine
+from repro.layouts import RangeLayoutBuilder
+from repro.workloads import IngestEvent, MultiTenantPack, QueryEvent
+
+ALPHA = 40.0
+NUM_SHARDS = 4
+PARTITIONS = 8
+
+
+@pytest.fixture(scope="module")
+def pack():
+    return MultiTenantPack(
+        seed=2, num_events=60, base_rows=1_500, ingest_rows=150, num_tenants=16
+    )
+
+
+@pytest.fixture(scope="module")
+def reorg_target(pack):
+    # The tenant-clustered candidate: what a policy would switch to when
+    # tenant point-lookups dominate.
+    return pack.candidate_layouts(pack.full_table(), PARTITIONS)[0]
+
+
+def drive(engine, pack, reorg_target, reorg_at: int):
+    """Replay the pack's stream; reorganize at event ``reorg_at``.
+
+    Returns (per-query rows_matched, final stats).
+    """
+    matched = []
+    engine.ingest(pack.base_table())
+    last_phase = None
+    for index, event in enumerate(pack.events()):
+        if event.phase != last_phase:
+            engine.mark_phase(pack.name, event.phase)
+            last_phase = event.phase
+        if index == reorg_at:
+            engine.reorganize(reorg_target)
+            engine.run_until_idle()
+        if isinstance(event, IngestEvent):
+            engine.ingest(event.batch)
+        else:
+            assert isinstance(event, QueryEvent)
+            matched.append(engine.query(event.query).rows_matched)
+    return matched, engine.stats()
+
+
+def test_4_shard_run_equals_single_engine_on_the_same_stream(tmp_path, pack, reorg_target):
+    reorg_at = pack.num_events // 2
+    single_log, sharded_log = EventLog(), EventLog()
+
+    single_config = EngineConfig(
+        store_root=tmp_path / "single", alpha=ALPHA,
+        builder=RangeLayoutBuilder(pack.default_sort_column),
+        num_partitions=PARTITIONS, cleanup_on_close=True,
+    )
+    with LayoutEngine(single_config, events=single_log) as single:
+        single_matched, single_stats = drive(single, pack, reorg_target, reorg_at)
+
+    sharded_config = single_config.with_overrides(store_root=tmp_path / "sharded")
+    with ShardedEngine(
+        sharded_config, pack.shard_key, NUM_SHARDS, events=sharded_log
+    ).open() as sharded:
+        sharded_matched, sharded_stats = drive(sharded, pack, reorg_target, reorg_at)
+        data_shards = sum(e.holds_data for e in sharded.shards)
+
+    # Per-row results: every query matches exactly the same rows.
+    assert sharded_matched == single_matched
+    # Merged ledgers equal the single engine's: same rows ingested, the
+    # reorganization's movement charge sums back to one α (16 tenants
+    # over 4 shards leave no shard empty, so every shard moved).
+    assert data_shards == NUM_SHARDS
+    assert sharded_stats.rows_ingested == single_stats.rows_ingested
+    assert sharded_stats.movement_charged == pytest.approx(
+        single_stats.movement_charged
+    )
+    assert single_stats.movement_charged == pytest.approx(ALPHA)
+    # One logical reorganization; the fleet performs it once per shard.
+    assert single_stats.reorgs_completed == 1
+    assert sharded_stats.reorgs_completed == NUM_SHARDS
+
+    # Phase markers reached both engines identically.  The shared fleet
+    # log records one relay per shard per marker; mark_phase is a fan-out
+    # barrier, so markers group in stream order.
+    single_phases = [p for n, p in single_log.records if n == "scenario_phase"]
+    sharded_phases = [p for n, p in sharded_log.records if n == "scenario_phase"]
+    assert sharded_phases == [
+        phase for phase in single_phases for _ in range(NUM_SHARDS)
+    ]
+
+
+def test_every_tenants_rows_land_on_exactly_one_shard(tmp_path, pack):
+    config = EngineConfig(
+        store_root=tmp_path / "fleet", alpha=ALPHA,
+        builder=RangeLayoutBuilder(pack.default_sort_column),
+        num_partitions=PARTITIONS, cleanup_on_close=True,
+    )
+    full = pack.full_table()
+    with ShardedEngine(config, pack.shard_key, NUM_SHARDS).open() as sharded:
+        assignments = sharded.shard_assignments(full)
+        sharded.ingest(full)
+        per_shard_rows = [
+            e.stored().total_rows if e.holds_data else 0 for e in sharded.shards
+        ]
+    # Shard placement is a pure function of the tenant key: no tenant is
+    # ever split, which is what makes per-tenant scans single-shard.
+    tenants = full["tenant"]
+    for tenant in np.unique(tenants):
+        shards = np.unique(assignments[tenants == tenant])
+        assert shards.size == 1, f"tenant {tenant} split across shards {shards}"
+    # And the fleet holds exactly the routed rows, nothing duplicated.
+    assert sum(per_shard_rows) == full.num_rows
+    for shard, rows in enumerate(per_shard_rows):
+        assert rows == int(np.sum(assignments == shard))

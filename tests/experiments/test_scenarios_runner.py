@@ -1,0 +1,154 @@
+"""Tier-1 smoke for the scenario runner: all four packs, end to end.
+
+Small-n versions of exactly what the benchmark suite runs: every pack
+drives a live streaming :class:`LayoutEngine`, the runner settles the
+competitive accounts against :func:`solve_offline`, and the payload
+validates against the BENCH_scenarios schema.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EventLog
+from repro.experiments import (
+    build_scenarios_payload,
+    calibrate,
+    run_all_scenarios,
+    run_scenario,
+    validate_scenarios_payload,
+)
+from repro.workloads import AdversarialPack, MultiTenantPack, default_packs
+
+ALPHA = 10.0
+PARTITIONS = 8
+SMALL = dict(seed=0, num_events=36, base_rows=900, ingest_rows=120)
+
+
+def small_packs():
+    return default_packs(**SMALL)
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    root = tmp_path_factory.mktemp("scenarios")
+    return run_all_scenarios(
+        small_packs(), store_root=root, policy="oreo", alpha=ALPHA,
+        num_partitions=PARTITIONS,
+    )
+
+
+class TestRunAllScenarios:
+    def test_payload_is_schema_valid_with_all_four_packs(self, payload):
+        validate_scenarios_payload(
+            payload, expected_scenarios=[p.name for p in small_packs()]
+        )
+
+    def test_each_scenario_reports_ratio_reorgs_and_movement(self, payload):
+        for name, entry in payload["scenarios"].items():
+            assert entry["policy"] == "oreo"
+            assert entry["num_queries"] > 0, name
+            assert entry["offline_cost"] > 0.0, name
+            assert entry["online_cost"] >= entry["offline_cost"] or (
+                entry["online_cost"] == pytest.approx(entry["offline_cost"])
+            ), name
+            assert entry["competitive_ratio"] >= 1.0 - 1e-9, name
+            assert entry["reorg_count"] >= 0, name
+            assert entry["movement_charged"] == pytest.approx(
+                ALPHA * entry["reorg_count"]
+            ), name
+
+    def test_oreo_stays_within_the_finite_horizon_guarantee(self, payload):
+        for name, entry in payload["scenarios"].items():
+            slack = entry["bound"] * ALPHA
+            assert (
+                entry["online_cost"] <= entry["bound"] * entry["offline_cost"] + slack
+            ), name
+
+    def test_calibration_summaries_are_consistent(self, payload):
+        for name, entry in payload["calibration"].items():
+            assert entry["samples"] == payload["scenarios"][name]["num_queries"]
+            assert 1.0 <= entry["median_qerror"] <= entry["p95_qerror"]
+            assert entry["p95_qerror"] <= entry["max_qerror"]
+            assert sum(
+                stats["samples"] for stats in entry["per_layout"].values()
+            ) == entry["samples"]
+
+
+class TestRunScenario:
+    def test_model_accounting_is_deterministic_across_runs(self, tmp_path):
+        pack = AdversarialPack(**SMALL)
+        runs = [
+            run_scenario(
+                pack, "oreo", store_root=tmp_path / f"run{i}", alpha=ALPHA,
+                num_partitions=PARTITIONS,
+            )
+            for i in range(2)
+        ]
+        first, second = (
+            {k: v for k, v in r.to_payload().items()} for r in runs
+        )
+        assert first == second  # wall-clock lives only in the samples
+
+    def test_phase_markers_fire_on_the_event_stream(self, tmp_path):
+        pack = MultiTenantPack(**SMALL)
+        log = EventLog()
+        run_scenario(
+            pack, "never", store_root=tmp_path / "mt", alpha=ALPHA,
+            num_partitions=PARTITIONS, events=log,
+        )
+        marked = [
+            payload for name, payload in log.records if name == "scenario_phase"
+        ]
+        expected = []
+        for index in range(pack.num_events):
+            phase = pack.phase_of(index)
+            if not expected or expected[-1]["phase"] != phase:
+                expected.append({"scenario": pack.name, "phase": phase})
+        assert marked == expected
+
+    def test_greedy_prices_candidates_on_a_streaming_engine(self, tmp_path):
+        pack = AdversarialPack(**SMALL)
+        result = run_scenario(
+            pack, "greedy", store_root=tmp_path / "greedy", alpha=ALPHA,
+            num_partitions=PARTITIONS,
+        )
+        # The whole point of the pack: a movement-blind policy churns.
+        assert result.reorg_count > 0
+        assert result.movement_charged == pytest.approx(ALPHA * result.reorg_count)
+
+    def test_never_policy_never_moves(self, tmp_path):
+        pack = AdversarialPack(**SMALL)
+        result = run_scenario(
+            pack, "never", store_root=tmp_path / "never", alpha=ALPHA,
+            num_partitions=PARTITIONS,
+        )
+        assert result.reorg_count == 0
+        assert result.movement_charged == 0.0
+        assert result.competitive_ratio >= 1.0 - 1e-9
+
+    def test_unknown_policy_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="policy"):
+            run_scenario(
+                AdversarialPack(**SMALL), "eager", store_root=tmp_path / "x"
+            )
+
+
+class TestPayloadBuilder:
+    def test_mismatched_sections_are_rejected(self, tmp_path):
+        pack = AdversarialPack(**SMALL)
+        result = run_scenario(
+            pack, "never", store_root=tmp_path / "pb", alpha=ALPHA,
+            num_partitions=PARTITIONS,
+        )
+        report = calibrate(pack.name, list(result.samples))
+        with pytest.raises(ValueError, match="same packs"):
+            build_scenarios_payload(
+                [result], [], alpha=ALPHA, num_partitions=PARTITIONS
+            )
+        payload = build_scenarios_payload(
+            [result], [report], alpha=ALPHA, num_partitions=PARTITIONS
+        )
+        validate_scenarios_payload(payload, expected_scenarios=[pack.name])
+        with pytest.raises(ValueError, match="expected scenarios"):
+            validate_scenarios_payload(payload, expected_scenarios=["other"])

@@ -38,6 +38,18 @@ class TestHashLayout:
         # Continuous values should spread across most partitions.
         assert len(np.unique(assignment)) >= 8
 
+    def test_small_integral_keys_spread_across_partitions(self):
+        # Regression: integral floats 0.0..15.0 differ only in exponent
+        # bits; without the xor-fold finalizer they all collided on one
+        # partition (multiplication never feeds high bits back down),
+        # which collapsed tenant-keyed shard routing onto a single shard.
+        from repro.storage import ColumnSpec, Schema, Table
+
+        schema = Schema(columns=(ColumnSpec("tenant", "numeric"),))
+        table = Table(schema, {"tenant": np.arange(16, dtype=np.float64)})
+        assignment = HashLayout("tenant", 4).assign(table)
+        assert len(np.unique(assignment)) >= 3
+
     def test_builder(self, simple_table, rng):
         layout = HashLayoutBuilder("y").build(simple_table, [], 4, rng)
         assert layout.num_partitions == 4

@@ -1,0 +1,117 @@
+"""Edge-case backfill for the workload generators (PR 9 satellite).
+
+The dataset-contract suite exercises the happy path at 5,000 rows; these
+tests pin the degenerate inputs a scenario runner can legitimately
+produce: single-row tables, queries whose windows match nothing, streams
+collapsed to one template or one segment, and zero-slack segment
+compositions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries import between
+from repro.workloads import (
+    AdversarialPack,
+    DriftingPredicatesPack,
+    FlashCrowdPack,
+    MultiTenantPack,
+    generate_stream,
+    segment_lengths,
+    telemetry,
+    tpcds,
+)
+from repro.workloads.templates import QueryTemplate
+
+MODULES = {"telemetry": telemetry, "tpcds": tpcds}
+
+
+@pytest.mark.parametrize("name", list(MODULES))
+class TestTinyTables:
+    def test_single_row_table_is_schema_complete(self, name):
+        module = MODULES[name]
+        table = module.make_table(1, np.random.default_rng(0))
+        assert table.num_rows == 1
+        assert table.schema == module.make_schema()
+
+    def test_every_template_evaluates_on_a_single_row(self, name):
+        module = MODULES[name]
+        table = module.make_table(1, np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        for template in module.make_templates():
+            mask = template.instantiate(rng).evaluate(table.columns)
+            assert mask.shape == (1,) and mask.dtype == bool
+
+
+@pytest.mark.parametrize("name", list(MODULES))
+class TestEmptyWindows:
+    def test_window_past_the_domain_matches_no_rows(self, name):
+        module = MODULES[name]
+        table = module.make_table(500, np.random.default_rng(3))
+        time_column = "arrival_time" if name == "telemetry" else "ss_sold_date"
+        domain_max = telemetry.TIME_MAX if name == "telemetry" else tpcds.DATE_MAX
+        empty = between(time_column, domain_max + 10, domain_max + 20)
+        assert not empty.evaluate(table.columns).any()
+
+    def test_inverted_window_is_rejected_at_construction(self, name):
+        time_column = "arrival_time" if name == "telemetry" else "ss_sold_date"
+        with pytest.raises(ValueError, match="low"):
+            between(time_column, 100.0, 50.0)
+
+
+class TestStreamDegenerations:
+    def test_zero_slack_composition_is_exactly_uniform(self):
+        # num_queries == num_segments * min_segment_length: no spare rows
+        # to distribute, every segment is pinned to the minimum.
+        lengths = segment_lengths(40, 8, np.random.default_rng(5), min_segment_length=5)
+        assert lengths == [5] * 8
+
+    def test_single_template_single_segment_stream(self):
+        template = QueryTemplate("only", lambda rng: between("x", 0.0, 1.0))
+        stream = generate_stream([template], 25, 1, np.random.default_rng(6))
+        assert len(stream) == 25
+        assert stream.segments == ((0, "only"),)
+        assert all(q.template == "only" for q in stream)
+
+    def test_two_templates_never_stall_on_no_repeat_rule(self):
+        # With 2 templates and many segments the no-consecutive-repeat
+        # resampling loop must always terminate and strictly alternate.
+        templates = [
+            QueryTemplate(f"t{i}", lambda rng, i=i: between("x", float(i), i + 1.0))
+            for i in range(2)
+        ]
+        stream = generate_stream(templates, 60, 12, np.random.default_rng(7))
+        names = [name for _, name in stream.segments]
+        assert all(a != b for a, b in zip(names, names[1:], strict=False))
+
+
+class TestScenarioPackEdges:
+    def test_phase_catalogue_dedupes_in_first_appearance_order(self):
+        pack = FlashCrowdPack(seed=0, num_events=40, base_rows=300, phase_length=10)
+        assert pack.phases() == ["steady", "burst0", "burst1"]
+
+    def test_repr_round_trips_the_seed_contract(self):
+        pack = DriftingPredicatesPack(seed=9, num_events=12, base_rows=300)
+        text = repr(pack)
+        assert "DriftingPredicatesPack" in text
+        assert "seed=9" in text and "num_events=12" in text
+
+    @pytest.mark.parametrize(
+        ("cls", "kwargs"),
+        [
+            (FlashCrowdPack, dict(phase_length=0)),
+            (FlashCrowdPack, dict(burst_purity=1.5)),
+            (DriftingPredicatesPack, dict(drift_per_event=-1.0)),
+            (DriftingPredicatesPack, dict(phase_length=0)),
+            (MultiTenantPack, dict(num_tenants=0)),
+            (MultiTenantPack, dict(hot_fraction=-0.1)),
+            (AdversarialPack, dict(num_columns=0)),
+            (AdversarialPack, dict(regime_length=0)),
+            (AdversarialPack, dict(scan_width=0.0)),
+        ],
+    )
+    def test_pack_specific_knobs_are_validated(self, cls, kwargs):
+        with pytest.raises(ValueError):
+            cls(seed=0, num_events=10, base_rows=300, **kwargs)

@@ -1,0 +1,202 @@
+"""Unit tests for the scenario packs: structure, phases, cadence, schemas."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queries.predicates import Between, Comparison
+from repro.workloads import (
+    AdversarialPack,
+    DriftingPredicatesPack,
+    FlashCrowdPack,
+    IngestEvent,
+    MultiTenantPack,
+    QueryEvent,
+    default_packs,
+)
+
+TINY = dict(num_events=48, base_rows=600, ingest_rows=80)
+
+
+def tiny_packs():
+    return default_packs(seed=0, num_events=48, base_rows=600, ingest_rows=80)
+
+
+class TestPackBasics:
+    def test_default_packs_cover_all_four(self):
+        packs = tiny_packs()
+        assert [p.name for p in packs] == [
+            "flash_crowd",
+            "drifting",
+            "multi_tenant",
+            "adversarial",
+        ]
+
+    @pytest.mark.parametrize("pack", tiny_packs(), ids=lambda p: p.name)
+    def test_stream_length_and_cadence(self, pack):
+        events = list(pack.events())
+        assert len(events) == pack.num_events
+        queries = [e for e in events if isinstance(e, QueryEvent)]
+        ingests = [e for e in events if isinstance(e, IngestEvent)]
+        assert len(queries) == pack.num_queries()
+        assert len(queries) + len(ingests) == pack.num_events
+        for index, event in enumerate(events):
+            assert event.time == float(index)
+            assert isinstance(event, IngestEvent) == pack.is_ingest_event(index)
+            assert event.phase == pack.phase_of(index)
+
+    @pytest.mark.parametrize("pack", tiny_packs(), ids=lambda p: p.name)
+    def test_batches_and_base_table_conform_to_schema(self, pack):
+        schema = pack.schema()
+        tables = [pack.base_table()]
+        tables.extend(
+            e.batch for e in pack.events() if isinstance(e, IngestEvent)
+        )
+        for table in tables:
+            assert table.schema == schema
+            assert table.num_rows > 0
+            for name in schema.names():
+                assert np.all(np.isfinite(table[name]))
+
+    @pytest.mark.parametrize("pack", tiny_packs(), ids=lambda p: p.name)
+    def test_queries_reference_schema_columns_and_evaluate(self, pack):
+        base = pack.base_table()
+        names = set(base.schema.names())
+        for event in pack.events():
+            if not isinstance(event, QueryEvent):
+                continue
+            assert event.query.columns() <= names
+            mask = event.query.evaluate(base.columns)
+            assert mask.shape == (base.num_rows,)
+            assert mask.dtype == bool
+
+    @pytest.mark.parametrize("pack", tiny_packs(), ids=lambda p: p.name)
+    def test_candidate_layouts_have_stable_pack_scoped_ids(self, pack):
+        table = pack.base_table()
+        first = [c.layout_id for c in pack.candidate_layouts(table, 8)]
+        second = [c.layout_id for c in pack.candidate_layouts(table, 8)]
+        assert first == second
+        assert len(set(first)) == len(first)
+        assert all(i.startswith(pack.name) for i in first)
+
+    @pytest.mark.parametrize("pack", tiny_packs(), ids=lambda p: p.name)
+    def test_full_table_concatenates_base_and_batches(self, pack):
+        ingested = sum(
+            e.batch.num_rows for e in pack.events() if isinstance(e, IngestEvent)
+        )
+        assert pack.full_table().num_rows == pack.base_rows + ingested
+
+    def test_ingest_can_be_disabled(self):
+        pack = AdversarialPack(ingest_every=0, **TINY | {"num_events": 20})
+        assert all(isinstance(e, QueryEvent) for e in pack.events())
+
+    def test_events_start_bounds_are_validated(self):
+        pack = FlashCrowdPack(**TINY)
+        with pytest.raises(ValueError, match="start"):
+            list(pack.events(start=-1))
+        with pytest.raises(ValueError, match="start"):
+            list(pack.events(start=pack.num_events + 1))
+        assert list(pack.events(start=pack.num_events)) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(seed=-1),
+            dict(num_events=0),
+            dict(base_rows=0),
+            dict(ingest_every=-1),
+            dict(ingest_rows=0),
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FlashCrowdPack(**{**TINY, **kwargs})
+
+
+class TestFlashCrowd:
+    def test_phases_alternate_steady_and_burst(self):
+        pack = FlashCrowdPack(phase_length=10, **TINY)
+        assert pack.phase_of(0) == "steady"
+        assert pack.phase_of(10) == "burst0"
+        assert pack.phase_of(20) == "steady"
+        assert pack.phase_of(30) == "burst1"
+
+    def test_burst_queries_hit_the_block_hot_page(self):
+        pack = FlashCrowdPack(phase_length=8, burst_purity=1.0, **TINY)
+        burst_queries = [
+            e.query
+            for e in pack.events()
+            if isinstance(e, QueryEvent) and e.phase != "steady"
+        ]
+        assert burst_queries
+        for query in burst_queries:
+            assert isinstance(query.predicate, Comparison)
+            assert query.predicate.column == "page"
+
+    def test_steady_queries_scan_time_windows(self):
+        pack = FlashCrowdPack(phase_length=8, **TINY)
+        steady = [
+            e.query
+            for e in pack.events()
+            if isinstance(e, QueryEvent) and e.phase == "steady"
+        ]
+        assert steady
+        for query in steady:
+            assert isinstance(query.predicate, Between)
+            assert query.predicate.column == "event_time"
+
+
+class TestDrifting:
+    def test_hot_window_slides_forward(self):
+        pack = DriftingPredicatesPack(drift_per_event=3.0, **TINY)
+        assert pack.window_start(0) == 0.0
+        assert pack.window_start(10) == 30.0
+
+    def test_ingest_lands_at_the_frontier(self):
+        pack = DriftingPredicatesPack(drift_per_event=5.0, **TINY)
+        for index, event in enumerate(pack.events()):
+            if isinstance(event, IngestEvent):
+                assert event.batch["ts"].min() >= pack.window_start(index)
+
+
+class TestMultiTenant:
+    def test_is_shard_aware_on_the_tenant_column(self):
+        pack = MultiTenantPack(**TINY)
+        assert pack.shard_key == "tenant"
+        assert "tenant" in pack.schema()
+
+    def test_tenant_values_stay_in_range(self):
+        pack = MultiTenantPack(num_tenants=8, **TINY)
+        full = pack.full_table()
+        assert full["tenant"].min() >= 0
+        assert full["tenant"].max() < 8
+
+    def test_hot_tenant_is_deterministic_per_block(self):
+        pack = MultiTenantPack(**TINY)
+        assert pack.hot_tenant(3) == pack.hot_tenant(3)
+
+
+class TestAdversarial:
+    def test_regimes_rotate_round_robin_over_columns(self):
+        pack = AdversarialPack(num_columns=3, regime_length=4, **TINY)
+        assert pack.regime_of(0) == 0
+        assert pack.regime_of(4) == 1
+        assert [pack.regime_column(r) for r in range(4)] == ["c0", "c1", "c2", "c0"]
+
+    def test_queries_scan_the_regime_column_narrowly(self):
+        pack = AdversarialPack(num_columns=4, regime_length=2, scan_width=0.05, **TINY)
+        for index, event in enumerate(pack.events()):
+            if not isinstance(event, QueryEvent):
+                continue
+            predicate = event.query.predicate
+            assert isinstance(predicate, Between)
+            assert predicate.column == pack.regime_column(pack.regime_of(index))
+            assert predicate.high - predicate.low == pytest.approx(0.05)
+
+    def test_one_candidate_per_rotating_column(self):
+        pack = AdversarialPack(num_columns=5, **TINY)
+        layouts = pack.candidate_layouts(pack.base_table(), 8)
+        assert [c.layout_id for c in layouts] == [
+            f"adversarial-range-c{i}" for i in range(5)
+        ]
