@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.4.0",
     description=(
         "OREO: dynamic data layout optimization with worst-case guarantees "
         "(ICDE 2024 reproduction)"
@@ -12,5 +12,6 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    install_requires=["numpy>=1.24"],
+    install_requires=["numpy>=1.24", "click>=8.0"],
+    entry_points={"console_scripts": ["repro=repro.cli.main:main"]},
 )

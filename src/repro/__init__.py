@@ -73,7 +73,7 @@ from .engine import (
     merge_query_results,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BLSAlgorithm",

@@ -1,0 +1,15 @@
+"""The ``repro`` command-line interface.
+
+A click command group operating against a store directory
+(:class:`~repro.engine.factory.StoreDir`): ``repro init / ingest /
+query / stats / reorg / abort / events / shards / serve``.  Offline
+commands open an engine by replaying the store's durable ingest log;
+passing ``--url`` targets a live ``repro serve`` endpoint instead, with
+the same output formatting (``table`` / ``csv`` / ``json``).
+
+See ``docs/operations.md`` for the full reference.
+"""
+
+from .main import main
+
+__all__ = ["main"]

@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.cli`` as an entry point (same as ``repro``)."""
+
+from .main import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Output formatting for the ``repro`` CLI: plain table, csv, or json.
+
+Stdlib only — the aligned-text table keeps the CLI dependency-light and
+pipe-friendly (csv/json are the machine-readable forms; every command
+takes ``--format``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+__all__ = ["FORMATS", "format_rows"]
+
+#: the ``--format`` choices every command accepts
+FORMATS = ("table", "csv", "json")
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def _as_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str]) -> str:
+    cells = [[_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in cells)) if cells else len(column)
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(
+        column.ljust(width) for column, width in zip(columns, widths, strict=True)
+    )
+    rule = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(
+            value.ljust(width) for value, width in zip(line, widths, strict=True)
+        ).rstrip()
+        for line in cells
+    ]
+    return "\n".join([header.rstrip(), rule, *body])
+
+
+def _as_csv(rows: Sequence[Mapping[str, Any]], columns: Sequence[str]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow([_cell(row.get(column, "")) for column in columns])
+    return buffer.getvalue().rstrip("\n")
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    fmt: str = "table",
+) -> str:
+    """Render rows (dicts) in the requested format.
+
+    ``columns`` fixes the column order (defaulting to the first row's key
+    order); ``json`` emits the row dicts verbatim, ``csv`` a header plus
+    one line per row, and ``table`` an aligned plain-text table.  Raises
+    ``ValueError`` on an unknown format name.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    if fmt == "json":
+        return json.dumps([dict(row) for row in rows], indent=2, sort_keys=False)
+    if fmt == "csv":
+        return _as_csv(rows, columns)
+    return _as_table(rows, columns)

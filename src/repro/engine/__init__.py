@@ -30,6 +30,18 @@ Typical usage::
 from .config import EngineConfig
 from .engine import EngineStats, LayoutEngine
 from .events import EngineEvents, EventLog
+from .factory import (
+    ShardSpec,
+    StoreDir,
+    StoreManifest,
+    build_target,
+    make_builder,
+    schema_from_dict,
+    schema_to_dict,
+    snapshot_table,
+    table_from_columns,
+    table_from_rows,
+)
 from .policies import (
     Decision,
     GreedyPolicy,
@@ -59,8 +71,18 @@ __all__ = [
     "ReorgPolicy",
     "SchedulePolicy",
     "ShardEventObserver",
+    "ShardSpec",
     "ShardedEngine",
     "ShardedEventLog",
+    "StoreDir",
+    "StoreManifest",
+    "build_target",
     "derive_shard_configs",
+    "make_builder",
     "merge_query_results",
+    "schema_from_dict",
+    "schema_to_dict",
+    "snapshot_table",
+    "table_from_columns",
+    "table_from_rows",
 ]

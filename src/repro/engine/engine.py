@@ -31,8 +31,8 @@ from __future__ import annotations
 
 import functools
 import threading
-from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, fields
 from typing import Any, TypeVar, cast
 
 import numpy as np
@@ -95,6 +95,32 @@ class EngineStats:
     movement_charged: float
     #: bytes decompressed to answer queries
     bytes_read: int
+
+    def to_dict(self) -> dict[str, int | float]:
+        """JSON-serializable mapping with one entry per counter field.
+
+        The inverse of :meth:`from_dict`: ``EngineStats.from_dict(s.to_dict())``
+        reconstructs ``s`` exactly, which is what the HTTP ``/stats`` route
+        and ``repro stats --format json`` serialize over the wire.
+        """
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int | float]) -> "EngineStats":
+        """Rebuild stats from a :meth:`to_dict` mapping; strict on keys.
+
+        Missing or unknown keys raise ``ValueError`` naming the offending
+        fields, so a stats payload produced by a different engine version
+        fails loudly instead of silently zero-filling counters.
+        """
+        expected = {field.name for field in fields(cls)}
+        missing = expected - set(data)
+        if missing:
+            raise ValueError(f"stats payload missing fields: {sorted(missing)}")
+        unknown = set(data) - expected
+        if unknown:
+            raise ValueError(f"stats payload has unknown fields: {sorted(unknown)}")
+        return cls(**{name: data[name] for name in expected})
 
 
 class LayoutEngine:

@@ -20,6 +20,7 @@ from .predicates import (
     lt,
     ne,
 )
+from .parser import PredicateSyntaxError, parse_predicate, render_predicate
 from .query import Query, QueryStream
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "Not",
     "Or",
     "Predicate",
+    "PredicateSyntaxError",
     "Query",
     "QueryStream",
     "between",

@@ -1,0 +1,363 @@
+"""Text front end for the predicate AST: ``parse_predicate`` / ``render_predicate``.
+
+The operator surface (the ``repro`` CLI's ``--where`` option and the HTTP
+server's ``/query`` route) accepts predicates as text —
+``"price >= 10 and region in ('EU','US')"`` — and this module turns that
+text into the existing :mod:`repro.queries.predicates` AST, which the
+engine then evaluates exactly as if the predicate had been constructed in
+Python.  ``render_predicate`` is the inverse, producing text that parses
+back to an equal AST (``parse(render(p)) == p``, property-tested), so
+events and logs can carry predicates in their wire form.
+
+Grammar (keywords case-insensitive, ``or`` binds loosest)::
+
+    expr    := and_expr ("or" and_expr)*
+    and_expr:= unary ("and" unary)*
+    unary   := "not" unary | primary
+    primary := "(" expr ")" | "true" | "false" | atom
+    atom    := column OP value
+             | column ["not"] "in" "(" value ("," value)* ")"
+             | column "between" value "and" value
+    OP      := <= | >= | != | == | = | < | >
+
+Values are numbers (sign, decimals, exponents) or quoted strings
+(``'EU'`` or ``"EU"``, with backslash escapes).  With a
+:class:`~repro.storage.table.Schema`, string values on categorical
+columns are encoded to their dictionary codes (and decoded again on
+render), column names are checked against the schema, and a string
+compared to a numeric column is rejected — so a typo'd query fails with a
+position-stamped :class:`PredicateSyntaxError` instead of a numpy
+broadcast error deep in the executor.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .predicates import (
+    AlwaysFalse,
+    AlwaysTrue,
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+    Predicate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids a cycle with storage
+    from ..storage.table import Schema
+
+__all__ = ["PredicateSyntaxError", "parse_predicate", "render_predicate"]
+
+
+class PredicateSyntaxError(ValueError):
+    """Malformed predicate text; ``position`` is the offending offset.
+
+    Subclasses ``ValueError`` so callers that just want "bad input" can
+    catch broadly, while the CLI/server use :attr:`position` to point at
+    the exact character in their error responses.
+    """
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        #: character offset into the source text where parsing failed
+        self.position = position
+
+
+_KEYWORDS = frozenset({"and", "or", "not", "in", "between", "true", "false"})
+
+_TOKEN = re.compile(
+    r"""
+    (?P<number>-?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'(?:\\.|[^'\\])*'|"(?:\\.|[^"\\])*")
+  | (?P<op><=|>=|!=|==|=|<|>)
+  | (?P<punct>[(),])
+    """,
+    re.VERBOSE,
+)
+
+_UNESCAPE = re.compile(r"\\(.)")
+_NEEDS_ESCAPE = re.compile(r"(['\\])")
+
+
+class _Token:
+    """One lexed token: ``kind`` / ``value`` / source ``position``."""
+
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: Any, position: int):
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        if text[index].isspace():
+            index += 1
+            continue
+        match = _TOKEN.match(text, index)
+        if match is None:
+            raise PredicateSyntaxError(
+                f"unexpected character {text[index]!r}", index
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        raw = match.group()
+        if kind == "number":
+            value: Any = float(raw) if any(c in raw for c in ".eE") else int(raw)
+            tokens.append(_Token("number", value, index))
+        elif kind == "ident":
+            lowered = raw.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(_Token(lowered, raw, index))
+            else:
+                tokens.append(_Token("ident", raw, index))
+        elif kind == "string":
+            tokens.append(_Token("string", _UNESCAPE.sub(r"\1", raw[1:-1]), index))
+        else:
+            tokens.append(_Token(raw, raw, index))
+        index = match.end()
+    tokens.append(_Token("end", None, length))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token], schema: Schema | None):
+        self._tokens = tokens
+        self._index = 0
+        self._schema = schema
+
+    # ------------------------------------------------------------- token flow
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, what: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            shown = "end of input" if token.kind == "end" else repr(token.value)
+            raise PredicateSyntaxError(f"expected {what}, found {shown}", token.position)
+        return self._advance()
+
+    # --------------------------------------------------------------- grammar
+    def parse(self) -> Predicate:
+        predicate = self._expr()
+        trailing = self._peek()
+        if trailing.kind != "end":
+            raise PredicateSyntaxError(
+                f"unexpected trailing input {trailing.value!r}", trailing.position
+            )
+        return predicate
+
+    def _expr(self) -> Predicate:
+        children = [self._and_expr()]
+        while self._peek().kind == "or":
+            self._advance()
+            children.append(self._and_expr())
+        return children[0] if len(children) == 1 else Or(children)
+
+    def _and_expr(self) -> Predicate:
+        children = [self._unary()]
+        while self._peek().kind == "and":
+            self._advance()
+            children.append(self._unary())
+        return children[0] if len(children) == 1 else And(children)
+
+    def _unary(self) -> Predicate:
+        if self._peek().kind == "not":
+            self._advance()
+            return Not(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Predicate:
+        token = self._peek()
+        if token.kind == "(":
+            self._advance()
+            inner = self._expr()
+            self._expect(")", "')'")
+            return inner
+        if token.kind == "true":
+            self._advance()
+            return AlwaysTrue()
+        if token.kind == "false":
+            self._advance()
+            return AlwaysFalse()
+        if token.kind == "ident":
+            return self._atom()
+        shown = "end of input" if token.kind == "end" else repr(token.value)
+        raise PredicateSyntaxError(
+            f"expected a column name, '(', 'not', 'true' or 'false', found {shown}",
+            token.position,
+        )
+
+    def _atom(self) -> Predicate:
+        column_token = self._expect("ident", "a column name")
+        column = str(column_token.value)
+        if self._schema is not None and column not in self._schema:
+            raise PredicateSyntaxError(
+                f"unknown column {column!r}; schema has {self._schema.names()}",
+                column_token.position,
+            )
+        token = self._peek()
+        if token.kind in ("<", "<=", ">", ">=", "==", "=", "!="):
+            self._advance()
+            op = "==" if token.kind == "=" else token.kind
+            value = self._value(column)
+            return Comparison(column, op, value)
+        if token.kind == "in":
+            self._advance()
+            return In(column, self._value_list(column))
+        if token.kind == "not":
+            self._advance()
+            self._expect("in", "'in' after 'not'")
+            return Not(In(column, self._value_list(column)))
+        if token.kind == "between":
+            self._advance()
+            low_token = self._peek()
+            low = self._value(column)
+            self._expect("and", "'and' in 'between ... and ...'")
+            high = self._value(column)
+            try:
+                return Between(column, low, high)
+            except ValueError as error:
+                raise PredicateSyntaxError(str(error), low_token.position) from None
+        shown = "end of input" if token.kind == "end" else repr(token.value)
+        raise PredicateSyntaxError(
+            f"expected a comparison operator, 'in', 'not in' or 'between' "
+            f"after column {column!r}, found {shown}",
+            token.position,
+        )
+
+    def _value_list(self, column: str) -> list[Any]:
+        self._expect("(", "'(' to open the value list")
+        values = [self._value(column)]
+        while self._peek().kind == ",":
+            self._advance()
+            values.append(self._value(column))
+        self._expect(")", "')' or ',' in the value list")
+        return values
+
+    def _value(self, column: str) -> Any:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return token.value
+        if token.kind == "string":
+            self._advance()
+            if self._schema is None:
+                return token.value
+            spec = self._schema[column]
+            if spec.kind != "categorical":
+                raise PredicateSyntaxError(
+                    f"column {column!r} is numeric; {token.value!r} is a string",
+                    token.position,
+                )
+            try:
+                return spec.encode(str(token.value))
+            except KeyError:
+                raise PredicateSyntaxError(
+                    f"value {token.value!r} not in vocabulary of column {column!r}",
+                    token.position,
+                ) from None
+        shown = "end of input" if token.kind == "end" else repr(token.value)
+        raise PredicateSyntaxError(
+            f"expected a number or quoted string, found {shown}", token.position
+        )
+
+
+def parse_predicate(text: str, schema: Schema | None = None) -> Predicate:
+    """Parse predicate text into a :class:`~repro.queries.predicates.Predicate`.
+
+    With a ``schema``, column names are validated, string values on
+    categorical columns are encoded to dictionary codes (matching how the
+    engine stores those columns), and type mismatches are rejected.
+    Raises :class:`PredicateSyntaxError` on malformed or mistyped input.
+    """
+    if not text or not text.strip():
+        raise PredicateSyntaxError("empty predicate", 0)
+    return _Parser(_tokenize(text), schema).parse()
+
+
+def _render_value(column: str, value: Any, schema: Schema | None) -> str:
+    if schema is not None and column in schema:
+        spec = schema[column]
+        if spec.kind == "categorical" and isinstance(value, (int, np.integer)):
+            value = spec.decode(int(value))
+    if isinstance(value, str):
+        return "'" + _NEEDS_ESCAPE.sub(r"\\\1", value) + "'"
+    if isinstance(value, (bool, np.bool_)):
+        raise ValueError(f"cannot render boolean value {value!r} in a comparison")
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        rendered = repr(float(value))
+        if "inf" in rendered or "nan" in rendered:
+            raise ValueError(f"cannot render non-finite value {value!r}")
+        return rendered
+    raise ValueError(f"cannot render value of type {type(value).__name__}")
+
+
+def render_predicate(predicate: Predicate, schema: Schema | None = None) -> str:
+    """Render a predicate back to parseable text (the inverse of parsing).
+
+    ``parse_predicate(render_predicate(p, schema), schema) == p`` for every
+    AST the grammar can express; ``In`` values are emitted sorted and
+    composite nodes fully parenthesized, so the text is deterministic.
+    Raises ``ValueError`` for values the grammar cannot carry (non-finite
+    floats, booleans, non-scalar types).
+    """
+    if isinstance(predicate, AlwaysTrue):
+        return "true"
+    if isinstance(predicate, AlwaysFalse):
+        return "false"
+    if isinstance(predicate, Comparison):
+        return (
+            f"{predicate.column} {predicate.op} "
+            f"{_render_value(predicate.column, predicate.value, schema)}"
+        )
+    if isinstance(predicate, Between):
+        low = _render_value(predicate.column, predicate.low, schema)
+        high = _render_value(predicate.column, predicate.high, schema)
+        return f"{predicate.column} between {low} and {high}"
+    if isinstance(predicate, In):
+        rendered = ", ".join(
+            _render_value(predicate.column, value, schema)
+            for value in sorted(predicate.values)
+        )
+        return f"{predicate.column} in ({rendered})"
+    if isinstance(predicate, Not):
+        if isinstance(predicate.child, In):
+            child = predicate.child
+            rendered = ", ".join(
+                _render_value(child.column, value, schema)
+                for value in sorted(child.values)
+            )
+            return f"{child.column} not in ({rendered})"
+        return f"not ({render_predicate(predicate.child, schema)})"
+    if isinstance(predicate, And):
+        joined = " and ".join(
+            render_predicate(child, schema) for child in predicate.children
+        )
+        return f"({joined})"
+    if isinstance(predicate, Or):
+        joined = " or ".join(
+            render_predicate(child, schema) for child in predicate.children
+        )
+        return f"({joined})"
+    raise ValueError(f"cannot render predicate of type {type(predicate).__name__}")

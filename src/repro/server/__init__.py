@@ -1,0 +1,29 @@
+"""Asyncio serving endpoint over one engine (single or sharded).
+
+Stdlib only — no web framework.  :class:`EngineServer` wraps one
+:class:`~repro.engine.LayoutEngine` or
+:class:`~repro.engine.sharded.ShardedEngine` opened from a
+:class:`~repro.engine.factory.StoreDir` and exposes it over HTTP/1.1:
+
+* ``POST /query`` / ``POST /ingest`` — the serving plane, admitted
+  through a bounded request queue (503 + ``Retry-After`` when full);
+* ``GET /stats`` / ``GET /events`` / ``GET /shards`` — the observability
+  plane, which bypasses the queue so the store stays inspectable while
+  shedding load;
+* ``POST /reorg`` / ``POST /abort`` / ``POST /shutdown`` — the admin
+  plane; a background pump advances pipelined reorganizations between
+  requests, and shutdown drains in-flight work then aborts-or-waits any
+  live reorg.
+
+``repro serve`` (:mod:`repro.cli`) is the canonical launcher.
+"""
+
+from .app import EngineServer, ServerConfig, run_server
+from .events import EventRing
+
+__all__ = [
+    "EngineServer",
+    "EventRing",
+    "ServerConfig",
+    "run_server",
+]

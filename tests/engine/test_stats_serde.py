@@ -1,0 +1,67 @@
+"""EngineStats JSON round-trip: every dataclass field must survive."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.engine import EngineStats
+
+
+def _populated() -> EngineStats:
+    """Stats with a distinct non-default value in every field."""
+    values = {}
+    for index, field in enumerate(dataclasses.fields(EngineStats)):
+        float_field = field.type in ("float", float)
+        values[field.name] = float(index) + 0.5 if float_field else index + 1
+    return EngineStats(**values)
+
+
+def test_round_trip_preserves_every_field():
+    stats = _populated()
+    restored = EngineStats.from_dict(stats.to_dict())
+    for field in dataclasses.fields(EngineStats):
+        assert getattr(restored, field.name) == getattr(stats, field.name), field.name
+    assert restored == stats
+
+
+def test_to_dict_covers_every_dataclass_field():
+    payload = _populated().to_dict()
+    assert set(payload) == {f.name for f in dataclasses.fields(EngineStats)}
+
+
+def test_round_trip_survives_json_wire_format():
+    stats = _populated()
+    wire = json.dumps(stats.to_dict())
+    assert EngineStats.from_dict(json.loads(wire)) == stats
+
+
+def test_from_dict_rejects_missing_fields():
+    payload = _populated().to_dict()
+    payload.pop("rows_ingested")
+    with pytest.raises(ValueError, match="missing fields.*rows_ingested"):
+        EngineStats.from_dict(payload)
+
+
+def test_from_dict_rejects_unknown_fields():
+    payload = _populated().to_dict()
+    payload["bogus_counter"] = 1
+    with pytest.raises(ValueError, match="unknown fields.*bogus_counter"):
+        EngineStats.from_dict(payload)
+
+
+def test_live_engine_stats_round_trip(tmp_path, simple_table):
+    from repro.engine import EngineConfig, LayoutEngine
+    from repro.layouts.range_layout import RangeLayoutBuilder
+
+    config = EngineConfig(
+        store_root=tmp_path / "store",
+        builder=RangeLayoutBuilder("x"),
+        num_partitions=4,
+    )
+    with LayoutEngine(config) as engine:
+        engine.ingest(simple_table)
+        stats = engine.stats()
+        assert EngineStats.from_dict(stats.to_dict()) == stats

@@ -1,0 +1,150 @@
+"""Predicate text parser: grammar, schema typing, and error messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.queries import (
+    AlwaysFalse,
+    AlwaysTrue,
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+    PredicateSyntaxError,
+    parse_predicate,
+    render_predicate,
+)
+from repro.storage import ColumnSpec, Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        columns=(
+            ColumnSpec("price", "numeric"),
+            ColumnSpec("qty", "numeric"),
+            ColumnSpec("region", "categorical", ("APAC", "EU", "US")),
+        )
+    )
+
+
+# -------------------------------------------------------------------- grammar
+def test_issue_example_parses_with_schema_encoding(schema):
+    predicate = parse_predicate("price >= 10 and region in ('EU','US')", schema)
+    assert predicate == And(
+        (Comparison("price", ">=", 10), In("region", (1, 2)))
+    )
+
+
+def test_comparison_operators():
+    for text_op, ast_op in [
+        ("<", "<"), ("<=", "<="), (">", ">"), (">=", ">="),
+        ("==", "=="), ("=", "=="), ("!=", "!="),
+    ]:
+        assert parse_predicate(f"x {text_op} 3") == Comparison("x", ast_op, 3)
+
+
+def test_values_numbers_and_strings():
+    assert parse_predicate("x > -1.5e2") == Comparison("x", ">", -150.0)
+    assert parse_predicate("name == 'it\\'s'") == Comparison("name", "==", "it's")
+    assert parse_predicate('name != "EU"') == Comparison("name", "!=", "EU")
+
+
+def test_between_and_membership():
+    assert parse_predicate("x between 1 and 5") == Between("x", 1, 5)
+    assert parse_predicate("c in ('a', 'b')") == In("c", ("a", "b"))
+    assert parse_predicate("c not in ('a')") == Not(In("c", ("a",)))
+
+
+def test_precedence_or_binds_loosest():
+    predicate = parse_predicate("a > 1 and b > 2 or c > 3")
+    assert predicate == Or(
+        (And((Comparison("a", ">", 1), Comparison("b", ">", 2))), Comparison("c", ">", 3))
+    )
+    grouped = parse_predicate("a > 1 and (b > 2 or c > 3)")
+    assert grouped == And(
+        (Comparison("a", ">", 1), Or((Comparison("b", ">", 2), Comparison("c", ">", 3))))
+    )
+
+
+def test_not_and_constants():
+    assert parse_predicate("true") == AlwaysTrue()
+    assert parse_predicate("FALSE") == AlwaysFalse()
+    assert parse_predicate("not x == 1") == Not(Comparison("x", "==", 1))
+    assert parse_predicate("not not true") == Not(Not(AlwaysTrue()))
+
+
+def test_between_greedily_takes_first_and():
+    predicate = parse_predicate("x between 1 and 5 and y > 2")
+    assert predicate == And((Between("x", 1, 5), Comparison("y", ">", 2)))
+
+
+def test_keywords_are_case_insensitive():
+    assert parse_predicate("x BETWEEN 1 AND 2 OR NOT y IN (3)") == Or(
+        (Between("x", 1, 2), Not(In("y", (3,))))
+    )
+
+
+# ------------------------------------------------------------------ rendering
+def test_render_parses_back_to_equal_ast(schema):
+    predicate = And(
+        (
+            Comparison("price", ">=", 10),
+            Or((In("region", (1, 2)), Between("qty", 1, 5))),
+            Not(Comparison("price", "<", 2.5)),
+        )
+    )
+    text = render_predicate(predicate, schema)
+    assert parse_predicate(text, schema) == predicate
+    assert "'EU'" in text  # categorical codes decode back to vocabulary strings
+
+
+def test_render_rejects_unrepresentable_values():
+    with pytest.raises(ValueError, match="non-finite"):
+        render_predicate(Comparison("x", ">", float("inf")))
+    with pytest.raises(ValueError, match="boolean"):
+        render_predicate(Comparison("x", "==", True))
+
+
+# ------------------------------------------------------------- error messages
+@pytest.mark.parametrize(
+    ("text", "message"),
+    [
+        ("", "empty predicate"),
+        ("   ", "empty predicate"),
+        ("price >", "expected a number or quoted string, found end of input"),
+        ("price >= 10 and", "expected a column name"),
+        ("(price > 1", r"expected '\)'"),
+        ("price > 1)", "unexpected trailing input"),
+        ("price @ 3", "unexpected character '@'"),
+        ("price in ()", "expected a number or quoted string"),
+        ("price in (1,", "expected a number or quoted string"),
+        ("price between 9 and 1", "Between requires low <= high"),
+        ("price between 1 2", "expected 'and'"),
+        ("price not 3", "expected 'in' after 'not'"),
+        ("price 3", "expected a comparison operator"),
+        ("'EU' == price", "expected a column name"),
+    ],
+)
+def test_malformed_input_messages(text, message):
+    with pytest.raises(PredicateSyntaxError, match=message):
+        parse_predicate(text)
+
+
+def test_errors_carry_the_offending_position():
+    with pytest.raises(PredicateSyntaxError) as excinfo:
+        parse_predicate("price >= 10 and price @ 3")
+    assert excinfo.value.position == 22
+    assert "(at position 22)" in str(excinfo.value)
+
+
+def test_schema_typing_errors(schema):
+    with pytest.raises(PredicateSyntaxError, match="unknown column 'bogus'"):
+        parse_predicate("bogus > 1", schema)
+    with pytest.raises(PredicateSyntaxError, match="is numeric; 'EU' is a string"):
+        parse_predicate("price == 'EU'", schema)
+    with pytest.raises(PredicateSyntaxError, match="not in vocabulary"):
+        parse_predicate("region == 'MARS'", schema)

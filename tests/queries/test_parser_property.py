@@ -1,0 +1,106 @@
+"""Hypothesis round-trip property for the predicate text parser.
+
+``parse_predicate(render_predicate(p)) == p`` over generated ASTs.  The
+generator stays inside what the grammar can express: ``In`` values are
+homogeneously typed per predicate (mixed string/number sets cannot be
+sorted for rendering), values are finite, ``Between`` bounds ordered, and
+``And``/``Or`` carry at least two children (the textual form of a
+single-child conjunction is indistinguishable from its child).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queries import (
+    AlwaysFalse,
+    AlwaysTrue,
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+    parse_predicate,
+    render_predicate,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "between", "true", "false"}
+
+columns = st.from_regex(r"[a-z_][a-z_0-9]{0,7}", fullmatch=True).filter(
+    lambda name: name.lower() not in _KEYWORDS
+)
+
+numbers = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+
+strings = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=10
+)
+
+# One scalar kind per generated tree: the AST's own And/Or equality sorts
+# child cache keys, so a tree mixing string- and number-valued atoms is not
+# even comparable to itself — that is an AST constraint, not a parser one.
+def _values_for(kind):
+    return numbers if kind == "number" else strings
+
+
+def _comparisons(kind):
+    return st.builds(
+        Comparison,
+        columns,
+        st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+        _values_for(kind),
+    )
+
+
+def _betweens(kind):
+    return st.builds(
+        lambda column, pair: Between(column, *sorted(pair)),
+        columns,
+        st.tuples(_values_for(kind), _values_for(kind)),
+    )
+
+
+def _memberships(kind):
+    return st.builds(
+        In, columns, st.lists(_values_for(kind), min_size=1, max_size=4)
+    )
+
+
+def _predicates(kind):
+    atoms = st.one_of(
+        _comparisons(kind),
+        _betweens(kind),
+        _memberships(kind),
+        st.just(AlwaysTrue()),
+        st.just(AlwaysFalse()),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.lists(children, min_size=2, max_size=3).map(And),
+            st.lists(children, min_size=2, max_size=3).map(Or),
+            children.map(Not),
+        ),
+        max_leaves=12,
+    )
+
+
+predicates = st.one_of(_predicates("number"), _predicates("string"))
+
+
+@given(predicates)
+def test_parse_render_round_trip(predicate):
+    text = render_predicate(predicate)
+    assert parse_predicate(text) == predicate
+
+
+@given(predicates)
+def test_rendered_text_is_stable(predicate):
+    """Render is deterministic: parse → render is a fixed point."""
+    text = render_predicate(predicate)
+    assert render_predicate(parse_predicate(text)) == text

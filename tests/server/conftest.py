@@ -1,0 +1,11 @@
+"""Shared fixtures for the server tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def server_rng() -> np.random.Generator:
+    return np.random.default_rng(99)

@@ -1,0 +1,115 @@
+"""Server-test harness: a live EngineServer on a background asyncio loop.
+
+Kept out of conftest.py so test modules can import the helpers by name
+(the test tree has no packages, so relative imports are unavailable).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.engine.factory import ShardSpec, StoreDir, StoreManifest, schema_from_dict
+from repro.server.app import EngineServer, ServerConfig
+
+SCHEMA_SPECS = [
+    {"name": "price", "kind": "numeric"},
+    {"name": "qty", "kind": "numeric"},
+    {"name": "region", "kind": "categorical", "vocabulary": ["APAC", "EU", "US"]},
+]
+
+
+def make_store(root, *, sharded=False, **engine_overrides) -> StoreDir:
+    """Initialize a test store; engine knobs default to a steppy async reorg."""
+    engine = {
+        "num_partitions": 24,
+        "alpha": 8.0,
+        "async_reorg": True,
+        "step_partitions": 1,
+        "seed": 3,
+    }
+    engine.update(engine_overrides)
+    manifest = StoreManifest(
+        schema=schema_from_dict(SCHEMA_SPECS),
+        builder={"kind": "range", "column": "price"},
+        engine=engine,
+        shards=ShardSpec(4, "price") if sharded else None,
+    )
+    return StoreDir.initialize(root, manifest)
+
+
+def make_batch(rng: np.random.Generator, n: int = 1500):
+    """Rows as a column dict in the /ingest wire shape."""
+    return {
+        "price": [float(v) for v in rng.uniform(0.0, 100.0, size=n)],
+        "qty": [int(v) for v in rng.integers(1, 10, size=n)],
+        "region": [["APAC", "EU", "US"][int(v)] for v in rng.integers(0, 3, size=n)],
+    }
+
+
+def request(base: str, path: str, payload=None, timeout: float = 30.0):
+    """One JSON request; returns (status, payload_dict, headers)."""
+    req = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode() if payload is not None else None,
+        method="POST" if payload is not None else "GET",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        return error.code, json.loads(body) if body else {}, dict(error.headers)
+
+
+class LiveServer:
+    """Run one EngineServer on a daemon thread; context-managed teardown."""
+
+    def __init__(self, store_root, **config_overrides):
+        overrides = {"port": 0, "queue_size": 32, "workers": 2}
+        overrides.update(config_overrides)
+        self.server = EngineServer(StoreDir(store_root), ServerConfig(**overrides))
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.startup_error: BaseException | None = None
+        self.base = ""
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.server.start()
+        except BaseException as error:
+            self.startup_error = error
+            self._started.set()
+            raise
+        self._started.set()
+        await self.server.serve_until_shutdown()
+
+    def __enter__(self) -> "LiveServer":
+        self._thread.start()
+        assert self._started.wait(timeout=30), "server did not start"
+        if self.startup_error is not None:
+            raise self.startup_error
+        assert self.server.bound_port
+        self.base = f"http://127.0.0.1:{self.server.bound_port}"
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Trigger graceful shutdown and join the loop thread."""
+        if self._thread.is_alive() and self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout=timeout)
+        assert not self._thread.is_alive(), "server thread did not exit"
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

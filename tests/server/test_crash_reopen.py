@@ -1,0 +1,104 @@
+"""Kill -9 a serve process mid-reorg; the store must reopen cleanly.
+
+The regression behind this test: the serving loop used to be able to die
+while an async reorganization held half-moved partitions in ``data/``,
+and a fresh engine over the same directory would trip over the debris.
+The store contract makes this impossible by construction — ``data/`` is
+derived state, wiped and replayed from the WAL on every open — and this
+test pins that contract against the real operator entry point
+(``python -m repro.cli serve``) under the least graceful exit there is.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from harness_http import make_batch, make_store, request
+from repro.engine.factory import StoreDir, table_from_columns
+from repro.queries import Query, parse_predicate
+
+TOTAL_ROWS = 3000
+
+
+@pytest.fixture
+def crash_store(tmp_path):
+    rng = np.random.default_rng(17)
+    store = make_store(tmp_path / "store", num_partitions=48)
+    store.append_batch(
+        table_from_columns(store.manifest.schema, make_batch(rng, n=TOTAL_ROWS))
+    )
+    return store
+
+
+def _spawn_serve(store_root: Path) -> tuple[subprocess.Popen, str]:
+    src_root = Path(repro.__file__).parents[1]
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(store_root), "--port", "0"],
+        env={"PYTHONPATH": str(src_root), "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline().strip()
+    assert line.startswith("serving on http://"), line
+    return proc, line.removeprefix("serving on ")
+
+
+def test_sigkill_mid_reorg_leaves_store_openable(crash_store):
+    proc, base = _spawn_serve(crash_store.root)
+    try:
+        status, payload, _ = request(base, "/reorg", {})
+        assert status == 200, payload
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            status, stats, _ = request(base, "/stats")
+            if status == 200 and stats["reorg_active"]:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("reorg never became active before the kill")
+    finally:
+        proc.kill()  # SIGKILL: no cleanup, no atexit, no close()
+        proc.wait(timeout=30)
+    assert proc.returncode == -signal.SIGKILL
+
+    # A fresh engine over the same directory replays the full ingest log.
+    engine = StoreDir(crash_store.root).open_engine()
+    try:
+        schema = crash_store.manifest.schema
+        result = engine.query(Query(parse_predicate("true", schema)))
+        assert result.total_rows == TOTAL_ROWS
+        assert result.rows_matched == TOTAL_ROWS
+    finally:
+        engine.close()
+
+
+def test_sigkill_during_ingest_drops_only_the_torn_tail(crash_store, tmp_path):
+    """A WAL file torn by the crash is discarded; committed batches survive."""
+    wal_files = sorted(crash_store.wal_root.iterdir())
+    assert wal_files
+    # Simulate a torn append the way a crash would leave it: truncate the
+    # last file mid-write, then reopen.
+    rng = np.random.default_rng(23)
+    crash_store.append_batch(
+        table_from_columns(crash_store.manifest.schema, make_batch(rng, n=100))
+    )
+    tail = sorted(crash_store.wal_root.iterdir())[-1]
+    tail.write_bytes(tail.read_bytes()[:50])
+
+    engine = StoreDir(crash_store.root).open_engine()
+    try:
+        schema = crash_store.manifest.schema
+        result = engine.query(Query(parse_predicate("true", schema)))
+        assert result.total_rows == TOTAL_ROWS  # torn 100-row batch dropped
+    finally:
+        engine.close()

@@ -1,0 +1,288 @@
+"""HTTP endpoint: routes, concurrency during reorg, backpressure, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.factory import StoreDir, table_from_columns
+from repro.queries import Query, parse_predicate
+
+from harness_http import LiveServer, make_batch, make_store, request
+
+WHERE = "price >= 50 and region in ('EU','US')"
+
+
+@pytest.fixture(params=[False, True], ids=["single", "sharded4"], name="live")
+def live_fixture(request, tmp_path, server_rng):
+    store = make_store(tmp_path / "store", sharded=request.param)
+    columns = make_batch(server_rng)
+    store.append_batch(table_from_columns(store.manifest.schema, columns))
+    with LiveServer(store.root) as server:
+        yield server
+
+
+def _expected_counts(store_root, texts):
+    """(rows_matched, total_rows) per query via a direct engine replica."""
+    store = StoreDir(store_root)
+    engine = store.open_engine()
+    try:
+        queries = [Query(parse_predicate(t, store.manifest.schema)) for t in texts]
+        results = engine.query_batch(queries)
+        return [(r.rows_matched, r.total_rows) for r in results]
+    finally:
+        engine.close()
+
+
+def test_basic_routes(live, server_rng):
+    status, health, _ = request(live.base, "/health")
+    assert (status, health["status"]) == (200, "ok")
+
+    status, stats, _ = request(live.base, "/stats")
+    assert status == 200
+    assert stats["stats"]["rows_ingested"] == 1500
+    assert stats["num_shards"] in (1, 4)
+
+    status, shards, _ = request(live.base, "/shards")
+    assert status == 200
+    assert len(shards["shards"]) == stats["num_shards"]
+    assert sum(row["rows_ingested"] for row in shards["shards"]) == 1500
+
+    status, payload, _ = request(live.base, "/query", {"where": WHERE})
+    assert status == 200
+    assert payload["result"]["total_rows"] == 1500
+
+    status, ingest, _ = request(
+        live.base, "/ingest", {"columns": make_batch(server_rng, n=100)}
+    )
+    assert status == 200
+    assert ingest["rows_ingested"] == 100
+    status, stats, _ = request(live.base, "/stats")
+    assert stats["stats"]["rows_ingested"] == 1600
+
+    status, events, _ = request(live.base, "/events?limit=5")
+    assert status == 200
+    assert len(events["events"]) <= 5
+    assert events["total_recorded"] > 0
+    seqs = [record["seq"] for record in events["events"]]
+    assert seqs == sorted(seqs)
+
+    # rows form of ingest
+    status, ingest, _ = request(
+        live.base,
+        "/ingest",
+        {"rows": [{"price": 1.0, "qty": 2, "region": "EU"}]},
+    )
+    assert (status, ingest["rows_ingested"]) == (200, 1)
+
+
+def test_error_routes(live):
+    status, payload, _ = request(live.base, "/query", {"where": "price >"})
+    assert status == 400
+    assert "expected a number" in payload["error"]
+    assert payload["position"] == 7
+
+    status, payload, _ = request(live.base, "/query", {})
+    assert status == 400
+
+    status, payload, _ = request(live.base, "/ingest", {"rows": [{"price": 1.0}]})
+    assert status == 400
+    assert "missing column" in payload["error"]
+
+    status, payload, _ = request(live.base, "/nope")
+    assert status == 404
+
+    status, payload, _ = request(live.base, "/abort", {})
+    assert status == 200
+    assert payload["refunded"] == 0.0  # nothing in flight
+
+
+def test_concurrent_queries_during_live_reorg_bit_identical(live):
+    """The acceptance criterion: client results during a pipelined reorg
+    are bit-identical (rows matched / totals) to a direct engine replica."""
+    texts = [WHERE, "price < 25", "qty between 2 and 5", "region == 'APAC'"]
+    # Baseline from a fresh direct engine over a *copy* of the log (the live
+    # server owns the store's data/); matched counts are layout-invariant.
+    expected = {
+        text: counts
+        for text, counts in zip(
+            texts, _expected_counts_from_copy(live, texts), strict=True
+        )
+    }
+
+    errors: list[str] = []
+    observed_active = threading.Event()
+    stop = threading.Event()
+
+    def client(text: str) -> None:
+        while not stop.is_set():
+            status, payload, _ = request(live.base, "/query", {"where": text})
+            if status == 503:
+                continue  # load shed; retry
+            if status != 200:
+                errors.append(f"{text}: HTTP {status} {payload}")
+                return
+            got = (payload["result"]["rows_matched"], payload["result"]["total_rows"])
+            if got != expected[text]:
+                errors.append(f"{text}: {got} != {expected[text]}")
+                return
+
+    threads = [threading.Thread(target=client, args=(text,)) for text in texts]
+    for thread in threads:
+        thread.start()
+    status, payload, _ = request(live.base, "/reorg", {})
+    assert status == 200 and payload["pipelined"]
+
+    deadline = time.monotonic() + 20.0
+    committed = False
+    while time.monotonic() < deadline:
+        status, stats, _ = request(live.base, "/stats")
+        if stats["reorg_active"]:
+            observed_active.set()
+        if stats["stats"]["reorgs_completed"] >= 1 and not stats["reorg_active"]:
+            committed = True
+            break
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+    assert committed, "reorg did not commit within the deadline"
+    assert observed_active.is_set(), "queries never overlapped an active reorg"
+
+    # after the commit, results are still identical
+    for text in texts:
+        status, payload, _ = request(live.base, "/query", {"where": text})
+        assert status == 200
+        assert (
+            payload["result"]["rows_matched"],
+            payload["result"]["total_rows"],
+        ) == expected[text]
+
+
+def _expected_counts_from_copy(live: LiveServer, texts):
+    """Replica counts computed from a copied store dir (no data/ contention)."""
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    source = live.server.store
+    with tempfile.TemporaryDirectory() as tmp:
+        replica_root = Path(tmp) / "replica"
+        replica_root.mkdir()
+        shutil.copy(source.manifest_path, replica_root / "store.json")
+        shutil.copytree(source.wal_root, replica_root / "wal")
+        return _expected_counts(replica_root, texts)
+
+
+def test_backpressure_sheds_load_with_503(tmp_path, server_rng):
+    store = make_store(tmp_path / "store")
+    store.append_batch(
+        table_from_columns(store.manifest.schema, make_batch(server_rng, n=300))
+    )
+    with LiveServer(store.root, queue_size=1, workers=1) as live:
+        engine = live.server.engine
+        assert engine is not None
+        original = engine.query_batch
+
+        def slow_query_batch(queries):
+            time.sleep(0.25)
+            return original(queries)
+
+        engine.query_batch = slow_query_batch  # type: ignore[method-assign]
+
+        outcomes: list[tuple[int, dict, dict]] = []
+        lock = threading.Lock()
+
+        def client() -> None:
+            outcome = request(live.base, "/query", {"where": "price < 50"})
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [threading.Thread(target=client) for _ in range(10)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        statuses = [status for status, _, _ in outcomes]
+        assert statuses.count(200) >= 1, outcomes
+        shed = [
+            (status, payload, headers)
+            for status, payload, headers in outcomes
+            if status == 503
+        ]
+        assert shed, f"no 503 among {statuses}"
+        for _, payload, headers in shed:
+            assert "Retry-After" in headers
+            assert "queue full" in payload["error"]
+
+        # the server recovers once the burst passes
+        engine.query_batch = original  # type: ignore[method-assign]
+        status, payload, _ = request(live.base, "/query", {"where": "price < 50"})
+        assert status == 200
+
+
+def test_graceful_shutdown_drains_in_flight_requests(tmp_path, server_rng):
+    store = make_store(tmp_path / "store")
+    store.append_batch(
+        table_from_columns(store.manifest.schema, make_batch(server_rng, n=300))
+    )
+    live = LiveServer(store.root, workers=1).__enter__()
+    try:
+        engine = live.server.engine
+        assert engine is not None
+        original = engine.query_batch
+
+        def slow_query_batch(queries):
+            time.sleep(0.6)
+            return original(queries)
+
+        engine.query_batch = slow_query_batch  # type: ignore[method-assign]
+
+        result_box: dict = {}
+
+        def client() -> None:
+            result_box["outcome"] = request(live.base, "/query", {"where": "true"})
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        time.sleep(0.15)  # let the slow query get admitted
+        status, payload, _ = request(live.base, "/shutdown", {})
+        assert (status, payload["shutting_down"]) == (202, True)
+        thread.join(timeout=30)
+        status, payload, _ = result_box["outcome"]
+        assert status == 200, payload
+        assert payload["result"]["rows_matched"] == 300
+    finally:
+        live.stop()
+
+    # fresh engine opens cleanly over the same store
+    engine = StoreDir(store.root).open_engine()
+    try:
+        schema = StoreDir(store.root).manifest.schema
+        assert engine.query(Query(parse_predicate("true", schema))).total_rows == 300
+    finally:
+        engine.close()
+
+
+def test_shutdown_mid_reorg_aborts_and_store_reopens(tmp_path, server_rng):
+    store = make_store(tmp_path / "store", num_partitions=48)
+    store.append_batch(
+        table_from_columns(store.manifest.schema, make_batch(server_rng, n=3000))
+    )
+    live = LiveServer(store.root, drain_mode="abort").__enter__()
+    try:
+        status, payload, _ = request(live.base, "/reorg", {})
+        assert status == 200
+    finally:
+        live.stop()  # drain aborts the in-flight reorg
+
+    engine = StoreDir(store.root).open_engine()
+    try:
+        schema = StoreDir(store.root).manifest.schema
+        result = engine.query(Query(parse_predicate(WHERE, schema)))
+        assert result.total_rows == 3000
+    finally:
+        engine.close()

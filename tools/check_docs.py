@@ -13,10 +13,10 @@ Two checks, both stdlib-only so the gate needs nothing pip-installed:
   in the gate) but must at least be well-formed.
 
 * **public-API docstrings** — every public module, class, function, method
-  and property defined under ``repro.engine``, ``repro.storage`` and
-  ``repro.core`` must carry a docstring (the same surface pydocstyle's
-  D100–D103 rules cover).  New public APIs land documented or the gate
-  fails.
+  and property defined under ``repro.engine``, ``repro.storage``,
+  ``repro.core``, ``repro.cli`` and ``repro.server`` must carry a
+  docstring (the same surface pydocstyle's D100–D103 rules cover).  New
+  public APIs land documented or the gate fails.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -37,7 +37,13 @@ MARKDOWN_DOCS = ("README.md", "ROADMAP.md")
 MARKDOWN_DIRS = ("docs",)
 
 #: packages whose public surface must be documented
-DOCSTRING_PACKAGES = ("repro.engine", "repro.storage", "repro.core")
+DOCSTRING_PACKAGES = (
+    "repro.engine",
+    "repro.storage",
+    "repro.core",
+    "repro.cli",
+    "repro.server",
+)
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
